@@ -1,0 +1,81 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every bench reproduces one table or figure of the paper.  Default
+parameters are scaled down so the full suite finishes on CPU; set
+``REPRO_BENCH_SCALE=full`` for larger paper-shaped runs.
+
+Benches print two numbers per cell where the paper reports one: the
+paper's value (on the real TU datasets, the authors' GPU) and ours (on
+the synthetic reconstructions, CPU numpy).  Absolute values differ by
+design; the *comparisons* (who wins, by roughly what factor) are what
+EXPERIMENTS.md audits.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.datasets import GraphDataset, make_dataset
+
+__all__ = [
+    "BenchConfig",
+    "CONFIG",
+    "bench_dataset",
+    "print_header",
+    "print_table",
+    "once",
+]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs shared by all benches."""
+
+    scale: float  # dataset graph-count scale
+    folds: int
+    epochs: int
+    seed: int
+
+
+def _load_config() -> BenchConfig:
+    mode = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if mode == "full":
+        return BenchConfig(scale=0.30, folds=10, epochs=60, seed=0)
+    if mode == "medium":
+        return BenchConfig(scale=0.15, folds=5, epochs=20, seed=0)
+    return BenchConfig(scale=0.08, folds=3, epochs=10, seed=0)
+
+
+CONFIG = _load_config()
+
+
+@lru_cache(maxsize=32)
+def bench_dataset(name: str, scale: float | None = None) -> GraphDataset:
+    """Cached dataset for benches (same seed everywhere)."""
+    return make_dataset(name, scale=scale or CONFIG.scale, seed=CONFIG.seed)
+
+
+def print_header(title: str) -> None:
+    bar = "=" * max(64, len(title) + 4)
+    print(f"\n{bar}\n{title}\n(config: scale={CONFIG.scale}, "
+          f"folds={CONFIG.folds}, epochs={CONFIG.epochs})\n{bar}")
+
+
+def print_table(columns: list[str], rows: list[list[str]], width: int = 16) -> None:
+    header = "".join(f"{c:<{width}s}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("".join(f"{c:<{width}s}" for c in row))
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The table/figure benches perform full cross-validations; repeating
+    them for statistical timing would be wasteful, so a single round is
+    recorded.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

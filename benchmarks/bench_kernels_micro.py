@@ -1,0 +1,51 @@
+"""Micro-benchmarks: gram-matrix computation cost per kernel.
+
+Not a paper table — engineering telemetry for the kernel substrate.
+The paper's complexity analysis (Section 4.2) predicts SP ~ O(n w^3),
+WL ~ O(n h e), GK ~ O(n w d^3 sampling); these micro-benches verify the
+relative ordering at benchmark scale.
+"""
+
+import pytest
+
+from benchmarks._common import bench_dataset
+from repro.kernels import (
+    GraphNeuralTangentKernel,
+    GraphletKernel,
+    RandomWalkKernel,
+    ReturnProbabilityKernel,
+    ShortestPathKernel,
+    WeisfeilerLehmanKernel,
+)
+
+KERNELS = {
+    "gk": lambda: GraphletKernel(k=4, samples=10, seed=0),
+    "sp": lambda: ShortestPathKernel(),
+    "wl": lambda: WeisfeilerLehmanKernel(3),
+    "rw": lambda: RandomWalkKernel(steps=3),
+    "retgk": lambda: ReturnProbabilityKernel(steps=8),
+    "gntk": lambda: GraphNeuralTangentKernel(blocks=2, mlp_layers=1),
+}
+
+
+@pytest.mark.parametrize("kernel_name", list(KERNELS))
+def test_gram_matrix_cost(benchmark, kernel_name):
+    ds = bench_dataset("PTC_MR")
+    kernel = KERNELS[kernel_name]()
+    benchmark.pedantic(
+        lambda: kernel.gram(ds.graphs), rounds=2, iterations=1, warmup_rounds=0
+    )
+
+
+def test_deepmap_encoding_cost(benchmark):
+    """Algorithm 1 lines 8-20: tensor construction cost."""
+    from repro.core import DeepMapEncoder
+    from repro.features import WLVertexFeatures, extract_vertex_feature_matrices
+
+    ds = bench_dataset("PTC_MR")
+    matrices, _ = extract_vertex_feature_matrices(ds.graphs, WLVertexFeatures(h=2))
+    encoder = DeepMapEncoder(r=5).fit(ds.graphs)
+    benchmark.pedantic(
+        lambda: encoder.encode(ds.graphs, matrices),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )

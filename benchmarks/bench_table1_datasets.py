@@ -1,0 +1,36 @@
+"""Table 1: statistics of the benchmark datasets.
+
+Regenerates every dataset and prints its statistics next to the paper's
+Table 1 row.  Graph counts are scaled by the bench config; vertex counts
+for SYNTHIE and COLLAB are intentionally shrunk (see DESIGN.md).
+"""
+
+from benchmarks._common import CONFIG, bench_dataset, once, print_header, print_table
+from repro.datasets import DATASET_NAMES, paper_statistics
+
+
+def _generate_all():
+    rows = []
+    for name in DATASET_NAMES:
+        ds = bench_dataset(name)
+        s = ds.statistics()
+        p = paper_statistics(name)
+        rows.append(
+            [
+                name,
+                f"{s.size} / {p.size}",
+                f"{s.num_classes}",
+                f"{s.avg_nodes:.1f} / {p.avg_nodes:.1f}",
+                f"{s.avg_edges:.1f} / {p.avg_edges:.1f}",
+                f"{s.num_labels} / {p.num_labels or 'N/A'}",
+            ]
+        )
+    return rows
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = once(benchmark, _generate_all)
+    print_header("Table 1 — dataset statistics (ours / paper)")
+    print_table(
+        ["dataset", "graphs", "cls", "avg nodes", "avg edges", "labels"], rows
+    )

@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration: make the repo root importable so the
+``benchmarks._common`` helpers resolve when pytest is invoked from any
+directory."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Extending DeepMap with custom substructures.
+
+The paper: "DeepMap can be built on the vertex feature maps of any
+substructures."  This example shows the extension API end to end:
+
+1. write a new :class:`VertexFeatureExtractor` (here: triangle
+   participation counts — a 10-line extractor);
+2. plug it into DeepMap unchanged;
+3. compare with the library's built-in substructure families (WL
+   subtrees, shortest paths, Tree++ path patterns, labeled walks) on one
+   dataset.
+
+Run:  python examples/custom_substructures.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import make_dataset
+from repro.core import DeepMapClassifier
+from repro.eval import evaluate_neural_model
+from repro.features import (
+    LabeledWalkVertexFeatures,
+    PathPatternVertexFeatures,
+    ShortestPathVertexFeatures,
+    VertexFeatureExtractor,
+    WLVertexFeatures,
+)
+
+
+class TriangleVertexFeatures(VertexFeatureExtractor):
+    """Counts, per vertex, the labeled triangles it participates in.
+
+    Feature key: ("tri", sorted labels of the triangle).  A miniature
+    graphlet feature restricted to k = 3 cliques — written from scratch
+    to demonstrate the extractor protocol.
+    """
+
+    name = "triangles"
+
+    def extract(self, graphs):
+        out = []
+        for g in graphs:
+            per_vertex = [Counter() for _ in range(g.n)]
+            for u, v in g.edges:
+                # common neighbors of u and v close triangles
+                common = set(g.neighbors(int(u))) & set(g.neighbors(int(v)))
+                for w in common:
+                    if w > v:  # count each triangle once
+                        key = ("tri", tuple(sorted(
+                            (g.label(int(u)), g.label(int(v)), g.label(int(w)))
+                        )))
+                        for vertex in (int(u), int(v), int(w)):
+                            per_vertex[vertex][key] += 1
+            out.append(per_vertex)
+        return out
+
+
+def main() -> None:
+    dataset = make_dataset("IMDB-BINARY", scale=0.06, seed=0)
+    print(f"dataset: {dataset.name} with {len(dataset)} graphs\n")
+
+    extractors = {
+        "triangles (custom)": TriangleVertexFeatures(),
+        "wl subtrees": WLVertexFeatures(h=2),
+        "shortest paths": ShortestPathVertexFeatures(),
+        "tree++ paths": PathPatternVertexFeatures(depth=2),
+        "labeled walks": LabeledWalkVertexFeatures(length=2),
+    }
+    print(f"{'substructure':<22s} accuracy (3-fold)")
+    for name, extractor in extractors.items():
+        result = evaluate_neural_model(
+            lambda fold, e=extractor: DeepMapClassifier(
+                e, r=4, epochs=10, max_features=512, seed=fold
+            ),
+            dataset,
+            n_splits=3,
+            seed=0,
+            name=name,
+        )
+        print(f"{name:<22s} {result.formatted()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Explaining DeepMap predictions: which vertices drive the decision?
+
+Because DeepMap's readout is a sum of deep vertex feature maps, a graph's
+prediction decomposes over its vertices.  This example trains on a
+molecule dataset where the class signal is a labeled ring motif, then
+uses both attribution methods in :mod:`repro.core.interpret`:
+
+* linear vertex contributions (fast, first-order), and
+* occlusion scores (exact, n forward passes),
+
+and checks that the highlighted vertices are disproportionately the ring
+vertices (the 2-core) — i.e. the model looks where the signal is.
+
+Run:  python examples/explain_predictions.py
+"""
+
+import numpy as np
+
+from repro import deepmap_wl
+from repro.core import occlusion_scores, vertex_contributions
+from repro.datasets import MoleculeGenerator, molecule_dataset
+
+
+def two_core(g) -> np.ndarray:
+    """Boolean mask of vertices surviving iterated leaf-stripping."""
+    alive = np.ones(g.n, dtype=bool)
+    degrees = g.degrees().copy()
+    changed = True
+    while changed:
+        changed = False
+        for v in range(g.n):
+            if alive[v] and degrees[v] <= 1:
+                alive[v] = False
+                changed = True
+                for u in g.neighbors(v):
+                    if alive[u]:
+                        degrees[u] -= 1
+    return alive
+
+
+def main() -> None:
+    gen = MoleculeGenerator(
+        avg_nodes=16, num_labels=6, ring_rate=0.2, motif_strength=0.9
+    )
+    graphs, y = molecule_dataset(gen, 50, seed=0)
+    model = deepmap_wl(h=2, r=4, epochs=25, seed=0)
+    model.fit(graphs[:40], y[:40])
+    acc = model.score(graphs[40:], y[40:])
+    print(f"trained DeepMap-WL, held-out accuracy {acc:.2f}\n")
+
+    hits_lin, hits_occ, ring_rates = [], [], []
+    for g in graphs[40:]:
+        ring = two_core(g)
+        if not ring.any() or ring.all():
+            continue
+        lin = vertex_contributions(model, g)
+        occ = occlusion_scores(model, g)
+        top_lin = np.argsort(-np.abs(lin))[: max(3, int(ring.sum()))]
+        top_occ = np.argsort(-np.abs(occ))[: max(3, int(ring.sum()))]
+        hits_lin.append(ring[top_lin].mean())
+        hits_occ.append(ring[top_occ].mean())
+        ring_rates.append(ring.mean())
+
+    print(f"fraction of top-attributed vertices on rings (base rate "
+          f"{np.mean(ring_rates):.2f}):")
+    print(f"  linear contributions: {np.mean(hits_lin):.2f}")
+    print(f"  occlusion scores:     {np.mean(hits_occ):.2f}")
+
+    g = graphs[40]
+    lin = vertex_contributions(model, g)
+    print(f"\nexample graph ({g.n} vertices), per-vertex contribution:")
+    ring = two_core(g)
+    for v in np.argsort(-np.abs(lin))[:6]:
+        tag = "ring" if ring[v] else "tree"
+        print(f"  vertex {v:2d} ({tag}, label {g.label(int(v))}): {lin[v]:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Using DeepMap's learned representations as graph embeddings.
+
+The paper notes the deep feature map is "a dense and low-dimensional
+vector" usable beyond the built-in classifier.  This example trains
+DeepMap on a brain-network dataset, extracts the 8-d embeddings, and
+shows that (a) nearest neighbors in embedding space share class labels
+far more often than chance, and (b) the embeddings separate classes
+linearly (a ridge classifier on frozen embeddings).
+
+Run:  python examples/graph_embeddings.py
+"""
+
+import numpy as np
+
+from repro import deepmap_wl, make_dataset
+from repro.eval import train_test_split
+
+
+def neighbor_purity(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of points whose nearest neighbor shares their label."""
+    dists = np.linalg.norm(embeddings[:, None] - embeddings[None, :], axis=-1)
+    np.fill_diagonal(dists, np.inf)
+    nearest = dists.argmin(axis=1)
+    return float(np.mean(labels[nearest] == labels))
+
+
+def linear_probe(train_x, train_y, test_x, test_y) -> float:
+    """Ridge-regression one-vs-rest probe on frozen embeddings."""
+    classes = np.unique(train_y)
+    targets = (train_y[:, None] == classes[None, :]).astype(float)
+    x = np.hstack([train_x, np.ones((len(train_x), 1))])
+    w = np.linalg.lstsq(x.T @ x + 1e-3 * np.eye(x.shape[1]), x.T @ targets,
+                        rcond=None)[0]
+    xt = np.hstack([test_x, np.ones((len(test_x), 1))])
+    preds = classes[np.argmax(xt @ w, axis=1)]
+    return float(np.mean(preds == test_y))
+
+
+def main() -> None:
+    dataset = make_dataset("KKI", scale=0.6, seed=0)
+    print(f"dataset: {dataset.name} with {len(dataset)} brain networks")
+
+    train_idx, test_idx = train_test_split(dataset.y, 0.25, seed=0)
+    model = deepmap_wl(h=2, r=4, epochs=25, seed=0)
+    model.fit([dataset.graphs[i] for i in train_idx], dataset.y[train_idx])
+
+    train_emb = model.transform([dataset.graphs[i] for i in train_idx])
+    test_emb = model.transform([dataset.graphs[i] for i in test_idx])
+    print(f"embedding dimension: {train_emb.shape[1]}")
+
+    purity = neighbor_purity(train_emb, dataset.y[train_idx])
+    chance = float(np.mean(dataset.y[train_idx] ==
+                           np.roll(dataset.y[train_idx], 1)))
+    print(f"nearest-neighbor label purity: {purity:.3f} (chance ~{chance:.3f})")
+
+    probe_acc = linear_probe(
+        train_emb, dataset.y[train_idx], test_emb, dataset.y[test_idx]
+    )
+    end_to_end = model.score([dataset.graphs[i] for i in test_idx],
+                             dataset.y[test_idx])
+    print(f"linear probe on frozen embeddings: {probe_acc:.3f}")
+    print(f"end-to-end DeepMap classifier:     {end_to_end:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Molecule activity classification: DeepMap vs its base graph kernels.
+
+The paper's motivating bioinformatics scenario: predict whether a
+chemical compound is active (NCI1-style anti-cancer screening).  This
+example reproduces the paper's central comparison on one dataset — each
+DeepMap variant against the R-convolution kernel whose vertex feature
+maps it consumes (Table 2's layout).
+
+Run:  python examples/molecule_classification.py
+"""
+
+from repro import make_dataset
+from repro.core import deepmap_sp, deepmap_wl
+from repro.eval import evaluate_kernel_svm, evaluate_neural_model
+from repro.kernels import ShortestPathKernel, WeisfeilerLehmanKernel
+
+FOLDS = 3
+EPOCHS = 15
+
+
+def main() -> None:
+    dataset = make_dataset("NCI1", scale=0.03, seed=0)
+    print(f"dataset: {dataset.name} with {len(dataset)} molecules "
+          f"({dataset.statistics().num_labels} atom types)\n")
+
+    pairs = [
+        ("SP ", evaluate_kernel_svm(ShortestPathKernel(), dataset, FOLDS, seed=0)),
+        ("DeepMap-SP", evaluate_neural_model(
+            lambda fold: deepmap_sp(r=5, epochs=EPOCHS, seed=fold),
+            dataset, FOLDS, seed=0, name="deepmap-sp")),
+        ("WL ", evaluate_kernel_svm(WeisfeilerLehmanKernel(3), dataset, FOLDS, seed=0)),
+        ("DeepMap-WL", evaluate_neural_model(
+            lambda fold: deepmap_wl(h=3, r=5, epochs=EPOCHS, seed=fold),
+            dataset, FOLDS, seed=0, name="deepmap-wl")),
+    ]
+    print(f"{'model':<12s} accuracy (mean +- std over {FOLDS} folds)")
+    for name, result in pairs:
+        print(f"{name:<12s} {result.formatted()}")
+
+    print("\nNote: the deep map models should match or beat their base "
+          "kernels — the paper's Table 2 shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: train DeepMap on a small benchmark and inspect its pieces.
+
+Walks through the full pipeline of the paper:
+
+1. build a graph dataset;
+2. look at vertex alignment (eigenvector centrality ordering) and BFS
+   receptive fields — the Fig. 3 machinery — on one concrete graph;
+3. train DeepMap-WL and evaluate on a held-out split;
+4. extract the learned deep graph feature maps (dense 8-d embeddings).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import deepmap_wl, make_dataset
+from repro.core import centrality_scores, receptive_field, vertex_sequence
+from repro.eval import train_test_split
+
+
+def show_alignment(graph) -> None:
+    """Print the Fig. 3 ingredients for one graph."""
+    scores = centrality_scores(graph)
+    sequence = vertex_sequence(graph, scores)
+    print(f"  graph: {graph}")
+    print("  eigenvector centrality:",
+          np.array2string(scores, precision=3, suppress_small=True))
+    print("  vertex sequence (desc. centrality):", sequence.tolist())
+    for v in sequence[:3]:
+        field = receptive_field(graph, int(v), r=4, scores=scores)
+        print(f"  receptive field of vertex {v}: {field.tolist()}  (-1 = dummy)")
+
+
+def main() -> None:
+    print("=== 1. dataset ===")
+    dataset = make_dataset("PTC_MR", scale=0.2, seed=0)
+    stats = dataset.statistics()
+    print(f"{stats.name}: {stats.size} graphs, {stats.num_classes} classes, "
+          f"avg {stats.avg_nodes:.1f} vertices / {stats.avg_edges:.1f} edges")
+
+    print("\n=== 2. vertex alignment + receptive fields (Fig. 3) ===")
+    show_alignment(dataset.graphs[0])
+
+    print("\n=== 3. train DeepMap-WL ===")
+    train_idx, test_idx = train_test_split(dataset.y, test_fraction=0.2, seed=0)
+    train_graphs = [dataset.graphs[i] for i in train_idx]
+    test_graphs = [dataset.graphs[i] for i in test_idx]
+
+    model = deepmap_wl(h=3, r=5, epochs=30, seed=0)
+    model.fit(train_graphs, dataset.y[train_idx])
+    accuracy = model.score(test_graphs, dataset.y[test_idx])
+    print(f"held-out accuracy: {accuracy:.3f} "
+          f"(final train accuracy {model.history_.train_accuracy[-1]:.3f})")
+
+    print("\n=== 4. deep graph feature maps ===")
+    embeddings = model.transform(test_graphs[:5])
+    print(f"embedding shape: {embeddings.shape} (dense, low-dimensional)")
+    print(np.array2string(embeddings, precision=2, suppress_small=True))
+
+
+if __name__ == "__main__":
+    main()

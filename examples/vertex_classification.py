@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Vertex-level learning with vertex feature maps (Section 7).
+
+The paper's conclusion suggests the per-vertex representations can serve
+for vertex classification.  This example probes two representations on a
+vertex task (predicting whether a vertex is a hub, degree >= 3) with a
+linear probe:
+
+1. the *vertex feature maps* themselves (Definition 3, WL subtrees) —
+   rich local-structure descriptors;
+2. the *deep vertex feature maps* from a DeepMap model trained on the
+   graph-level task (``transform_vertices``).
+
+Expected outcome: the raw vertex feature maps solve the structural
+vertex task easily, while the deep 8-channel embeddings are *task-
+specialised* — the graph-level training objective keeps what separates
+the graph classes and discards generic structure.  Both behaviours are
+useful: raw maps for generic vertex tasks, deep maps for explaining the
+graph decision (they satisfy phi(G) = sum_v phi_deep(v)).
+
+Run:  python examples/vertex_classification.py
+"""
+
+import numpy as np
+
+from repro import deepmap_wl
+from repro.datasets import MoleculeGenerator, molecule_dataset
+from repro.features import WLVertexFeatures, extract_vertex_feature_matrices
+
+
+def linear_probe(train_x, train_y, test_x, test_y) -> float:
+    """Ridge regression probe with a bias column."""
+    mu, sd = train_x.mean(0), train_x.std(0) + 1e-9
+    train_x = (train_x - mu) / sd
+    test_x = (test_x - mu) / sd
+    x = np.hstack([train_x, np.ones((len(train_x), 1))])
+    w = np.linalg.lstsq(
+        x.T @ x + 1e-2 * np.eye(x.shape[1]),
+        x.T @ (2.0 * train_y - 1.0),
+        rcond=None,
+    )[0]
+    xt = np.hstack([test_x, np.ones((len(test_x), 1))])
+    return float(np.mean((xt @ w > 0).astype(int) == test_y))
+
+
+def main() -> None:
+    gen = MoleculeGenerator(avg_nodes=18, num_labels=8, ring_rate=1.2)
+    graphs, y = molecule_dataset(gen, 60, seed=0)
+    split = 45
+    print(f"{len(graphs)} molecules; vertex task: hub prediction (degree >= 3)")
+
+    targets = [(g.degrees() >= 3).astype(int) for g in graphs]
+    train_t = np.concatenate(targets[:split])
+    test_t = np.concatenate(targets[split:])
+    majority = max(test_t.mean(), 1 - test_t.mean())
+
+    # 1. raw vertex feature maps (Definition 3)
+    matrices, vocab = extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=1))
+    raw_acc = linear_probe(
+        np.vstack(matrices[:split]), train_t, np.vstack(matrices[split:]), test_t
+    )
+    print(f"\nraw WL vertex feature maps ({vocab.size}-d): "
+          f"probe accuracy {raw_acc:.3f} (majority {majority:.3f})")
+
+    # 2. deep vertex feature maps from a graph-level model
+    model = deepmap_wl(h=1, r=4, epochs=20, seed=0)
+    model.fit(graphs[:split], y[:split])
+    deep_train = np.vstack(model.transform_vertices(graphs[:split]))
+    deep_test = np.vstack(model.transform_vertices(graphs[split:]))
+    deep_acc = linear_probe(deep_train, train_t, deep_test, test_t)
+    print(f"deep vertex feature maps (8-d, graph-task-trained): "
+          f"probe accuracy {deep_acc:.3f}")
+    print("\nThe deep channels specialise to the graph-level classes; the "
+          "raw maps retain generic structure. Deep vertex maps still "
+          "explain the graph decision: sum_v phi_deep(v) == phi_deep(G).")
+
+    graph_emb = model.transform(graphs[:3])
+    vertex_emb = model.transform_vertices(graphs[:3])
+    consistent = all(
+        np.allclose(ve.sum(axis=0), ge) for ve, ge in zip(vertex_emb, graph_emb)
+    )
+    print(f"decomposition identity holds: {consistent}")
+
+
+if __name__ == "__main__":
+    main()

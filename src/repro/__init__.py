@@ -1,0 +1,47 @@
+"""repro — a from-scratch reproduction of DeepMap.
+
+"Learning Deep Graph Representations via Convolutional Neural Networks"
+(Ye, Askarisichani, Jones, Singh): CNNs on graph-kernel vertex feature
+maps, with eigenvector-centrality vertex alignment and BFS receptive
+fields.
+
+Public API highlights:
+
+* :class:`repro.Graph` — the graph type.
+* :func:`repro.deepmap_wl` / ``deepmap_sp`` / ``deepmap_gk`` — the three
+  DeepMap variants as fit/predict estimators.
+* :mod:`repro.kernels` — GK, SP, WL, random-walk, RetGK, DGK, GNTK.
+* :mod:`repro.baselines` — GIN, DGCNN, DCNN, PATCHY-SAN.
+* :func:`repro.make_dataset` — the 15 synthetic benchmark datasets.
+* :mod:`repro.eval` — the paper's 10-fold CV protocols.
+"""
+
+from repro.core import (
+    DeepMapClassifier,
+    DeepMapEncoder,
+    build_deepmap_cnn,
+    deepmap_gk,
+    deepmap_sp,
+    deepmap_wl,
+)
+from repro.datasets import DATASET_NAMES, GraphDataset, make_dataset
+from repro.eval import evaluate_kernel_svm, evaluate_neural_model
+from repro.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "DeepMapClassifier",
+    "DeepMapEncoder",
+    "build_deepmap_cnn",
+    "deepmap_gk",
+    "deepmap_sp",
+    "deepmap_wl",
+    "GraphDataset",
+    "make_dataset",
+    "DATASET_NAMES",
+    "evaluate_kernel_svm",
+    "evaluate_neural_model",
+    "__version__",
+]

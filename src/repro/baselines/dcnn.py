@@ -1,0 +1,116 @@
+"""DCNN — Diffusion-Convolutional Neural Network (Atwood & Towsley 2016).
+
+For graph classification DCNN computes, per graph, the diffusion tensor
+``[mean_v (P^j X)_v for j = 1..H]`` (``P`` the random-walk transition
+matrix), multiplies it elementwise with learned weights, applies tanh and
+classifies with a dense layer.  The diffusion tensor is input data (it has
+no parameters), so it is precomputed in ``_prepare``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import GNNBaseline
+from repro.graph.graph import Graph
+from repro.nn.activations import Tanh
+from repro.nn.dense import Dense
+from repro.nn.module import Network, Parameter
+from repro.nn.pooling import Flatten
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["DCNNClassifier", "DCNNNetwork", "diffusion_features"]
+
+
+def diffusion_features(g: Graph, x: np.ndarray, hops: int) -> np.ndarray:
+    """``(hops, d)`` mean diffusion features of graph ``g``.
+
+    Row ``j`` is the vertex-mean of ``P^{j+1} X`` where ``P`` is the
+    row-normalised adjacency (random-walk transition matrix).
+    """
+    check_positive("hops", hops)
+    if g.n == 0:
+        return np.zeros((hops, x.shape[1]))
+    a = g.adjacency_matrix()
+    deg = a.sum(axis=1)
+    deg[deg == 0] = 1.0
+    p = a / deg[:, None]
+    out = np.empty((hops, x.shape[1]), dtype=np.float64)
+    cur = x
+    for j in range(hops):
+        cur = p @ cur
+        out[j] = cur.mean(axis=0)
+    return out
+
+
+class DCNNNetwork(Network):
+    """Elementwise diffusion weights + tanh + dense classifier."""
+
+    def __init__(
+        self,
+        hops: int,
+        in_dim: int,
+        num_classes: int,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        rng = as_rng(rng)
+        self.weight = Parameter(
+            rng.normal(0.0, 1.0, size=(hops, in_dim)), name="dcnn.weight"
+        )
+        self.act = Tanh()
+        self.flatten = Flatten()
+        self.classifier = Dense(hops * in_dim, num_classes, rng=rng)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x, training: bool = False) -> np.ndarray:
+        if isinstance(x, tuple):
+            (x,) = x
+        self._x = x  # (B, hops, d)
+        z = self.act.forward(x * self.weight.value[None], training)
+        z = self.flatten.forward(z, training)
+        return self.classifier.forward(z, training)
+
+    def backward(self, grad: np.ndarray) -> None:
+        assert self._x is not None
+        grad = self.classifier.backward(grad)
+        grad = self.flatten.backward(grad)
+        grad = self.act.backward(grad)
+        self.weight.grad += (grad * self._x).sum(axis=0)
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight] + self.classifier.parameters()
+
+
+class DCNNClassifier(GNNBaseline):
+    """DCNN estimator with ``hops`` diffusion steps (original paper: 2-5)."""
+
+    name = "dcnn"
+
+    def __init__(
+        self,
+        features="onehot",
+        hops: int = 3,
+        epochs: int = 50,
+        batch_size: int = 32,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(features=features, epochs=epochs, batch_size=batch_size, seed=seed)
+        check_positive("hops", hops)
+        self.hops = hops
+        self._dim: int | None = None
+
+    def _prepare(self, graphs: list[Graph], fit: bool):
+        matrices = self._featurize(graphs, fit)
+        if fit:
+            self._dim = matrices[0].shape[1]
+        tensor = np.stack(
+            [diffusion_features(g, x, self.hops) for g, x in zip(graphs, matrices)]
+        )
+        return tensor
+
+    def _build(self, num_classes: int, rng: np.random.Generator):
+        assert self._dim is not None
+        return DCNNNetwork(
+            hops=self.hops, in_dim=self._dim, num_classes=num_classes, rng=rng
+        )

@@ -1,0 +1,206 @@
+"""DGCNN — Deep Graph CNN with SortPooling (Zhang et al., AAAI 2018).
+
+Stacked graph convolutions ``Z_t = tanh(D^-1 (A + I) Z_{t-1} W_t)`` whose
+channel-wise concatenation feeds the *SortPooling* layer: vertices are
+sorted by their last convolution channel (a WL-color-like continuous
+signature) and the top ``k`` rows are kept, giving a fixed-size tensor a
+conventional 1-D CNN + dense head can classify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import GNNBaseline, normalized_adjacency, pad_graph_batch
+from repro.graph.graph import Graph
+from repro.nn.activations import ReLU, Tanh
+from repro.nn.conv1d import Conv1D
+from repro.nn.dense import Dense
+from repro.nn.dropout import Dropout
+from repro.nn.module import Network, Parameter
+from repro.nn.pooling import Flatten
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["DGCNNClassifier", "DGCNNNetwork", "SortPooling"]
+
+
+class SortPooling:
+    """Keep the top-``k`` vertices sorted by the last feature channel.
+
+    Padded vertices sort last (their channel value is forced below any
+    real vertex).  Backward scatters gradients to the selected rows.
+    """
+
+    def __init__(self, k: int) -> None:
+        check_positive("k", k)
+        self.k = k
+        self._src: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+
+    def forward(self, z: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        b, w, c = z.shape
+        key = z[:, :, -1].copy()
+        # Push padding to the bottom regardless of its channel value.
+        key = np.where(mask > 0, key, -np.inf)
+        order = np.argsort(-key, axis=1, kind="stable")  # descending
+        take = order[:, : self.k]
+        rows = np.arange(b)[:, None]
+        out = z[rows, take]
+        # Zero rows that were padding (possible when fewer than k real).
+        selected_mask = mask[rows, take]
+        out = out * selected_mask[:, :, None]
+        self._src = take
+        self._sel_mask = selected_mask
+        self._in_shape = z.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._src is not None and self._in_shape is not None
+        dz = np.zeros(self._in_shape, dtype=np.float64)
+        rows = np.arange(grad.shape[0])[:, None]
+        np.add.at(dz, (rows, self._src), grad * self._sel_mask[:, :, None])
+        return dz
+
+
+class _GraphConv:
+    """One DGCNN conv: ``Z' = tanh(P Z W)`` with row-normalised ``P``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        self.fc = Dense(in_dim, out_dim, use_bias=False, rng=rng)
+        self.act = Tanh()
+        self._p: np.ndarray | None = None
+
+    def forward(self, h: np.ndarray, p: np.ndarray, training: bool) -> np.ndarray:
+        self._p = p
+        z = self.fc.forward(h, training)
+        z = p @ z
+        return self.act.forward(z, training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._p is not None
+        grad = self.act.backward(grad)
+        grad = np.swapaxes(self._p, 1, 2) @ grad
+        return self.fc.backward(grad)
+
+    def parameters(self) -> list[Parameter]:
+        return self.fc.parameters()
+
+
+class DGCNNNetwork(Network):
+    """Graph conv stack -> SortPooling -> 1-D conv -> dense head."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        num_classes: int,
+        conv_channels: tuple[int, ...] = (32, 32, 1),
+        sort_k: int = 16,
+        head_channels: int = 16,
+        dense_units: int = 128,
+        dropout: float = 0.5,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        rng = as_rng(rng)
+        dims = [in_dim] + list(conv_channels)
+        self.convs = [
+            _GraphConv(dims[i], dims[i + 1], rng) for i in range(len(conv_channels))
+        ]
+        total = sum(conv_channels)
+        self.sort_pool = SortPooling(sort_k)
+        self.conv1d = Conv1D(total, head_channels, kernel_size=1, rng=rng)
+        self.act = ReLU()
+        self.flatten = Flatten()
+        self.fc1 = Dense(sort_k * head_channels, dense_units, rng=rng)
+        self.act2 = ReLU()
+        self.dropout = Dropout(dropout, rng=rng)
+        self.fc2 = Dense(dense_units, num_classes, rng=rng)
+        self._channels = list(conv_channels)
+
+    def forward(self, x, training: bool = False) -> np.ndarray:
+        feats, adjacency, mask = x
+        p = normalized_adjacency(adjacency)
+        h = feats
+        zs = []
+        for conv in self.convs:
+            h = conv.forward(h, p, training)
+            zs.append(h)
+        z = np.concatenate(zs, axis=2)
+        z = self.sort_pool.forward(z, mask)
+        z = self.act.forward(self.conv1d.forward(z, training), training)
+        z = self.flatten.forward(z, training)
+        z = self.act2.forward(self.fc1.forward(z, training), training)
+        z = self.dropout.forward(z, training)
+        return self.fc2.forward(z, training)
+
+    def backward(self, grad: np.ndarray) -> None:
+        grad = self.fc2.backward(grad)
+        grad = self.dropout.backward(grad)
+        grad = self.fc1.backward(self.act2.backward(grad))
+        grad = self.flatten.backward(grad)
+        grad = self.conv1d.backward(self.act.backward(grad))
+        grad = self.sort_pool.backward(grad)
+        splits = np.cumsum(self._channels)[:-1]
+        grads = np.split(grad, splits, axis=2)
+        dh = None
+        for conv, g in zip(reversed(self.convs), reversed(grads)):
+            total = g if dh is None else g + dh
+            dh = conv.backward(total)
+
+    def parameters(self) -> list[Parameter]:
+        params = [p for conv in self.convs for p in conv.parameters()]
+        return (
+            params
+            + self.conv1d.parameters()
+            + self.fc1.parameters()
+            + self.fc2.parameters()
+        )
+
+
+class DGCNNClassifier(GNNBaseline):
+    """DGCNN estimator.
+
+    ``sort_k`` defaults to None = the 60th percentile of training graph
+    sizes, as the original paper recommends.
+    """
+
+    name = "dgcnn"
+
+    def __init__(
+        self,
+        features="onehot",
+        conv_channels: tuple[int, ...] = (32, 32, 1),
+        sort_k: int | None = None,
+        epochs: int = 50,
+        batch_size: int = 32,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(features=features, epochs=epochs, batch_size=batch_size, seed=seed)
+        self.conv_channels = conv_channels
+        self.sort_k = sort_k
+        self._w: int | None = None
+        self._dim: int | None = None
+        self._k: int | None = None
+
+    def _prepare(self, graphs: list[Graph], fit: bool):
+        matrices = self._featurize(graphs, fit)
+        if fit:
+            self._w = max(g.n for g in graphs)
+            self._dim = matrices[0].shape[1]
+            if self.sort_k is not None:
+                self._k = self.sort_k
+            else:
+                sizes = sorted(g.n for g in graphs)
+                self._k = max(2, sizes[int(0.6 * (len(sizes) - 1))])
+        batch = pad_graph_batch(graphs, matrices, w=self._w)
+        return batch.as_inputs()
+
+    def _build(self, num_classes: int, rng: np.random.Generator):
+        assert self._dim is not None and self._k is not None
+        return DGCNNNetwork(
+            in_dim=self._dim,
+            num_classes=num_classes,
+            conv_channels=self.conv_channels,
+            sort_k=self._k,
+            rng=rng,
+        )

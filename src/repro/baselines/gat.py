@@ -1,0 +1,222 @@
+"""GAT — Graph Attention Network (Velickovic et al., ICLR 2018).
+
+Section 2.2 of the paper discusses GAT as the self-attention GNN that
+"specifies different weights to different vertices in a neighborhood".
+For graph classification we stack masked multi-head attention layers and
+read out with a masked mean, as with the GCN adaptation.
+
+Each head computes
+
+    e_ij   = LeakyReLU(a_src . (W h_i) + a_dst . (W h_j))
+    alpha  = softmax_j(e_ij)  over j in N(i) + {i}
+    h'_i   = sum_j alpha_ij (W h_j)
+
+with the softmax masked to existing edges (padding rows attend only to
+themselves, keeping them inert).  The backward pass is derived by hand
+and verified against finite differences in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import GNNBaseline, pad_graph_batch
+from repro.graph.graph import Graph
+from repro.nn.dense import Dense
+from repro.nn.dropout import Dropout
+from repro.nn.initializers import glorot_uniform
+from repro.nn.module import Network, Parameter
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["GATClassifier", "GATNetwork"]
+
+_LEAKY_SLOPE = 0.2
+
+
+class _AttentionHead:
+    """One attention head with exact backward."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        self.weight = Parameter(
+            glorot_uniform((in_dim, out_dim), in_dim, out_dim, rng), name="gat.W"
+        )
+        self.a_src = Parameter(
+            glorot_uniform((out_dim,), out_dim, 1, rng), name="gat.a_src"
+        )
+        self.a_dst = Parameter(
+            glorot_uniform((out_dim,), out_dim, 1, rng), name="gat.a_dst"
+        )
+        self._cache: tuple | None = None
+
+    def forward(self, h: np.ndarray, attend: np.ndarray) -> np.ndarray:
+        """``attend``: (B, w, w) 0/1 — who may attend to whom (incl self)."""
+        z = h @ self.weight.value  # (B, w, F')
+        s_src = z @ self.a_src.value  # (B, w)
+        s_dst = z @ self.a_dst.value  # (B, w)
+        e = s_src[:, :, None] + s_dst[:, None, :]
+        leaky_mask = e > 0
+        e = np.where(leaky_mask, e, _LEAKY_SLOPE * e)
+        e = np.where(attend > 0, e, -1e30)
+        e -= e.max(axis=2, keepdims=True)
+        exp = np.exp(e) * (attend > 0)
+        denom = np.maximum(exp.sum(axis=2, keepdims=True), 1e-30)
+        alpha = exp / denom  # (B, w, w)
+        out = alpha @ z
+        self._cache = (h, z, alpha, leaky_mask, attend)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        h, z, alpha, leaky_mask, attend = self._cache
+        # out = alpha @ z
+        dalpha = grad @ np.swapaxes(z, 1, 2)  # (B, w, w)
+        dz = np.swapaxes(alpha, 1, 2) @ grad  # (B, w, F')
+        # softmax over axis 2
+        de = alpha * (dalpha - (dalpha * alpha).sum(axis=2, keepdims=True))
+        # masked entries have alpha == 0, so de is already zero there
+        de = np.where(leaky_mask, de, _LEAKY_SLOPE * de)
+        ds_src = de.sum(axis=2)  # (B, w)
+        ds_dst = de.sum(axis=1)  # (B, w)
+        # s_src = z @ a_src, s_dst = z @ a_dst
+        self.a_src.grad += np.einsum("bw,bwf->f", ds_src, z)
+        self.a_dst.grad += np.einsum("bw,bwf->f", ds_dst, z)
+        dz += ds_src[:, :, None] * self.a_src.value[None, None, :]
+        dz += ds_dst[:, :, None] * self.a_dst.value[None, None, :]
+        # z = h @ W
+        h2 = h.reshape(-1, h.shape[-1])
+        dz2 = dz.reshape(-1, dz.shape[-1])
+        self.weight.grad += h2.T @ dz2
+        return dz @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.a_src, self.a_dst]
+
+
+class _GATLayer:
+    """Multi-head attention with ELU activation and head concatenation."""
+
+    def __init__(
+        self, in_dim: int, out_dim: int, heads: int, rng: np.random.Generator
+    ) -> None:
+        self.heads = [_AttentionHead(in_dim, out_dim, rng) for _ in range(heads)]
+        self._elu_cache: np.ndarray | None = None
+
+    @property
+    def out_dim(self) -> int:
+        return len(self.heads) * self.heads[0].weight.value.shape[1]
+
+    def forward(self, h: np.ndarray, attend: np.ndarray) -> np.ndarray:
+        out = np.concatenate([head.forward(h, attend) for head in self.heads], axis=2)
+        self._elu_cache = out
+        return np.where(out > 0, out, np.exp(np.minimum(out, 0.0)) - 1.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._elu_cache is not None
+        pre = self._elu_cache
+        grad = np.where(pre > 0, grad, grad * np.exp(np.minimum(pre, 0.0)))
+        splits = np.split(grad, len(self.heads), axis=2)
+        dh = None
+        for head, g in zip(self.heads, splits):
+            part = head.backward(g)
+            dh = part if dh is None else dh + part
+        return dh
+
+    def parameters(self) -> list[Parameter]:
+        return [p for head in self.heads for p in head.parameters()]
+
+
+class GATNetwork(Network):
+    """GAT layer stack + masked mean readout + dense classifier."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: int,
+        num_layers: int,
+        num_classes: int,
+        heads: int = 2,
+        dropout: float = 0.5,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        check_positive("hidden", hidden)
+        check_positive("num_layers", num_layers)
+        check_positive("heads", heads)
+        rng = as_rng(rng)
+        self.layers: list[_GATLayer] = []
+        dim = in_dim
+        for _ in range(num_layers):
+            layer = _GATLayer(dim, hidden, heads, rng)
+            self.layers.append(layer)
+            dim = layer.out_dim
+        self.dropout = Dropout(dropout, rng=rng)
+        self.classifier = Dense(dim, num_classes, rng=rng)
+        self._mask: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+
+    def forward(self, x, training: bool = False) -> np.ndarray:
+        feats, adjacency, mask = x
+        attend = adjacency.copy()
+        idx = np.arange(attend.shape[1])
+        attend[:, idx, idx] = 1.0  # self-attention keeps isolated rows sane
+        h = feats
+        for layer in self.layers:
+            h = layer.forward(h, attend)
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        readout = (h * mask[:, :, None]).sum(axis=1) / counts
+        self._mask, self._counts = mask, counts
+        readout = self.dropout.forward(readout, training)
+        return self.classifier.forward(readout, training)
+
+    def backward(self, grad: np.ndarray) -> None:
+        assert self._mask is not None and self._counts is not None
+        grad = self.dropout.backward(self.classifier.backward(grad))
+        dh = grad[:, None, :] * self._mask[:, :, None] / self._counts[:, :, None]
+        for layer in reversed(self.layers):
+            dh = layer.backward(dh)
+
+    def parameters(self) -> list[Parameter]:
+        params = [p for layer in self.layers for p in layer.parameters()]
+        return params + self.classifier.parameters()
+
+
+class GATClassifier(GNNBaseline):
+    """GAT graph-classification estimator."""
+
+    name = "gat"
+
+    def __init__(
+        self,
+        features="onehot",
+        hidden: int = 16,
+        num_layers: int = 2,
+        heads: int = 2,
+        epochs: int = 50,
+        batch_size: int = 32,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(features=features, epochs=epochs, batch_size=batch_size, seed=seed)
+        self.hidden = hidden
+        self.num_layers = num_layers
+        self.heads = heads
+        self._w: int | None = None
+        self._dim: int | None = None
+
+    def _prepare(self, graphs: list[Graph], fit: bool):
+        matrices = self._featurize(graphs, fit)
+        if fit:
+            self._w = max(g.n for g in graphs)
+            self._dim = matrices[0].shape[1]
+        batch = pad_graph_batch(graphs, matrices, w=self._w)
+        return batch.as_inputs()
+
+    def _build(self, num_classes: int, rng: np.random.Generator):
+        assert self._dim is not None
+        return GATNetwork(
+            in_dim=self._dim,
+            hidden=self.hidden,
+            num_layers=self.num_layers,
+            num_classes=num_classes,
+            heads=self.heads,
+            rng=rng,
+        )

@@ -1,0 +1,186 @@
+"""GCN / GraphSAGE graph classifiers (paper Section 2.2).
+
+GCN (Kipf & Welling 2017) and GraphSAGE (Hamilton et al. 2017) are
+vertex classifiers in their original papers; the paper discusses both as
+related work.  For graph classification we use the standard adaptation:
+stacked propagation layers followed by a masked mean readout and a dense
+classifier.
+
+Two aggregators:
+
+* ``"gcn"``     — symmetric normalisation ``D^-1/2 (A + I) D^-1/2 H W``;
+* ``"sage"``    — GraphSAGE-mean: ``[H | D^-1 A H] W`` (self features
+  concatenated with the mean of the neighbors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import GNNBaseline, pad_graph_batch
+from repro.graph.graph import Graph
+from repro.nn.activations import ReLU
+from repro.nn.dense import Dense
+from repro.nn.dropout import Dropout
+from repro.nn.module import Network, Parameter
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["GCNClassifier", "GCNNetwork"]
+
+
+def _gcn_propagation(adjacency: np.ndarray) -> np.ndarray:
+    """Batched ``D^-1/2 (A + I) D^-1/2`` respecting padding."""
+    a = adjacency.copy()
+    idx = np.arange(a.shape[1])
+    a[:, idx, idx] += 1.0
+    deg = a.sum(axis=2)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+    return a * inv_sqrt[:, :, None] * inv_sqrt[:, None, :]
+
+
+def _mean_propagation(adjacency: np.ndarray) -> np.ndarray:
+    """Batched row-normalised ``D^-1 A`` (neighbors only, no self)."""
+    deg = adjacency.sum(axis=2, keepdims=True)
+    deg[deg == 0] = 1.0
+    return adjacency / deg
+
+
+class _PropagationLayer:
+    """One propagation + linear + ReLU layer with exact backward."""
+
+    def __init__(
+        self, in_dim: int, out_dim: int, aggregator: str, rng: np.random.Generator
+    ) -> None:
+        fc_in = 2 * in_dim if aggregator == "sage" else in_dim
+        self.fc = Dense(fc_in, out_dim, rng=rng)
+        self.act = ReLU()
+        self.aggregator = aggregator
+        self._p: np.ndarray | None = None
+        self._in_dim = in_dim
+
+    def forward(self, h: np.ndarray, p: np.ndarray, training: bool) -> np.ndarray:
+        self._p = p
+        if self.aggregator == "sage":
+            z = np.concatenate([h, p @ h], axis=2)
+        else:
+            z = p @ h
+        return self.act.forward(self.fc.forward(z, training), training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._p is not None
+        grad = self.fc.backward(self.act.backward(grad))
+        pt = np.swapaxes(self._p, 1, 2)
+        if self.aggregator == "sage":
+            d_self = grad[:, :, : self._in_dim]
+            d_nbrs = grad[:, :, self._in_dim :]
+            return d_self + pt @ d_nbrs
+        return pt @ grad
+
+    def parameters(self) -> list[Parameter]:
+        return self.fc.parameters()
+
+
+class GCNNetwork(Network):
+    """Propagation stack + masked mean readout + dense classifier."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: int,
+        num_layers: int,
+        num_classes: int,
+        aggregator: str = "gcn",
+        dropout: float = 0.5,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        check_positive("hidden", hidden)
+        check_positive("num_layers", num_layers)
+        if aggregator not in ("gcn", "sage"):
+            raise ValueError(f"unknown aggregator {aggregator!r}")
+        rng = as_rng(rng)
+        dims = [in_dim] + [hidden] * num_layers
+        self.layers = [
+            _PropagationLayer(dims[i], dims[i + 1], aggregator, rng)
+            for i in range(num_layers)
+        ]
+        self.aggregator = aggregator
+        self.dropout = Dropout(dropout, rng=rng)
+        self.classifier = Dense(hidden, num_classes, rng=rng)
+        self._mask: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+
+    def forward(self, x, training: bool = False) -> np.ndarray:
+        feats, adjacency, mask = x
+        if self.aggregator == "gcn":
+            p = _gcn_propagation(adjacency)
+        else:
+            p = _mean_propagation(adjacency)
+        h = feats
+        for layer in self.layers:
+            h = layer.forward(h, p, training)
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        readout = (h * mask[:, :, None]).sum(axis=1) / counts
+        self._mask = mask
+        self._counts = counts
+        readout = self.dropout.forward(readout, training)
+        return self.classifier.forward(readout, training)
+
+    def backward(self, grad: np.ndarray) -> None:
+        assert self._mask is not None and self._counts is not None
+        grad = self.dropout.backward(self.classifier.backward(grad))
+        dh = grad[:, None, :] * self._mask[:, :, None] / self._counts[:, :, None]
+        for layer in reversed(self.layers):
+            dh = layer.backward(dh)
+
+    def parameters(self) -> list[Parameter]:
+        params = [p for layer in self.layers for p in layer.parameters()]
+        return params + self.classifier.parameters()
+
+
+class GCNClassifier(GNNBaseline):
+    """GCN / GraphSAGE graph-classification estimator.
+
+    Parameters
+    ----------
+    aggregator:
+        "gcn" (symmetric normalisation) or "sage" (GraphSAGE-mean).
+    """
+
+    name = "gcn"
+
+    def __init__(
+        self,
+        features="onehot",
+        hidden: int = 32,
+        num_layers: int = 2,
+        aggregator: str = "gcn",
+        epochs: int = 50,
+        batch_size: int = 32,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(features=features, epochs=epochs, batch_size=batch_size, seed=seed)
+        self.hidden = hidden
+        self.num_layers = num_layers
+        self.aggregator = aggregator
+        self._w: int | None = None
+        self._dim: int | None = None
+
+    def _prepare(self, graphs: list[Graph], fit: bool):
+        matrices = self._featurize(graphs, fit)
+        if fit:
+            self._w = max(g.n for g in graphs)
+            self._dim = matrices[0].shape[1]
+        batch = pad_graph_batch(graphs, matrices, w=self._w)
+        return batch.as_inputs()
+
+    def _build(self, num_classes: int, rng: np.random.Generator):
+        assert self._dim is not None
+        return GCNNetwork(
+            in_dim=self._dim,
+            hidden=self.hidden,
+            num_layers=self.num_layers,
+            num_classes=num_classes,
+            aggregator=self.aggregator,
+            rng=rng,
+        )

@@ -1,0 +1,152 @@
+"""NGF — Neural Graph Fingerprints (Duvenaud et al., NeurIPS 2015).
+
+Section 2.2: NGF "replaces each discrete operation in circular
+fingerprints with a differentiable analog".  Each layer aggregates the
+closed neighborhood, applies a sigmoid (the smooth hash), and every
+vertex *writes* a softmax distribution into a fixed-size fingerprint
+vector (the smooth index operation).  The summed fingerprint across all
+layers feeds a dense classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import GNNBaseline, pad_graph_batch
+from repro.graph.graph import Graph
+from repro.nn.activations import Sigmoid
+from repro.nn.dense import Dense
+from repro.nn.losses import softmax
+from repro.nn.module import Network, Parameter
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["NGFClassifier", "NGFNetwork"]
+
+
+class _FingerprintLayer:
+    """One circular-fingerprint level: aggregate, hash, write."""
+
+    def __init__(
+        self, in_dim: int, hidden: int, fingerprint_dim: int, rng: np.random.Generator
+    ) -> None:
+        self.hash_fc = Dense(in_dim, hidden, rng=rng)
+        self.hash_act = Sigmoid()
+        self.write_fc = Dense(hidden, fingerprint_dim, rng=rng)
+        self._cache: tuple | None = None
+
+    def forward(
+        self, h: np.ndarray, s: np.ndarray, mask: np.ndarray, training: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Returns (new hidden state, fingerprint contribution)."""
+        agg = s @ h
+        hidden = self.hash_act.forward(self.hash_fc.forward(agg, training), training)
+        logits = self.write_fc.forward(hidden, training)
+        writes = softmax(logits)  # (B, w, F) rows are distributions
+        contribution = (writes * mask[:, :, None]).sum(axis=1)
+        self._cache = (s, writes, mask)
+        return hidden, contribution
+
+    def backward(
+        self, grad_hidden: np.ndarray, grad_contribution: np.ndarray
+    ) -> np.ndarray:
+        assert self._cache is not None
+        s, writes, mask = self._cache
+        # contribution -> writes
+        dwrites = grad_contribution[:, None, :] * mask[:, :, None]
+        # softmax backward per position
+        dlogits = writes * (dwrites - (dwrites * writes).sum(axis=2, keepdims=True))
+        dhidden = self.write_fc.backward(dlogits) + grad_hidden
+        dagg = self.hash_fc.backward(self.hash_act.backward(dhidden))
+        return np.swapaxes(s, 1, 2) @ dagg
+
+    def parameters(self) -> list[Parameter]:
+        return self.hash_fc.parameters() + self.write_fc.parameters()
+
+
+class NGFNetwork(Network):
+    """Fingerprint layer stack + dense classifier on the fingerprint."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: int,
+        fingerprint_dim: int,
+        num_layers: int,
+        num_classes: int,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        check_positive("hidden", hidden)
+        check_positive("fingerprint_dim", fingerprint_dim)
+        check_positive("num_layers", num_layers)
+        rng = as_rng(rng)
+        dims = [in_dim] + [hidden] * num_layers
+        self.layers = [
+            _FingerprintLayer(dims[i], hidden, fingerprint_dim, rng)
+            for i in range(num_layers)
+        ]
+        self.classifier = Dense(fingerprint_dim, num_classes, rng=rng)
+
+    def forward(self, x, training: bool = False) -> np.ndarray:
+        feats, adjacency, mask = x
+        s = adjacency.copy()
+        idx = np.arange(s.shape[1])
+        s[:, idx, idx] += 1.0
+        h = feats
+        fingerprint = None
+        for layer in self.layers:
+            h, contribution = layer.forward(h, s, mask, training)
+            fingerprint = contribution if fingerprint is None else fingerprint + contribution
+        return self.classifier.forward(fingerprint, training)
+
+    def backward(self, grad: np.ndarray) -> None:
+        dfingerprint = self.classifier.backward(grad)
+        dh: np.ndarray | float = 0.0  # last layer gets no hidden-state grad
+        for layer in reversed(self.layers):
+            dh = layer.backward(dh, dfingerprint)
+
+    def parameters(self) -> list[Parameter]:
+        params = [p for layer in self.layers for p in layer.parameters()]
+        return params + self.classifier.parameters()
+
+
+class NGFClassifier(GNNBaseline):
+    """Neural-graph-fingerprint estimator."""
+
+    name = "ngf"
+
+    def __init__(
+        self,
+        features="onehot",
+        hidden: int = 16,
+        fingerprint_dim: int = 32,
+        num_layers: int = 2,
+        epochs: int = 50,
+        batch_size: int = 32,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(features=features, epochs=epochs, batch_size=batch_size, seed=seed)
+        self.hidden = hidden
+        self.fingerprint_dim = fingerprint_dim
+        self.num_layers = num_layers
+        self._w: int | None = None
+        self._dim: int | None = None
+
+    def _prepare(self, graphs: list[Graph], fit: bool):
+        matrices = self._featurize(graphs, fit)
+        if fit:
+            self._w = max(g.n for g in graphs)
+            self._dim = matrices[0].shape[1]
+        batch = pad_graph_batch(graphs, matrices, w=self._w)
+        return batch.as_inputs()
+
+    def _build(self, num_classes: int, rng: np.random.Generator):
+        assert self._dim is not None
+        return NGFNetwork(
+            in_dim=self._dim,
+            hidden=self.hidden,
+            fingerprint_dim=self.fingerprint_dim,
+            num_layers=self.num_layers,
+            num_classes=num_classes,
+            rng=rng,
+        )

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-datasets``
+    Names and Table 1 statistics of the 15 benchmark generators.
+``stats NAME [--scale S] [--seed K]``
+    Generate a dataset and print its measured statistics.
+``train --dataset NAME [--model M] [--scale S] [--folds F] [--epochs E]``
+    Cross-validate a model on a benchmark and print the accuracy.
+``export --dataset NAME --out DIR [--scale S]``
+    Write a generated dataset to TU format for use with other tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+MODEL_CHOICES = (
+    "deepmap-wl",
+    "deepmap-sp",
+    "deepmap-gk",
+    "gin",
+    "gcn",
+    "gat",
+    "dgcnn",
+    "dcnn",
+    "ngf",
+    "patchysan",
+    "wl-svm",
+    "sp-svm",
+    "gk-svm",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepMap reproduction: datasets, models, evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-datasets", help="list benchmark dataset names")
+
+    stats = sub.add_parser("stats", help="generate a dataset and print stats")
+    stats.add_argument("name")
+    stats.add_argument("--scale", type=float, default=0.15)
+    stats.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="cross-validate a model")
+    train.add_argument("--dataset", required=True)
+    train.add_argument("--model", choices=MODEL_CHOICES, default="deepmap-wl")
+    train.add_argument("--scale", type=float, default=0.1)
+    train.add_argument("--folds", type=int, default=3)
+    train.add_argument("--epochs", type=int, default=15)
+    train.add_argument("--seed", type=int, default=0)
+
+    export = sub.add_parser("export", help="write a dataset in TU format")
+    export.add_argument("--dataset", required=True)
+    export.add_argument("--out", required=True)
+    export.add_argument("--scale", type=float, default=0.15)
+    export.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list_datasets() -> int:
+    from repro.datasets import DATASET_NAMES, paper_statistics
+
+    print(f"{'dataset':<12s} {'n':>5s} {'cls':>4s} {'nodes':>8s} {'edges':>9s}")
+    for name in DATASET_NAMES:
+        s = paper_statistics(name)
+        print(
+            f"{name:<12s} {s.size:>5d} {s.num_classes:>4d} "
+            f"{s.avg_nodes:>8.1f} {s.avg_edges:>9.1f}"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.datasets import make_dataset
+
+    ds = make_dataset(args.name, scale=args.scale, seed=args.seed)
+    s = ds.statistics()
+    print(f"dataset:  {s.name}")
+    print(f"graphs:   {s.size}")
+    print(f"classes:  {s.num_classes}")
+    print(f"avg |V|:  {s.avg_nodes:.2f}")
+    print(f"avg |E|:  {s.avg_edges:.2f}")
+    print(f"labels:   {s.num_labels}")
+    return 0
+
+
+def _make_model_factory(model: str, epochs: int):
+    from repro.baselines import (
+        DCNNClassifier,
+        DGCNNClassifier,
+        GATClassifier,
+        GCNClassifier,
+        GINClassifier,
+        NGFClassifier,
+        PatchySanClassifier,
+    )
+    from repro.core import deepmap_gk, deepmap_sp, deepmap_wl
+
+    neural = {
+        "deepmap-wl": lambda f: deepmap_wl(h=3, r=5, epochs=epochs, seed=f),
+        "deepmap-sp": lambda f: deepmap_sp(r=5, epochs=epochs, seed=f),
+        "deepmap-gk": lambda f: deepmap_gk(k=4, samples=10, r=5, epochs=epochs, seed=f),
+        "gin": lambda f: GINClassifier(epochs=epochs, seed=f),
+        "gcn": lambda f: GCNClassifier(epochs=epochs, seed=f),
+        "gat": lambda f: GATClassifier(epochs=epochs, seed=f),
+        "dgcnn": lambda f: DGCNNClassifier(epochs=epochs, seed=f),
+        "dcnn": lambda f: DCNNClassifier(epochs=epochs, seed=f),
+        "ngf": lambda f: NGFClassifier(epochs=epochs, seed=f),
+        "patchysan": lambda f: PatchySanClassifier(epochs=epochs, seed=f),
+    }
+    return neural.get(model)
+
+
+def _make_kernel(model: str):
+    from repro.kernels import (
+        GraphletKernel,
+        ShortestPathKernel,
+        WeisfeilerLehmanKernel,
+    )
+
+    kernels = {
+        "wl-svm": WeisfeilerLehmanKernel(3),
+        "sp-svm": ShortestPathKernel(),
+        "gk-svm": GraphletKernel(k=4, samples=10, seed=0),
+    }
+    return kernels.get(model)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.datasets import make_dataset
+    from repro.eval import evaluate_kernel_svm, evaluate_neural_model
+
+    ds = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(
+        f"{args.model} on {ds.name} ({len(ds)} graphs, {args.folds}-fold CV)..."
+    )
+    factory = _make_model_factory(args.model, args.epochs)
+    if factory is not None:
+        result = evaluate_neural_model(
+            factory, ds, n_splits=args.folds, seed=args.seed, name=args.model
+        )
+        print(f"accuracy: {result.formatted()}  (best epoch {result.best_epoch})")
+    else:
+        kernel = _make_kernel(args.model)
+        assert kernel is not None  # argparse choices guarantee it
+        result = evaluate_kernel_svm(kernel, ds, n_splits=args.folds, seed=args.seed)
+        print(f"accuracy: {result.formatted()}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.datasets import make_dataset
+    from repro.datasets.tu_format import save_tu_dataset
+
+    ds = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    save_tu_dataset(ds, args.out)
+    print(f"wrote {len(ds)} graphs to {args.out} (TU format)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-datasets":
+        return _cmd_list_datasets()
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

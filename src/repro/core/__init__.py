@@ -1,0 +1,42 @@
+"""DeepMap: the paper's primary contribution.
+
+Vertex alignment by eigenvector centrality, BFS receptive fields, the
+Algorithm 1 encoding pipeline, the Fig. 4 CNN, and the end-to-end
+classifier with its three feature-map variants.
+"""
+
+from repro.core.alignment import ORDERINGS, centrality_scores, vertex_sequence
+from repro.core.architecture import (
+    DEFAULT_CHANNELS,
+    DEFAULT_DENSE_UNITS,
+    build_deepmap_cnn,
+)
+from repro.core.interpret import occlusion_scores, vertex_contributions
+from repro.core.model import DeepMapClassifier, deepmap_gk, deepmap_sp, deepmap_wl
+from repro.core.persistence import load_model, save_model
+from repro.core.pipeline import DeepMapEncoder, EncodedDataset
+from repro.core.vertex_model import DeepMapVertexClassifier
+from repro.core.receptive_field import DUMMY, all_receptive_fields, receptive_field
+
+__all__ = [
+    "ORDERINGS",
+    "centrality_scores",
+    "vertex_sequence",
+    "receptive_field",
+    "all_receptive_fields",
+    "DUMMY",
+    "DeepMapEncoder",
+    "EncodedDataset",
+    "build_deepmap_cnn",
+    "DEFAULT_CHANNELS",
+    "DEFAULT_DENSE_UNITS",
+    "DeepMapClassifier",
+    "deepmap_gk",
+    "deepmap_sp",
+    "deepmap_wl",
+    "save_model",
+    "load_model",
+    "DeepMapVertexClassifier",
+    "vertex_contributions",
+    "occlusion_scores",
+]

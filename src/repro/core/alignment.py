@@ -1,0 +1,76 @@
+"""Vertex alignment across graphs (Section 4.1, step 1).
+
+DeepMap makes CNNs applicable to graphs by giving every graph a vertex
+sequence sorted by eigenvector centrality; sequences shorter than the
+dataset maximum ``w`` are padded with dummy vertices whose feature maps
+are zero.  This module produces the orderings; padding happens in
+:mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.canonical import canonical_ranking
+from repro.graph.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    pagerank_centrality,
+)
+from repro.graph.graph import Graph
+
+__all__ = ["vertex_sequence", "centrality_scores", "ORDERINGS"]
+
+#: Supported vertex orderings.  "eigenvector" is the paper's choice;
+#: the others are ablation alternatives
+#: (benchmarks/bench_ablation_ordering.py).
+ORDERINGS = (
+    "eigenvector",
+    "degree",
+    "canonical",
+    "pagerank",
+    "closeness",
+    "betweenness",
+)
+
+
+def centrality_scores(g: Graph, ordering: str = "eigenvector") -> np.ndarray:
+    """Importance score per vertex under the chosen ordering measure."""
+    if ordering == "eigenvector":
+        return eigenvector_centrality(g)
+    if ordering == "degree":
+        return degree_centrality(g)
+    if ordering == "pagerank":
+        return pagerank_centrality(g)
+    if ordering == "closeness":
+        return closeness_centrality(g)
+    if ordering == "betweenness":
+        return betweenness_centrality(g)
+    if ordering == "canonical":
+        # Convert the canonical rank into a descending score.
+        order = canonical_ranking(g)
+        scores = np.empty(g.n, dtype=np.float64)
+        scores[order] = np.arange(g.n, 0, -1, dtype=np.float64)
+        return scores
+    raise ValueError(f"unknown ordering {ordering!r}; choose from {ORDERINGS}")
+
+
+def vertex_sequence(
+    g: Graph, scores: np.ndarray | None = None, ordering: str = "eigenvector"
+) -> np.ndarray:
+    """Vertex ids sorted for CNN traversal.
+
+    Primary key: centrality score (descending).  Ties are broken by degree
+    (descending) and label (ascending) — both isomorphism-invariant — and
+    finally by vertex id for full determinism.
+    """
+    if scores is None:
+        scores = centrality_scores(g, ordering)
+    if scores.shape != (g.n,):
+        raise ValueError(f"scores shape {scores.shape} mismatches n={g.n}")
+    degrees = g.degrees()
+    # np.lexsort sorts ascending by the LAST key first.
+    order = np.lexsort((np.arange(g.n), g.labels, -degrees, -scores))
+    return order.astype(np.int64)

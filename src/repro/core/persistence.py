@@ -1,0 +1,49 @@
+"""Saving and loading fitted DeepMap models.
+
+A fitted :class:`~repro.core.model.DeepMapClassifier` bundles the
+extractor configuration, the frozen feature vocabulary, the encoder
+state, and the CNN weights.  :func:`save_model` serialises all of it to
+one file; :func:`load_model` restores a model that predicts identically.
+
+Uses :mod:`pickle` (stdlib) — the standard trade-off for scientific
+Python model checkpoints; only load files you trust.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.core.model import DeepMapClassifier
+from repro.utils.validation import check_fitted
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: DeepMapClassifier, path: str | Path) -> None:
+    """Serialise a fitted DeepMap model to ``path``."""
+    check_fitted(model, "network_")
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "model": model,
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh)
+
+
+def load_model(path: str | Path) -> DeepMapClassifier:
+    """Load a model previously written by :func:`save_model`."""
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model file version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    model = payload["model"]
+    if not isinstance(model, DeepMapClassifier):
+        raise ValueError("file does not contain a DeepMapClassifier")
+    return model

@@ -1,0 +1,116 @@
+"""Algorithm 1: from graphs + vertex feature maps to CNN input tensors.
+
+For each graph, the vertex sequence (sorted by centrality) is padded to
+the dataset maximum ``w``; every sequence slot contributes its receptive
+field of ``r`` vertex feature-map rows, giving an input of shape
+``(w * r, m)`` per graph.  Dummy slots (sequence padding and unfilled
+field positions) are all-zero rows, which — combined with the bias-free
+convolutions of :mod:`repro.core.architecture` — guarantees they never
+contribute to the deep feature map (the paper's dummy-vertex property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.alignment import centrality_scores, vertex_sequence
+from repro.core.receptive_field import DUMMY, all_receptive_fields
+from repro.graph.graph import Graph
+from repro.utils.validation import check_positive
+
+__all__ = ["DeepMapEncoder", "EncodedDataset"]
+
+
+@dataclass
+class EncodedDataset:
+    """The tensors Algorithm 1 hands to the CNN.
+
+    Attributes
+    ----------
+    tensors:
+        ``(n_graphs, w * r, m)`` input array.
+    vertex_mask:
+        ``(n_graphs, w)`` 1.0 where the sequence slot holds a real vertex.
+    w, r, m:
+        Sequence length, receptive-field size, feature dimension.
+    """
+
+    tensors: np.ndarray
+    vertex_mask: np.ndarray
+    w: int
+    r: int
+    m: int
+
+
+class DeepMapEncoder:
+    """Stateful encoder: fixes ``w`` on the training set, reuses it later.
+
+    Parameters
+    ----------
+    r:
+        Receptive-field size (paper sweeps 1..10, Fig. 5).
+    ordering:
+        Vertex-ordering measure (paper: "eigenvector").
+    w:
+        Sequence length; ``None`` (default) uses the maximum graph size
+        seen in :meth:`fit`/first encode.  Graphs larger than ``w`` keep
+        their ``w`` highest-centrality vertices (can only happen for
+        held-out graphs larger than any training graph).
+    """
+
+    def __init__(
+        self, r: int = 5, ordering: str = "eigenvector", w: int | None = None
+    ) -> None:
+        check_positive("r", r)
+        self.r = r
+        self.ordering = ordering
+        self.w = w
+
+    def fit(self, graphs: list[Graph]) -> "DeepMapEncoder":
+        """Fix the sequence length ``w`` from ``graphs``."""
+        if not graphs:
+            raise ValueError("need at least one graph")
+        if self.w is None:
+            self.w = max(g.n for g in graphs)
+        return self
+
+    def encode(
+        self, graphs: list[Graph], feature_matrices: list[np.ndarray]
+    ) -> EncodedDataset:
+        """Build the ``(n, w*r, m)`` tensor for ``graphs``.
+
+        ``feature_matrices[i]`` must be the ``(graphs[i].n, m)`` vertex
+        feature-map matrix from
+        :func:`repro.features.extract_vertex_feature_matrices` (or the
+        vocabulary-aligned equivalent for held-out graphs).
+        """
+        if self.w is None:
+            self.fit(graphs)
+        assert self.w is not None
+        if len(graphs) != len(feature_matrices):
+            raise ValueError("graphs and feature matrices must align")
+        if not graphs:
+            raise ValueError("need at least one graph")
+        m = feature_matrices[0].shape[1]
+        n = len(graphs)
+        w, r = self.w, self.r
+        tensors = np.zeros((n, w * r, m), dtype=np.float64)
+        vertex_mask = np.zeros((n, w), dtype=np.float64)
+        for gi, (g, feats) in enumerate(zip(graphs, feature_matrices)):
+            if feats.shape != (g.n, m):
+                raise ValueError(
+                    f"feature matrix {gi} has shape {feats.shape}, expected {(g.n, m)}"
+                )
+            scores = centrality_scores(g, self.ordering)
+            sequence = vertex_sequence(g, scores, self.ordering)[:w]
+            fields = all_receptive_fields(g, r, scores)
+            for slot, v in enumerate(sequence):
+                vertex_mask[gi, slot] = 1.0
+                field = fields[v]
+                real = field != DUMMY
+                rows = np.zeros((r, m), dtype=np.float64)
+                rows[real] = feats[field[real]]
+                tensors[gi, slot * r : (slot + 1) * r] = rows
+        return EncodedDataset(tensors=tensors, vertex_mask=vertex_mask, w=w, r=r, m=m)

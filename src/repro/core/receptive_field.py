@@ -1,0 +1,66 @@
+"""Receptive-field construction (Section 4.1, step 2; Algorithm 1 l.15-19).
+
+For each vertex a field of exactly ``r`` vertex slots is built by BFS on
+the original graph: take the highest-centrality one-hop neighbors; if
+fewer than ``r - 1`` exist, continue with two-hop neighbors, and so on.
+Slots that cannot be filled (small components / small graphs) hold the
+dummy marker ``-1``, which the pipeline maps to zero feature rows.
+
+The paper notes the field vertices "are also sorted in descending order
+according to their eigenvector centrality values" — accordingly the final
+field (center included) is sorted by score, with the same tie-breaking as
+the global vertex sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_layers
+from repro.utils.validation import check_positive
+
+__all__ = ["receptive_field", "all_receptive_fields", "DUMMY"]
+
+#: Marker for unfilled receptive-field slots.
+DUMMY = -1
+
+
+def receptive_field(
+    g: Graph, v: int, r: int, scores: np.ndarray
+) -> np.ndarray:
+    """Field of ``r`` vertex ids (or DUMMY) for center vertex ``v``.
+
+    Selection: expand BFS hop by hop; within the hop that overflows the
+    budget, keep the top-score vertices.  The selected set (center
+    included) is then sorted by descending score.
+    """
+    check_positive("r", r)
+    if not 0 <= v < g.n:
+        raise ValueError(f"vertex {v} out of range for n={g.n}")
+    selected: list[int] = []
+    degrees = g.degrees()
+
+    def sort_key(u: int) -> tuple:
+        return (-scores[u], -degrees[u], g.labels[u], u)
+
+    layers = bfs_layers(g, v)
+    next(layers)  # skip layer 0 = [v]; the center is always included.
+    budget = r - 1
+    for layer in layers:
+        if budget <= 0:
+            break
+        ranked = sorted(layer, key=sort_key)
+        take = ranked[:budget]
+        selected.extend(take)
+        budget -= len(take)
+
+    field = sorted([v] + selected, key=sort_key)
+    out = np.full(r, DUMMY, dtype=np.int64)
+    out[: len(field)] = field
+    return out
+
+
+def all_receptive_fields(g: Graph, r: int, scores: np.ndarray) -> np.ndarray:
+    """``(n, r)`` receptive-field table for every vertex of ``g``."""
+    return np.stack([receptive_field(g, v, r, scores) for v in range(g.n)])

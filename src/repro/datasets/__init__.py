@@ -1,0 +1,37 @@
+"""Synthetic reconstructions of the paper's 15 benchmark datasets."""
+
+from repro.datasets.base import DatasetStatistics, GraphDataset
+from repro.datasets.communities import (
+    BrainNetworkGenerator,
+    SynthieGenerator,
+    community_dataset,
+)
+from repro.datasets.ego import EgoNetworkGenerator, ego_dataset
+from repro.datasets.molecules import MoleculeGenerator, molecule_dataset
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    PAPER_STATS,
+    degree_labeled,
+    make_dataset,
+    paper_statistics,
+)
+from repro.datasets.tu_format import load_tu_dataset, save_tu_dataset
+
+__all__ = [
+    "GraphDataset",
+    "DatasetStatistics",
+    "MoleculeGenerator",
+    "molecule_dataset",
+    "EgoNetworkGenerator",
+    "ego_dataset",
+    "SynthieGenerator",
+    "BrainNetworkGenerator",
+    "community_dataset",
+    "DATASET_NAMES",
+    "PAPER_STATS",
+    "make_dataset",
+    "paper_statistics",
+    "degree_labeled",
+    "load_tu_dataset",
+    "save_tu_dataset",
+]

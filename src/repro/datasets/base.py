@@ -1,0 +1,91 @@
+"""Dataset container and statistics (paper Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["GraphDataset", "DatasetStatistics"]
+
+
+@dataclass
+class DatasetStatistics:
+    """The columns of the paper's Table 1."""
+
+    name: str
+    size: int
+    num_classes: int
+    avg_nodes: float
+    avg_edges: float
+    num_labels: int
+
+    def row(self) -> str:
+        """Formatted Table 1 row."""
+        return (
+            f"{self.name:<12s} {self.size:>5d} {self.num_classes:>3d} "
+            f"{self.avg_nodes:>8.2f} {self.avg_edges:>9.2f} {self.num_labels:>4d}"
+        )
+
+
+@dataclass
+class GraphDataset:
+    """A named list of labeled graphs with class labels.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (e.g. "PTC_MR").
+    graphs:
+        The graphs.
+    y:
+        ``(len(graphs),)`` integer class labels.
+    has_vertex_labels:
+        False for the social datasets, where Table 1 reports "N/A"; for
+        those, degree labels are substituted at generation time (the
+        paper: "for datasets without vertex labels, we use vertex degrees
+        as their vertex labels").
+    """
+
+    name: str
+    graphs: list[Graph]
+    y: np.ndarray
+    has_vertex_labels: bool = True
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if len(self.graphs) != self.y.size:
+            raise ValueError(
+                f"{len(self.graphs)} graphs but {self.y.size} class labels"
+            )
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def statistics(self) -> DatasetStatistics:
+        """Compute the Table 1 statistics for this dataset."""
+        sizes = np.array([g.n for g in self.graphs], dtype=np.float64)
+        edges = np.array([g.num_edges for g in self.graphs], dtype=np.float64)
+        labels = {int(l) for g in self.graphs for l in g.labels}
+        return DatasetStatistics(
+            name=self.name,
+            size=len(self.graphs),
+            num_classes=int(np.unique(self.y).size),
+            avg_nodes=float(sizes.mean()) if sizes.size else 0.0,
+            avg_edges=float(edges.mean()) if edges.size else 0.0,
+            num_labels=len(labels),
+        )
+
+    def subset(self, indices) -> "GraphDataset":
+        """Dataset restricted to ``indices`` (keeps name/metadata)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return GraphDataset(
+            name=self.name,
+            graphs=[self.graphs[i] for i in idx],
+            y=self.y[idx],
+            has_vertex_labels=self.has_vertex_labels,
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,201 @@
+"""Molecule-style graph generators.
+
+Covers the chemical / molecular benchmarks (BZR_MD, COX2_MD, DHFR, NCI1,
+PTC_*, ENZYMES, PROTEINS).  Two structural regimes occur in the real
+datasets and are reproduced here:
+
+* *sparse molecules* (DHFR, NCI1, PTC, proteins): a tree/chain backbone
+  with rings attached — average degree around 2;
+* *complete graphs* (BZR_MD, COX2_MD: "the chemical compounds ... are
+  represented as complete graphs" after removing explicit hydrogens).
+
+Class signal is injected the way structure-activity datasets carry it:
+*label motifs*.  Each class has a preferred set of labeled ring/chain
+motifs that occur with higher probability, plus a class-tilted label
+distribution, against a shared random background — so classes overlap
+(accuracy well below 100%) but are learnable from substructure counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builders import ensure_connected, random_tree
+from repro.graph.graph import Graph
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["MoleculeGenerator", "molecule_dataset"]
+
+
+class MoleculeGenerator:
+    """Generates one molecule-like labeled graph per call.
+
+    Parameters
+    ----------
+    avg_nodes:
+        Target mean vertex count (Poisson-ish spread around it).
+    num_labels:
+        Size of the atom-type alphabet.
+    num_classes:
+        Number of activity classes.
+    complete:
+        Produce complete graphs (the *_MD regime) instead of sparse ones.
+    ring_rate:
+        Expected number of rings attached per 10 backbone vertices.
+    extra_edge_rate:
+        Expected extra random edges per vertex beyond the tree backbone —
+        raises density for the protein-style datasets (ENZYMES/PROTEINS
+        have average degree near 4, vs 2 for small molecules).
+    motif_strength:
+        Probability that a class-specific motif is embedded (per motif
+        slot); higher = easier classification.
+    label_tilt:
+        How strongly the label distribution leans toward class-preferred
+        labels (0 = identical distributions across classes).
+    """
+
+    def __init__(
+        self,
+        avg_nodes: float = 15.0,
+        num_labels: int = 8,
+        num_classes: int = 2,
+        complete: bool = False,
+        ring_rate: float = 0.8,
+        extra_edge_rate: float = 0.0,
+        motif_strength: float = 0.7,
+        label_tilt: float = 0.35,
+        min_nodes: int = 5,
+    ) -> None:
+        check_positive("avg_nodes", avg_nodes)
+        check_positive("num_labels", num_labels)
+        check_positive("num_classes", num_classes)
+        check_probability("motif_strength", motif_strength)
+        check_probability("label_tilt", label_tilt)
+        self.avg_nodes = avg_nodes
+        self.num_labels = num_labels
+        self.num_classes = num_classes
+        self.complete = complete
+        self.ring_rate = ring_rate
+        self.extra_edge_rate = extra_edge_rate
+        self.motif_strength = motif_strength
+        self.label_tilt = label_tilt
+        self.min_nodes = min_nodes
+
+    # ------------------------------------------------------------------
+    def _class_label_distribution(self, cls: int) -> np.ndarray:
+        """Label distribution tilted toward the class's preferred labels."""
+        base = np.ones(self.num_labels)
+        preferred = [
+            (cls + j * self.num_classes) % self.num_labels for j in range(2)
+        ]
+        for lab in preferred:
+            # A fixed multiplicative bump (independent of alphabet size):
+            # the aggregate histogram signal grows with graph size, so the
+            # per-label tilt must stay mild to keep classes overlapping.
+            base[lab] *= 1.0 + 4.0 * self.label_tilt
+        return base / base.sum()
+
+    def _class_motif(self, cls: int, slot: int) -> list[int]:
+        """Deterministic labeled ring motif for (class, slot)."""
+        length = 5 if slot % 2 == 0 else 6
+        return [
+            (cls * 3 + slot + j * (cls + 2)) % self.num_labels for j in range(length)
+        ]
+
+    # ------------------------------------------------------------------
+    def sample(self, cls: int, rng: np.random.Generator | int | None = None) -> Graph:
+        """Generate one graph of class ``cls``."""
+        if not 0 <= cls < self.num_classes:
+            raise ValueError(f"class {cls} out of range")
+        rng = as_rng(rng)
+        n = max(self.min_nodes, int(rng.poisson(self.avg_nodes)))
+        if self.complete:
+            return self._sample_complete(cls, n, rng)
+        return self._sample_sparse(cls, n, rng)
+
+    def _sample_sparse(self, cls: int, n: int, rng: np.random.Generator) -> Graph:
+        backbone = random_tree(n, rng)
+        edges = {tuple(map(int, e)) for e in backbone.edges}
+        labels = rng.choice(
+            self.num_labels, size=n, p=self._class_label_distribution(cls)
+        ).astype(np.int64)
+
+        # Close random rings: connect backbone vertices at distance >= 2.
+        n_rings = rng.poisson(self.ring_rate * n / 10.0)
+        n_extra = rng.poisson(self.extra_edge_rate * n)
+        for _ in range(int(n_rings) + int(n_extra)):
+            u, v = rng.integers(0, n, size=2)
+            u, v = int(min(u, v)), int(max(u, v))
+            if u != v and (u, v) not in edges:
+                edges.add((u, v))
+
+        # Embed exactly one labeled ring motif.  Its class identity is
+        # noisy: with probability motif_strength it is this class's motif,
+        # otherwise a uniformly random class's — bounding the attainable
+        # accuracy below 100% the way real structure-activity data does
+        # (the same compound scaffold appears in actives and inactives).
+        motif_cls = (
+            cls
+            if rng.random() < self.motif_strength
+            else int(rng.integers(0, self.num_classes))
+        )
+        self._stamp_motif(self._class_motif(motif_cls, 0), edges, labels, n, rng)
+        g = Graph(n, sorted(edges), labels)
+        return ensure_connected(g, rng)
+
+    def _stamp_motif(
+        self,
+        motif: list[int],
+        edges: set[tuple[int, int]],
+        labels: np.ndarray,
+        n: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Stamp a labeled ring motif onto random distinct vertices."""
+        if n < len(motif):
+            return
+        chain = sorted(int(v) for v in rng.choice(n, size=len(motif), replace=False))
+        for a, b in zip(chain, chain[1:]):
+            edges.add((min(a, b), max(a, b)))
+        if len(chain) > 2:
+            edges.add((min(chain[0], chain[-1]), max(chain[0], chain[-1])))
+        for vert, lab in zip(chain, motif):
+            labels[vert] = lab
+
+    def _sample_complete(self, cls: int, n: int, rng: np.random.Generator) -> Graph:
+        labels = rng.choice(
+            self.num_labels, size=n, p=self._class_label_distribution(cls)
+        ).astype(np.int64)
+        # Stamp one motif's label multiset (structure is complete anyway,
+        # so the only class signal is label composition).  Like the sparse
+        # case, the motif's class identity is noisy.
+        motif_cls = (
+            cls
+            if rng.random() < self.motif_strength
+            else int(rng.integers(0, self.num_classes))
+        )
+        motif = self._class_motif(motif_cls, 0)
+        take = min(len(motif), n)
+        pos = rng.choice(n, size=take, replace=False)
+        for vert, lab in zip(pos, motif[:take]):
+            labels[int(vert)] = lab
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        return Graph(n, edges, labels)
+
+
+def molecule_dataset(
+    generator: MoleculeGenerator,
+    n_graphs: int,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[list[Graph], np.ndarray]:
+    """Balanced dataset of ``n_graphs`` molecules across the classes."""
+    check_positive("n_graphs", n_graphs)
+    rngs = spawn_rngs(seed, n_graphs)
+    graphs = []
+    labels = np.array(
+        [i % generator.num_classes for i in range(n_graphs)], dtype=np.int64
+    )
+    for cls, rng in zip(labels, rngs):
+        graphs.append(generator.sample(int(cls), rng))
+    return graphs, labels

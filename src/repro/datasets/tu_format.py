@@ -1,0 +1,142 @@
+"""Reading and writing the TU graph-benchmark file format.
+
+The paper evaluates on datasets from the TU Dortmund collection
+(https://chrsmrrs.github.io/datasets/).  The offline reproduction
+generates synthetic stand-ins, but downstream users with the real files
+can load them directly through :func:`load_tu_dataset` and run every
+experiment unchanged; :func:`save_tu_dataset` writes our synthetic
+datasets in the same format for interop with other graph-learning
+libraries.
+
+Format (all files inside one directory, prefix ``DS``):
+
+* ``DS_A.txt``               — one ``row, col`` pair per (directed) edge,
+  vertex ids 1-based and global across all graphs;
+* ``DS_graph_indicator.txt`` — line ``i``: graph id (1-based) of global
+  vertex ``i``;
+* ``DS_graph_labels.txt``    — line ``g``: class label of graph ``g``;
+* ``DS_node_labels.txt``     — optional; line ``i``: label of vertex ``i``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.base import GraphDataset
+from repro.graph.graph import Graph
+
+__all__ = ["load_tu_dataset", "save_tu_dataset"]
+
+
+def load_tu_dataset(directory: str | Path, name: str | None = None) -> GraphDataset:
+    """Load a TU-format dataset from ``directory``.
+
+    ``name`` defaults to the directory's own name and selects the file
+    prefix (``<name>_A.txt`` etc.).
+    """
+    directory = Path(directory)
+    if name is None:
+        name = directory.name
+    prefix = directory / name
+
+    adjacency_path = Path(f"{prefix}_A.txt")
+    indicator_path = Path(f"{prefix}_graph_indicator.txt")
+    graph_labels_path = Path(f"{prefix}_graph_labels.txt")
+    node_labels_path = Path(f"{prefix}_node_labels.txt")
+    for required in (adjacency_path, indicator_path, graph_labels_path):
+        if not required.exists():
+            raise FileNotFoundError(f"missing TU file: {required}")
+
+    indicator = np.loadtxt(indicator_path, dtype=np.int64, ndmin=1)
+    graph_labels = np.loadtxt(graph_labels_path, dtype=np.int64, ndmin=1)
+    n_graphs = int(indicator.max())
+    if graph_labels.size != n_graphs:
+        raise ValueError(
+            f"{graph_labels.size} graph labels but indicator names "
+            f"{n_graphs} graphs"
+        )
+
+    # Map global vertex id -> (graph index, local vertex id).
+    total_vertices = indicator.size
+    local_id = np.zeros(total_vertices, dtype=np.int64)
+    sizes = np.zeros(n_graphs, dtype=np.int64)
+    for global_v, graph_id in enumerate(indicator):
+        g = int(graph_id) - 1
+        local_id[global_v] = sizes[g]
+        sizes[g] += 1
+
+    has_node_labels = node_labels_path.exists()
+    if has_node_labels:
+        raw_node_labels = np.loadtxt(node_labels_path, dtype=np.int64, ndmin=1)
+        if raw_node_labels.ndim > 1:  # some dumps have multiple columns
+            raw_node_labels = raw_node_labels[:, 0]
+        if raw_node_labels.size != total_vertices:
+            raise ValueError("node label count mismatches vertex count")
+        # Labels must be non-negative for Graph; shift if necessary.
+        shift = min(0, int(raw_node_labels.min()))
+        raw_node_labels = raw_node_labels - shift
+    else:
+        raw_node_labels = np.zeros(total_vertices, dtype=np.int64)
+
+    edge_sets: list[set[tuple[int, int]]] = [set() for _ in range(n_graphs)]
+    if adjacency_path.stat().st_size > 0:
+        pairs = np.loadtxt(adjacency_path, dtype=np.int64, delimiter=",", ndmin=2)
+        for row, col in pairs:
+            u, v = int(row) - 1, int(col) - 1
+            gu, gv = int(indicator[u]) - 1, int(indicator[v]) - 1
+            if gu != gv:
+                raise ValueError(
+                    f"edge ({row}, {col}) crosses graphs {gu + 1} and {gv + 1}"
+                )
+            if u == v:
+                continue  # drop self-loops, as the benchmark loaders do
+            a, b = int(local_id[u]), int(local_id[v])
+            edge_sets[gu].add((min(a, b), max(a, b)))
+
+    graphs = []
+    cursor = 0
+    starts = np.zeros(n_graphs, dtype=np.int64)
+    for g in range(n_graphs):
+        starts[g] = cursor
+        cursor += sizes[g]
+    for g in range(n_graphs):
+        labels = raw_node_labels[starts[g] : starts[g] + sizes[g]]
+        graphs.append(Graph(int(sizes[g]), sorted(edge_sets[g]), labels))
+
+    return GraphDataset(
+        name=name,
+        graphs=graphs,
+        y=graph_labels,
+        has_vertex_labels=has_node_labels,
+        metadata={"source": str(directory)},
+    )
+
+
+def save_tu_dataset(dataset: GraphDataset, directory: str | Path) -> None:
+    """Write ``dataset`` in TU format under ``directory`` (created)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    prefix = directory / dataset.name
+
+    edges_lines = []
+    indicator_lines = []
+    node_label_lines = []
+    offset = 0
+    for gi, g in enumerate(dataset.graphs):
+        for v in range(g.n):
+            indicator_lines.append(str(gi + 1))
+            node_label_lines.append(str(int(g.labels[v])))
+        for u, v in g.edges:
+            # TU format lists both directions of every undirected edge.
+            edges_lines.append(f"{offset + int(u) + 1}, {offset + int(v) + 1}")
+            edges_lines.append(f"{offset + int(v) + 1}, {offset + int(u) + 1}")
+        offset += g.n
+
+    Path(f"{prefix}_A.txt").write_text("\n".join(edges_lines) + "\n" if edges_lines else "")
+    Path(f"{prefix}_graph_indicator.txt").write_text("\n".join(indicator_lines) + "\n")
+    Path(f"{prefix}_graph_labels.txt").write_text(
+        "\n".join(str(int(c)) for c in dataset.y) + "\n"
+    )
+    Path(f"{prefix}_node_labels.txt").write_text("\n".join(node_label_lines) + "\n")

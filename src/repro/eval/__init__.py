@@ -1,0 +1,29 @@
+"""Evaluation harness: splits, metrics, and the paper's CV protocols."""
+
+from repro.eval.metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    mcnemar_test,
+    mean_std,
+    precision_recall_f1,
+)
+from repro.eval.curves import parameter_sweep, training_curves
+from repro.eval.protocol import CVResult, evaluate_kernel_svm, evaluate_neural_model
+from repro.eval.splits import stratified_kfold, train_test_split
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "mean_std",
+    "precision_recall_f1",
+    "classification_report",
+    "mcnemar_test",
+    "stratified_kfold",
+    "train_test_split",
+    "CVResult",
+    "evaluate_kernel_svm",
+    "evaluate_neural_model",
+    "training_curves",
+    "parameter_sweep",
+]

@@ -1,0 +1,62 @@
+"""Learning-curve and parameter-sweep utilities.
+
+Library-level versions of what the Figure 5/6/7 benches do, so users can
+produce the paper's diagnostic plots for their own datasets:
+
+* :func:`training_curves` — per-epoch training-accuracy curves for a set
+  of neural models (Figs. 6 and 7);
+* :func:`parameter_sweep` — CV accuracy as a function of one estimator
+  parameter (Fig. 5's receptive-field sweep).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.datasets.base import GraphDataset
+from repro.eval.protocol import CVResult, evaluate_neural_model
+
+__all__ = ["training_curves", "parameter_sweep"]
+
+
+def training_curves(
+    model_factories: Mapping[str, Callable[[], object]],
+    dataset: GraphDataset,
+) -> dict[str, list[float]]:
+    """Fit each model on the full dataset; return train-accuracy curves.
+
+    ``model_factories`` maps display names to zero-argument factories of
+    estimators exposing ``fit(graphs, y)`` and ``history_``.
+    """
+    curves: dict[str, list[float]] = {}
+    for name, factory in model_factories.items():
+        model = factory()
+        model.fit(dataset.graphs, dataset.y)
+        curves[name] = list(model.history_.train_accuracy)
+    return curves
+
+
+def parameter_sweep(
+    model_factory: Callable[..., object],
+    parameter: str,
+    values: list,
+    dataset: GraphDataset,
+    n_splits: int = 3,
+    seed: int | None = 0,
+) -> dict[object, CVResult]:
+    """Cross-validate ``model_factory(fold, **{parameter: v})`` per value.
+
+    ``model_factory(fold_seed, **kwargs)`` must return a fresh estimator;
+    the sweep passes one keyword (``parameter``) from ``values``.
+    Returns ``{value: CVResult}`` in input order.
+    """
+    results: dict[object, CVResult] = {}
+    for value in values:
+        results[value] = evaluate_neural_model(
+            lambda fold, v=value: model_factory(fold, **{parameter: v}),
+            dataset,
+            n_splits=n_splits,
+            seed=seed,
+            name=f"{parameter}={value}",
+        )
+    return results

@@ -1,0 +1,115 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_labels
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "mean_std",
+    "precision_recall_f1",
+    "classification_report",
+    "mcnemar_test",
+]
+
+
+def accuracy(y_true: np.ndarray | list, y_pred: np.ndarray | list) -> float:
+    """Fraction of matching labels."""
+    y_true = check_labels(y_true)
+    y_pred = check_labels(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray | list, y_pred: np.ndarray | list
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(classes, matrix)`` with ``matrix[i, j]`` = count(true=i, pred=j)."""
+    y_true = check_labels(y_true)
+    y_pred = check_labels(y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index = {int(c): i for i, c in enumerate(classes)}
+    mat = np.zeros((classes.size, classes.size), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        mat[index[int(t)], index[int(p)]] += 1
+    return classes, mat
+
+
+def precision_recall_f1(
+    y_true: np.ndarray | list, y_pred: np.ndarray | list
+) -> dict[int, tuple[float, float, float]]:
+    """Per-class (precision, recall, F1).
+
+    Undefined ratios (no predicted / no true samples of a class) are
+    reported as 0.0, the usual convention.
+    """
+    classes, mat = confusion_matrix(y_true, y_pred)
+    out: dict[int, tuple[float, float, float]] = {}
+    for i, cls in enumerate(classes):
+        tp = float(mat[i, i])
+        predicted = float(mat[:, i].sum())
+        actual = float(mat[i, :].sum())
+        precision = tp / predicted if predicted > 0 else 0.0
+        recall = tp / actual if actual > 0 else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        out[int(cls)] = (precision, recall, f1)
+    return out
+
+
+def classification_report(
+    y_true: np.ndarray | list, y_pred: np.ndarray | list
+) -> str:
+    """Human-readable per-class report (precision/recall/F1/support)."""
+    y_true_arr = check_labels(y_true)
+    scores = precision_recall_f1(y_true_arr, y_pred)
+    lines = [f"{'class':>8s} {'prec':>7s} {'recall':>7s} {'f1':>7s} {'n':>6s}"]
+    for cls, (p, r, f1) in sorted(scores.items()):
+        support = int((y_true_arr == cls).sum())
+        lines.append(f"{cls:>8d} {p:>7.3f} {r:>7.3f} {f1:>7.3f} {support:>6d}")
+    lines.append(f"accuracy: {accuracy(y_true, y_pred):.3f}")
+    return "\n".join(lines)
+
+
+def mcnemar_test(
+    y_true: np.ndarray | list,
+    pred_a: np.ndarray | list,
+    pred_b: np.ndarray | list,
+) -> tuple[float, float]:
+    """McNemar's test with continuity correction for paired classifiers.
+
+    Returns ``(statistic, p_value)`` for the null hypothesis that models
+    A and B have the same error rate on the shared test set.  Used to
+    decide whether a Table 2/3 accuracy gap is meaningful.
+    """
+    from scipy.stats import chi2
+
+    y_true = check_labels(y_true)
+    pred_a = check_labels(pred_a)
+    pred_b = check_labels(pred_b)
+    if not (y_true.shape == pred_a.shape == pred_b.shape):
+        raise ValueError("all three label vectors must share a shape")
+    a_right = pred_a == y_true
+    b_right = pred_b == y_true
+    only_a = int(np.sum(a_right & ~b_right))
+    only_b = int(np.sum(~a_right & b_right))
+    if only_a + only_b == 0:
+        return 0.0, 1.0
+    stat = (abs(only_a - only_b) - 1.0) ** 2 / (only_a + only_b)
+    p_value = float(chi2.sf(stat, df=1))
+    return float(stat), p_value
+
+
+def mean_std(values: list[float] | np.ndarray) -> tuple[float, float]:
+    """Mean and (population) standard deviation, the paper's report format."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    return float(arr.mean()), float(arr.std())

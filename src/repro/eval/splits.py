@@ -1,0 +1,67 @@
+"""Stratified cross-validation splits."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_labels, check_positive
+
+__all__ = ["stratified_kfold", "train_test_split"]
+
+
+def stratified_kfold(
+    y: np.ndarray | list,
+    n_splits: int = 10,
+    seed: int | np.random.Generator | None = 0,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Stratified k-fold indices, the paper's 10-fold CV protocol.
+
+    Each class's indices are shuffled and dealt round-robin to folds, so
+    every fold's class proportions match the dataset's as closely as
+    integer counts allow.
+
+    Returns a list of ``(train_idx, test_idx)`` pairs.
+    """
+    y = check_labels(y)
+    check_positive("n_splits", n_splits)
+    if n_splits < 2:
+        raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+    counts = np.bincount(y)
+    smallest = counts[counts > 0].min()
+    if smallest < n_splits:
+        raise ValueError(
+            f"smallest class has {smallest} samples < {n_splits} folds"
+        )
+    rng = as_rng(seed)
+    fold_of = np.empty(y.size, dtype=np.int64)
+    for cls in np.unique(y):
+        idx = rng.permutation(np.nonzero(y == cls)[0])
+        fold_of[idx] = np.arange(idx.size) % n_splits
+    splits = []
+    for fold in range(n_splits):
+        test = np.nonzero(fold_of == fold)[0]
+        train = np.nonzero(fold_of != fold)[0]
+        splits.append((train, test))
+    return splits
+
+
+def train_test_split(
+    y: np.ndarray | list,
+    test_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single stratified split; returns ``(train_idx, test_idx)``."""
+    y = check_labels(y)
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_rng(seed)
+    train: list[int] = []
+    test: list[int] = []
+    for cls in np.unique(y):
+        idx = rng.permutation(np.nonzero(y == cls)[0])
+        n_test = max(1, int(round(idx.size * test_fraction)))
+        n_test = min(n_test, idx.size - 1)
+        test.extend(idx[:n_test].tolist())
+        train.extend(idx[n_test:].tolist())
+    return np.asarray(sorted(train)), np.asarray(sorted(test))

@@ -1,0 +1,35 @@
+"""Vertex and graph feature maps (paper Definitions 2 and 3)."""
+
+from repro.features.path_patterns import PathPatternVertexFeatures
+from repro.features.walks import (
+    LabeledWalkVertexFeatures,
+    ReturnProbabilityVertexFeatures,
+)
+from repro.features.vertex_maps import (
+    GraphletVertexFeatures,
+    OneHotLabelFeatures,
+    ShortestPathVertexFeatures,
+    VertexFeatureExtractor,
+    WLVertexFeatures,
+    extract_vertex_feature_matrices,
+    graph_feature_maps,
+    wl_joint_refinement,
+    wl_stable_colors,
+)
+from repro.features.vocabulary import FeatureVocabulary
+
+__all__ = [
+    "FeatureVocabulary",
+    "VertexFeatureExtractor",
+    "GraphletVertexFeatures",
+    "OneHotLabelFeatures",
+    "PathPatternVertexFeatures",
+    "LabeledWalkVertexFeatures",
+    "ReturnProbabilityVertexFeatures",
+    "ShortestPathVertexFeatures",
+    "WLVertexFeatures",
+    "extract_vertex_feature_matrices",
+    "graph_feature_maps",
+    "wl_joint_refinement",
+    "wl_stable_colors",
+]

@@ -1,0 +1,268 @@
+"""Vertex feature maps (Definition 3) for the three substructure families.
+
+Each extractor turns a *dataset* (list of graphs) into per-vertex count
+dictionaries over a shared substructure vocabulary:
+
+* :class:`GraphletVertexFeatures`  — DeepMap-GK: for every vertex, sample
+  ``q`` connected graphlets of size ``k`` rooted at it and histogram their
+  canonical types.
+* :class:`ShortestPathVertexFeatures` — DeepMap-SP: for every vertex ``v``,
+  count shortest-path triplets ``(l(v), l(t), d(v, t))`` over all targets
+  ``t``.  Summing over sources recovers the classic SP kernel feature map
+  (each unordered path counted once per orientation).
+* :class:`WLVertexFeatures` — DeepMap-WL: for every vertex, one count per
+  WL iteration for the vertex's color at that iteration.  Color ids are
+  refined *jointly across the dataset* so identical subtree patterns in
+  different graphs share a feature column.  Summing over vertices recovers
+  the WL subtree kernel feature map (Equation 5).
+
+The module-level helper :func:`extract_vertex_feature_matrices` runs an
+extractor, freezes the vocabulary, and returns dense per-graph matrices —
+the ``X`` arrays consumed by Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from collections import Counter
+
+import numpy as np
+
+from repro.features.vocabulary import FeatureVocabulary
+from repro.graph.graph import Graph
+from repro.graph.graphlets import count_graphlets_per_vertex
+from repro.graph.shortest_paths import apsp_bfs
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "VertexFeatureExtractor",
+    "GraphletVertexFeatures",
+    "ShortestPathVertexFeatures",
+    "WLVertexFeatures",
+    "OneHotLabelFeatures",
+    "wl_stable_colors",
+    "extract_vertex_feature_matrices",
+    "graph_feature_maps",
+]
+
+VertexCounts = list[Counter]  # one Counter per vertex
+
+
+class VertexFeatureExtractor(ABC):
+    """Extracts per-vertex substructure count dictionaries for a dataset."""
+
+    #: short identifier used in reports ("gk", "sp", "wl")
+    name: str = "base"
+
+    @abstractmethod
+    def extract(self, graphs: list[Graph]) -> list[VertexCounts]:
+        """Per-graph list of per-vertex ``Counter`` feature dictionaries."""
+
+
+class GraphletVertexFeatures(VertexFeatureExtractor):
+    """Rooted-graphlet sampling features (DeepMap-GK).
+
+    Parameters
+    ----------
+    k:
+        Graphlet size (paper: 5).
+    samples:
+        Rooted samples per vertex (paper: 20).
+    seed:
+        Seed for the sampling streams; each graph gets an independent
+        stream so results do not depend on dataset order.
+    """
+
+    name = "gk"
+
+    def __init__(self, k: int = 5, samples: int = 20, seed: int | None = 0) -> None:
+        if not 1 <= k <= 5:
+            raise ValueError(f"graphlet size k must be in 1..5, got {k}")
+        check_positive("samples", samples)
+        self.k = k
+        self.samples = samples
+        self.seed = seed
+
+    def extract(self, graphs: list[Graph]) -> list[VertexCounts]:
+        rngs = spawn_rngs(self.seed, len(graphs))
+        out: list[VertexCounts] = []
+        for g, rng in zip(graphs, rngs):
+            hists = count_graphlets_per_vertex(g, self.k, self.samples, rng)
+            out.append([Counter({("glet",) + key: c for key, c in h.items()}) for h in hists])
+        return out
+
+
+class ShortestPathVertexFeatures(VertexFeatureExtractor):
+    """Shortest-path triplet features (DeepMap-SP).
+
+    For vertex ``v`` the feature ``("sp", l(v), l(t), d)`` counts targets
+    ``t`` with label ``l(t)`` at hop distance ``d >= 1``.  Unreachable
+    pairs contribute nothing.  ``max_distance`` optionally truncates the
+    path length (None = unbounded, as in the paper).
+    """
+
+    name = "sp"
+
+    def __init__(self, max_distance: int | None = None) -> None:
+        if max_distance is not None:
+            check_positive("max_distance", max_distance)
+        self.max_distance = max_distance
+
+    def extract(self, graphs: list[Graph]) -> list[VertexCounts]:
+        out: list[VertexCounts] = []
+        for g in graphs:
+            dist = apsp_bfs(g)
+            labels = g.labels
+            per_vertex: VertexCounts = []
+            for v in range(g.n):
+                counter: Counter = Counter()
+                dv = dist[v]
+                for t in range(g.n):
+                    d = int(dv[t])
+                    if t == v or d <= 0:
+                        continue
+                    if self.max_distance is not None and d > self.max_distance:
+                        continue
+                    counter[("sp", int(labels[v]), int(labels[t]), d)] += 1
+                per_vertex.append(counter)
+            out.append(per_vertex)
+        return out
+
+
+class WLVertexFeatures(VertexFeatureExtractor):
+    """Weisfeiler-Lehman subtree features (DeepMap-WL).
+
+    Vertex ``v`` receives one count for feature ``("wl", i, color_i(v))``
+    per refinement iteration ``i = 0 .. h``.  Colors are *stable hashes*
+    of the recursive (own color, sorted neighbor colors) signature, so the
+    same subtree pattern maps to the same feature key in every graph and
+    every dataset — making the extractor inductive: features computed on a
+    held-out graph align with a vocabulary built on training graphs.
+    """
+
+    name = "wl"
+
+    def __init__(self, h: int = 3) -> None:
+        if h < 0:
+            raise ValueError(f"h must be >= 0, got {h}")
+        self.h = h
+
+    def extract(self, graphs: list[Graph]) -> list[VertexCounts]:
+        out: list[VertexCounts] = []
+        for g in graphs:
+            colorings = wl_stable_colors(g, self.h)
+            per_vertex: VertexCounts = []
+            for v in range(g.n):
+                counter: Counter = Counter()
+                for it in range(self.h + 1):
+                    counter[("wl", it, colorings[it][v])] += 1
+                per_vertex.append(counter)
+            out.append(per_vertex)
+        return out
+
+
+class OneHotLabelFeatures(VertexFeatureExtractor):
+    """Plain one-hot vertex-label features.
+
+    Not a substructure map — this is the input PATCHY-SAN/DGCNN/GIN use.
+    Provided so the Section 6 ablation can feed DeepMap's CNN the same
+    impoverished input and measure what the vertex feature maps add.
+    """
+
+    name = "onehot"
+
+    def extract(self, graphs: list[Graph]) -> list[VertexCounts]:
+        out: list[VertexCounts] = []
+        for g in graphs:
+            out.append([Counter({("label", int(g.labels[v])): 1}) for v in range(g.n)])
+        return out
+
+
+def wl_stable_colors(g: Graph, h: int) -> list[list[int]]:
+    """WL colors as stable 64-bit signature hashes, per iteration 0..h.
+
+    Iteration 0 uses the raw integer labels; iteration ``i`` hashes the
+    (own previous color, sorted neighbor previous colors) signature with
+    blake2b.  Hash values identify subtree patterns across graphs without
+    any shared dictionary (collisions are negligible at 64 bits).
+    """
+    colors: list[int] = [int(l) for l in g.labels]
+    out = [colors]
+    for _ in range(h):
+        new_colors = []
+        for v in range(g.n):
+            sig = (colors[v], tuple(sorted(colors[int(u)] for u in g.neighbors(v))))
+            digest = hashlib.blake2b(repr(sig).encode(), digest_size=8).digest()
+            new_colors.append(int.from_bytes(digest, "big"))
+        colors = new_colors
+        out.append(colors)
+    return out
+
+
+def wl_joint_refinement(graphs: list[Graph], h: int) -> list[list[np.ndarray]]:
+    """Dataset-wide WL refinement.
+
+    Returns ``colorings[i][g]`` = color array of graph ``g`` at iteration
+    ``i`` (``0 <= i <= h``), with colors drawn from one shared alphabet per
+    iteration.  Signature compression sorts the union of signatures so the
+    ids are independent of both vertex order and graph order.
+    """
+    # Iteration 0: compress raw labels over the union alphabet.
+    all_labels = sorted({int(l) for g in graphs for l in g.labels})
+    base = {lab: i for i, lab in enumerate(all_labels)}
+    current = [np.array([base[int(l)] for l in g.labels], dtype=np.int64) for g in graphs]
+    colorings = [current]
+    for _ in range(h):
+        signatures: list[list[tuple]] = []
+        union: set[tuple] = set()
+        for g, colors in zip(graphs, current):
+            sigs = []
+            for v in range(g.n):
+                sig = (int(colors[v]), tuple(sorted(int(colors[u]) for u in g.neighbors(v))))
+                sigs.append(sig)
+                union.add(sig)
+            signatures.append(sigs)
+        mapping = {sig: i for i, sig in enumerate(sorted(union))}
+        current = [
+            np.array([mapping[s] for s in sigs], dtype=np.int64) for sigs in signatures
+        ]
+        colorings.append(current)
+    return colorings
+
+
+def extract_vertex_feature_matrices(
+    graphs: list[Graph],
+    extractor: VertexFeatureExtractor,
+) -> tuple[list[np.ndarray], FeatureVocabulary]:
+    """Run ``extractor`` and embed every vertex in a shared dense space.
+
+    Returns ``(matrices, vocabulary)`` where ``matrices[i]`` has shape
+    ``(graphs[i].n, m)`` and ``m = len(vocabulary)``.
+    """
+    per_graph_counts = extractor.extract(graphs)
+    vocab = FeatureVocabulary()
+    for vertex_counts in per_graph_counts:
+        for counter in vertex_counts:
+            vocab.add_all(counter.keys())
+    vocab.freeze()
+    matrices = [vocab.vectorize_rows(vc) for vc in per_graph_counts]
+    return matrices, vocab
+
+
+def graph_feature_maps(
+    graphs: list[Graph],
+    extractor: VertexFeatureExtractor,
+) -> tuple[np.ndarray, FeatureVocabulary]:
+    """Graph-level feature maps via Equation 7 (sum of vertex maps).
+
+    Returns ``(phi, vocabulary)`` with ``phi`` of shape ``(n_graphs, m)``.
+    This is exactly the explicit feature map of the corresponding
+    R-convolution kernel.
+    """
+    matrices, vocab = extract_vertex_feature_matrices(graphs, extractor)
+    phi = np.stack(
+        [m.sum(axis=0) if m.size else np.zeros(vocab.size) for m in matrices]
+    )
+    return phi, vocab

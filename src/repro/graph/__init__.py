@@ -1,0 +1,96 @@
+"""Graph substrate: the core :class:`Graph` type plus the structural
+algorithms (traversal, shortest paths, centrality, WL refinement, graphlet
+machinery) that the kernels and DeepMap build on."""
+
+from repro.graph.builders import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    empty_graph,
+    ensure_connected,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.canonical import (
+    canonical_ranking,
+    wl_graph_hash,
+    wl_iterations,
+    wl_refine,
+)
+from repro.graph.centrality import (
+    betweenness_centrality,
+    centrality_ranking,
+    closeness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    pagerank_centrality,
+)
+from repro.graph.convert import from_networkx, to_networkx
+from repro.graph.graph import Graph
+from repro.graph.products import (
+    cartesian_product,
+    direct_product,
+    product_vertex_pairs,
+)
+from repro.graph.graphlets import (
+    canonical_graphlet_code,
+    count_graphlets_per_vertex,
+    enumerate_graphlets,
+    num_connected_graphlets,
+    sample_rooted_graphlets,
+)
+from repro.graph.shortest_paths import UNREACHABLE, apsp_bfs, apsp_floyd_warshall
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_layers,
+    bfs_order,
+    connected_components,
+)
+
+__all__ = [
+    "Graph",
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "random_tree",
+    "disjoint_union",
+    "ensure_connected",
+    "eigenvector_centrality",
+    "degree_centrality",
+    "pagerank_centrality",
+    "closeness_centrality",
+    "betweenness_centrality",
+    "centrality_ranking",
+    "bfs_order",
+    "bfs_layers",
+    "bfs_distances",
+    "connected_components",
+    "apsp_bfs",
+    "apsp_floyd_warshall",
+    "UNREACHABLE",
+    "wl_refine",
+    "wl_iterations",
+    "wl_graph_hash",
+    "canonical_ranking",
+    "canonical_graphlet_code",
+    "enumerate_graphlets",
+    "sample_rooted_graphlets",
+    "count_graphlets_per_vertex",
+    "num_connected_graphlets",
+    "from_networkx",
+    "to_networkx",
+    "direct_product",
+    "cartesian_product",
+    "product_vertex_pairs",
+]

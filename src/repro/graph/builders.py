@@ -1,0 +1,177 @@
+"""Graph construction helpers and random graph models.
+
+These power both the unit tests and the synthetic benchmark datasets
+(Erdos-Renyi graphs drive SYNTHIE; preferential attachment and small-world
+models drive the social and protein datasets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "random_tree",
+    "disjoint_union",
+    "ensure_connected",
+]
+
+
+def empty_graph(n: int) -> Graph:
+    """Graph with ``n`` vertices and no edges."""
+    return Graph(n, [])
+
+
+def path_graph(n: int) -> Graph:
+    """Path ``0 - 1 - ... - (n-1)``."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph ``K_n``."""
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def star_graph(n: int) -> Graph:
+    """Star with center ``0`` and ``n - 1`` leaves."""
+    if n < 1:
+        raise ValueError(f"star needs n >= 1, got {n}")
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """``rows x cols`` rectangular grid (the 'image' graph of Section 4)."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(rows * cols, edges)
+
+
+def erdos_renyi(n: int, p: float, seed: int | np.random.Generator | None = None) -> Graph:
+    """G(n, p) random graph (the SYNTHIE seed model uses p = 0.2)."""
+    check_probability("p", p)
+    rng = as_rng(seed)
+    if n < 2:
+        return empty_graph(max(n, 0))
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(iu.size) < p
+    return Graph(n, zip(iu[mask].tolist(), ju[mask].tolist()))
+
+
+def barabasi_albert(n: int, m: int, seed: int | np.random.Generator | None = None) -> Graph:
+    """Preferential-attachment graph: each new vertex attaches to ``m`` others."""
+    if m < 1 or m >= n:
+        raise ValueError(f"need 1 <= m < n, got m={m}, n={n}")
+    rng = as_rng(seed)
+    edges: list[tuple[int, int]] = []
+    # Repeated-vertex list implements degree-proportional sampling.
+    repeated: list[int] = list(range(m))
+    for v in range(m, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            if repeated:
+                targets.add(int(repeated[rng.integers(0, len(repeated))]))
+            else:
+                targets.add(int(rng.integers(0, v)))
+        for t in targets:
+            edges.append((v, t))
+            repeated.extend([v, t])
+    return Graph(n, edges)
+
+
+def watts_strogatz(
+    n: int, k: int, p: float, seed: int | np.random.Generator | None = None
+) -> Graph:
+    """Small-world ring lattice with ``k`` nearest neighbors, rewire prob ``p``."""
+    if k % 2 or k < 2 or k >= n:
+        raise ValueError(f"k must be even with 2 <= k < n, got k={k}, n={n}")
+    check_probability("p", p)
+    rng = as_rng(seed)
+    edge_set: set[tuple[int, int]] = set()
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            u = (v + offset) % n
+            edge_set.add((min(v, u), max(v, u)))
+    edges = sorted(edge_set)
+    rewired: set[tuple[int, int]] = set(edges)
+    for u, v in edges:
+        if rng.random() < p:
+            candidates = [
+                w
+                for w in range(n)
+                if w != u and (min(u, w), max(u, w)) not in rewired
+            ]
+            if candidates:
+                w = int(candidates[rng.integers(0, len(candidates))])
+                rewired.discard((u, v))
+                rewired.add((min(u, w), max(u, w)))
+    return Graph(n, sorted(rewired))
+
+
+def random_tree(n: int, seed: int | np.random.Generator | None = None) -> Graph:
+    """Uniform random labeled tree via a random Prufer-like attachment."""
+    rng = as_rng(seed)
+    if n <= 1:
+        return empty_graph(max(n, 0))
+    edges = [(int(rng.integers(0, v)), v) for v in range(1, n)]
+    return Graph(n, edges)
+
+
+def disjoint_union(graphs: list[Graph]) -> Graph:
+    """Disjoint union of ``graphs`` with vertex ids shifted left-to-right."""
+    offset = 0
+    edges: list[tuple[int, int]] = []
+    labels: list[int] = []
+    for g in graphs:
+        edges.extend((int(u) + offset, int(v) + offset) for u, v in g.edges)
+        labels.extend(g.labels.tolist())
+        offset += g.n
+    return Graph(offset, edges, labels)
+
+
+def ensure_connected(g: Graph, seed: int | np.random.Generator | None = None) -> Graph:
+    """Add minimal random edges so ``g`` becomes connected.
+
+    Component representatives are chained with one edge each; labels are
+    preserved.  Used by dataset generators so eigenvector centrality is
+    well defined on every graph.
+    """
+    from repro.graph.traversal import connected_components
+
+    comps = connected_components(g)
+    if len(comps) <= 1:
+        return g
+    rng = as_rng(seed)
+    extra = []
+    prev = comps[0]
+    for comp in comps[1:]:
+        u = int(prev[rng.integers(0, len(prev))])
+        v = int(comp[rng.integers(0, len(comp))])
+        extra.append((u, v))
+        prev = comp
+    all_edges = [tuple(map(int, e)) for e in g.edges] + extra
+    return Graph(g.n, all_edges, g.labels)

@@ -1,0 +1,39 @@
+"""Interop with :mod:`networkx` for visual inspection and cross-checking.
+
+The library never depends on networkx internally; these converters exist so
+users can bring their own ``networkx`` graphs and so the test-suite can
+validate our centrality / shortest-path implementations against networkx.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graph.graph import Graph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+LABEL_KEY = "label"
+
+
+def to_networkx(g: Graph) -> nx.Graph:
+    """Convert to an ``nx.Graph`` with vertex labels in the ``label`` attr."""
+    out = nx.Graph()
+    for v in range(g.n):
+        out.add_node(v, **{LABEL_KEY: int(g.labels[v])})
+    out.add_edges_from((int(u), int(v)) for u, v in g.edges)
+    return out
+
+
+def from_networkx(nxg: nx.Graph, label_attr: str = LABEL_KEY) -> Graph:
+    """Convert an ``nx.Graph`` to a :class:`Graph`.
+
+    Node names may be arbitrary hashables; they are renumbered to
+    ``0 .. n-1`` in sorted-by-insertion order.  Missing label attributes
+    default to 0.
+    """
+    nodes = list(nxg.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    labels = [int(nxg.nodes[node].get(label_attr, 0)) for node in nodes]
+    edges = [(index[u], index[v]) for u, v in nxg.edges() if u != v]
+    return Graph(len(nodes), edges, labels)

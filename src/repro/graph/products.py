@@ -1,0 +1,66 @@
+"""Graph products.
+
+The direct (tensor) product underlies the random-walk kernel: walks in
+``G1 x G2`` correspond to simultaneous label-compatible walks in both
+factors, so ``K_rw(G1, G2)`` is a weighted walk count in the product —
+:mod:`repro.kernels.random_walk` exploits this implicitly via matrix
+products, and these explicit constructions let tests verify it directly.
+The Cartesian product is included as the other standard construction.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+__all__ = ["direct_product", "cartesian_product", "product_vertex_pairs"]
+
+
+def product_vertex_pairs(g1: Graph, g2: Graph, match_labels: bool = True) -> list[tuple[int, int]]:
+    """Vertex set of the (label-compatible) product: pairs ``(u, v)``."""
+    pairs = []
+    for u in range(g1.n):
+        for v in range(g2.n):
+            if not match_labels or g1.label(u) == g2.label(v):
+                pairs.append((u, v))
+    return pairs
+
+
+def direct_product(g1: Graph, g2: Graph, match_labels: bool = True) -> tuple[Graph, list[tuple[int, int]]]:
+    """Direct (tensor) product on label-compatible vertex pairs.
+
+    ``(u1, v1) ~ (u2, v2)`` iff ``u1 ~ u2`` in G1 *and* ``v1 ~ v2`` in G2.
+    Returns the product graph (vertex labels inherited from the matched
+    pair) and the pair list indexing its vertices.
+    """
+    pairs = product_vertex_pairs(g1, g2, match_labels)
+    index = {p: i for i, p in enumerate(pairs)}
+    edges = set()
+    for a1, b1 in g1.edges:
+        for a2, b2 in g2.edges:
+            for (u1, u2) in ((int(a1), int(b1)), (int(b1), int(a1))):
+                for (v1, v2) in ((int(a2), int(b2)), (int(b2), int(a2))):
+                    p, q = (u1, v1), (u2, v2)
+                    if p in index and q in index:
+                        i, j = index[p], index[q]
+                        if i != j:
+                            edges.add((min(i, j), max(i, j)))
+    labels = [g1.label(u) for u, _ in pairs]
+    return Graph(len(pairs), sorted(edges), labels), pairs
+
+
+def cartesian_product(g1: Graph, g2: Graph) -> tuple[Graph, list[tuple[int, int]]]:
+    """Cartesian product: ``(u1, v1) ~ (u2, v2)`` iff one coordinate is
+    equal and the other adjacent.  All vertex pairs are included."""
+    pairs = product_vertex_pairs(g1, g2, match_labels=False)
+    index = {p: i for i, p in enumerate(pairs)}
+    edges = set()
+    for u in range(g1.n):
+        for a, b in g2.edges:
+            i, j = index[(u, int(a))], index[(u, int(b))]
+            edges.add((min(i, j), max(i, j)))
+    for v in range(g2.n):
+        for a, b in g1.edges:
+            i, j = index[(int(a), v)], index[(int(b), v)]
+            edges.add((min(i, j), max(i, j)))
+    labels = [g1.label(u) for u, _ in pairs]
+    return Graph(len(pairs), sorted(edges), labels), pairs

@@ -1,0 +1,79 @@
+"""Breadth-first traversal primitives.
+
+DeepMap's receptive fields (Algorithm 1, lines 15-19) expand a BFS frontier
+hop by hop; :func:`bfs_layers` yields the hop structure that
+``repro.core.receptive_field`` consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["bfs_order", "bfs_layers", "bfs_distances", "connected_components"]
+
+
+def bfs_order(g: Graph, source: int) -> list[int]:
+    """Vertices reachable from ``source`` in BFS visitation order."""
+    return [v for layer in bfs_layers(g, source) for v in layer]
+
+
+def bfs_layers(g: Graph, source: int) -> Iterator[list[int]]:
+    """Yield BFS layers ``[source], one-hop, two-hop, ...`` from ``source``.
+
+    Within a layer, vertices appear in ascending id order (deterministic);
+    callers re-rank layers by centrality as the paper prescribes.
+    """
+    if not 0 <= source < g.n:
+        raise ValueError(f"source {source} out of range for n={g.n}")
+    visited = np.zeros(g.n, dtype=bool)
+    visited[source] = True
+    frontier = [source]
+    while frontier:
+        yield frontier
+        nxt: list[int] = []
+        for v in frontier:
+            for u in g.neighbors(v):
+                if not visited[u]:
+                    visited[u] = True
+                    nxt.append(int(u))
+        frontier = sorted(nxt)
+
+
+def bfs_distances(g: Graph, source: int) -> np.ndarray:
+    """Hop distance from ``source`` to every vertex (-1 if unreachable)."""
+    dist = np.full(g.n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in g.neighbors(v):
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                queue.append(int(u))
+    return dist
+
+
+def connected_components(g: Graph) -> list[list[int]]:
+    """Connected components as sorted vertex lists, ordered by least vertex."""
+    seen = np.zeros(g.n, dtype=bool)
+    comps: list[list[int]] = []
+    for start in range(g.n):
+        if seen[start]:
+            continue
+        comp = []
+        queue: deque[int] = deque([start])
+        seen[start] = True
+        while queue:
+            v = queue.popleft()
+            comp.append(v)
+            for u in g.neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    queue.append(int(u))
+        comps.append(sorted(comp))
+    return comps

@@ -1,0 +1,39 @@
+"""Graph kernels: the three R-convolution kernels DeepMap builds on
+(GK, SP, WL) plus the comparison kernels of Table 3 (RetGK, DGK, GNTK)
+and the random-walk kernels discussed in Section 6."""
+
+from repro.kernels.base import (
+    ExplicitFeatureKernel,
+    GraphKernel,
+    normalize_gram,
+    validate_gram,
+)
+from repro.kernels.deep_graph_kernel import DeepGraphKernel, SkipGramEmbedding
+from repro.kernels.gntk import GraphNeuralTangentKernel
+from repro.kernels.graphlet import ExhaustiveGraphletKernel, GraphletKernel
+from repro.kernels.optimal_assignment import WLOptimalAssignmentKernel
+from repro.kernels.random_walk import HighOrderRandomWalkKernel, RandomWalkKernel
+from repro.kernels.tree_pp import TreePlusPlusKernel
+from repro.kernels.retgk import ReturnProbabilityKernel, return_probability_features
+from repro.kernels.shortest_path import ShortestPathKernel
+from repro.kernels.weisfeiler_lehman import WeisfeilerLehmanKernel
+
+__all__ = [
+    "GraphKernel",
+    "ExplicitFeatureKernel",
+    "normalize_gram",
+    "validate_gram",
+    "GraphletKernel",
+    "ExhaustiveGraphletKernel",
+    "ShortestPathKernel",
+    "WeisfeilerLehmanKernel",
+    "RandomWalkKernel",
+    "HighOrderRandomWalkKernel",
+    "ReturnProbabilityKernel",
+    "return_probability_features",
+    "DeepGraphKernel",
+    "SkipGramEmbedding",
+    "GraphNeuralTangentKernel",
+    "TreePlusPlusKernel",
+    "WLOptimalAssignmentKernel",
+]

@@ -1,0 +1,118 @@
+"""RetGK — graph kernels from return probabilities of random walks
+(Zhang et al., NeurIPS 2018).
+
+Each vertex ``v`` is described by its *return probability feature* (RPF)
+
+    rp(v) = [ (P^1)_{vv}, (P^2)_{vv}, ..., (P^S)_{vv} ]
+
+where ``P = D^{-1} A`` is the random-walk transition matrix.  The RPF is an
+isomorphism-invariant structural role descriptor.  Graphs are compared by
+the (label-aware) maximum mean discrepancy embedding with an RBF kernel on
+RPF vectors:
+
+    K(G1, G2) = (1 / (n1 * n2)) * sum_{u in G1} sum_{v in G2}
+                delta(l(u), l(v)) * exp(-gamma * ||rp(u) - rp(v)||^2)
+
+This is the RetGK-I variant of the paper restricted to discrete vertex
+labels, which is what the benchmark datasets provide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.kernels.base import GraphKernel
+from repro.utils.validation import check_positive
+
+__all__ = ["ReturnProbabilityKernel", "return_probability_features"]
+
+
+def return_probability_features(g: Graph, steps: int) -> np.ndarray:
+    """``(n, steps)`` matrix of return probabilities for walks of 1..steps."""
+    check_positive("steps", steps)
+    a = g.adjacency_matrix()
+    deg = a.sum(axis=1)
+    deg[deg == 0] = 1.0
+    p = a / deg[:, None]
+    out = np.empty((g.n, steps), dtype=np.float64)
+    power = np.eye(g.n)
+    for s in range(steps):
+        power = power @ p
+        out[:, s] = np.diag(power)
+    return out
+
+
+class ReturnProbabilityKernel(GraphKernel):
+    """RetGK-I with discrete labels and an RBF kernel on RPF vectors.
+
+    Parameters
+    ----------
+    steps:
+        Random-walk horizon ``S`` (paper uses 50; smaller horizons retain
+        nearly all signal on the benchmark graph sizes).
+    gamma:
+        RBF bandwidth; ``None`` selects the median heuristic over all
+        pairwise RPF distances in the dataset.
+    use_labels:
+        If True (default), only label-matching vertex pairs contribute.
+    """
+
+    name = "retgk"
+
+    def __init__(
+        self,
+        steps: int = 16,
+        gamma: float | None = None,
+        use_labels: bool = True,
+    ) -> None:
+        check_positive("steps", steps)
+        if gamma is not None:
+            check_positive("gamma", gamma)
+        self.steps = steps
+        self.gamma = gamma
+        self.use_labels = use_labels
+
+    def gram(self, graphs: list[Graph]) -> np.ndarray:
+        feats = [return_probability_features(g, self.steps) for g in graphs]
+        gamma = self.gamma if self.gamma is not None else self._median_gamma(feats)
+        n = len(graphs)
+        k = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i, n):
+                k[i, j] = k[j, i] = self._pair(
+                    graphs[i], feats[i], graphs[j], feats[j], gamma
+                )
+        return k
+
+    def _pair(
+        self,
+        g1: Graph,
+        f1: np.ndarray,
+        g2: Graph,
+        f2: np.ndarray,
+        gamma: float,
+    ) -> float:
+        if g1.n == 0 or g2.n == 0:
+            return 0.0
+        sq = (
+            (f1**2).sum(axis=1)[:, None]
+            + (f2**2).sum(axis=1)[None, :]
+            - 2.0 * f1 @ f2.T
+        )
+        rbf = np.exp(-gamma * np.maximum(sq, 0.0))
+        if self.use_labels:
+            rbf = rbf * (g1.labels[:, None] == g2.labels[None, :])
+        return float(rbf.sum() / (g1.n * g2.n))
+
+    @staticmethod
+    def _median_gamma(feats: list[np.ndarray]) -> float:
+        """Median-heuristic bandwidth over a subsample of RPF vectors."""
+        stacked = np.concatenate([f for f in feats if f.size], axis=0)
+        if stacked.shape[0] > 512:
+            idx = np.linspace(0, stacked.shape[0] - 1, 512).astype(int)
+            stacked = stacked[idx]
+        diffs = stacked[:, None, :] - stacked[None, :, :]
+        sq = (diffs**2).sum(axis=-1)
+        med = np.median(sq[np.triu_indices_from(sq, k=1)]) if sq.shape[0] > 1 else 1.0
+        return 1.0 / max(float(med), 1e-8)

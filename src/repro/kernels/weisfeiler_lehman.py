@@ -1,0 +1,24 @@
+"""Weisfeiler-Lehman subtree kernel (WL) — Shervashidze et al., JMLR 2011.
+
+Counts common compressed labels across ``h`` rounds of WL color
+refinement, run jointly over the dataset so colors align across graphs.
+The feature map is the concatenation over iterations (Equation 5), which
+is exactly the vertex-map sum produced by
+:class:`repro.features.WLVertexFeatures`.
+"""
+
+from __future__ import annotations
+
+from repro.features.vertex_maps import WLVertexFeatures
+from repro.kernels.base import ExplicitFeatureKernel
+
+__all__ = ["WeisfeilerLehmanKernel"]
+
+
+class WeisfeilerLehmanKernel(ExplicitFeatureKernel):
+    """WL subtree kernel with ``h`` refinement iterations (paper: 0..5)."""
+
+    def __init__(self, h: int = 3) -> None:
+        super().__init__(WLVertexFeatures(h=h))
+        self.name = "wl"
+        self.h = h

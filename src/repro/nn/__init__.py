@@ -1,0 +1,70 @@
+"""From-scratch numpy neural-network framework (TensorFlow/Keras substitute).
+
+Layers cache activations on ``forward`` and implement exact gradients on
+``backward``; the trainer reproduces the paper's optimisation protocol
+(RMSprop, plateau decay, mini-batches).
+"""
+
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.batchnorm import BatchNorm
+from repro.nn.callbacks import EarlyStopping, clip_gradients
+from repro.nn.conv1d import Conv1D
+from repro.nn.dense import Dense
+from repro.nn.dropout import Dropout
+from repro.nn.initializers import glorot_uniform, he_normal, zeros
+from repro.nn.losses import SoftmaxCrossEntropy, softmax
+from repro.nn.model import (
+    History,
+    Trainer,
+    predict_labels,
+    predict_logits,
+    predict_proba,
+)
+from repro.nn.module import Layer, Network, Parameter, Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSprop
+from repro.nn.pooling import (
+    Flatten,
+    GlobalMaxPool1D,
+    MaskedSumPool1D,
+    MaxPool1D,
+    MeanPool1D,
+    SumPool1D,
+)
+from repro.nn.schedulers import ReduceLROnPlateau
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Network",
+    "Sequential",
+    "Dense",
+    "Conv1D",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "BatchNorm",
+    "EarlyStopping",
+    "clip_gradients",
+    "SumPool1D",
+    "MeanPool1D",
+    "MaxPool1D",
+    "GlobalMaxPool1D",
+    "MaskedSumPool1D",
+    "Flatten",
+    "SoftmaxCrossEntropy",
+    "softmax",
+    "glorot_uniform",
+    "he_normal",
+    "zeros",
+    "Optimizer",
+    "SGD",
+    "RMSprop",
+    "Adam",
+    "ReduceLROnPlateau",
+    "History",
+    "Trainer",
+    "predict_logits",
+    "predict_labels",
+    "predict_proba",
+]

@@ -1,0 +1,54 @@
+"""Element-wise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Layer
+
+__all__ = ["ReLU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Layer):
+    """Rectified linear unit: ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return np.where(self._mask, grad, 0.0)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent (DGCNN's graph-convolution nonlinearity)."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._out is not None
+        return grad * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._out is not None
+        return grad * self._out * (1.0 - self._out)

@@ -1,0 +1,66 @@
+"""Training callbacks: early stopping and gradient clipping helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.utils.validation import check_positive
+
+__all__ = ["EarlyStopping", "clip_gradients"]
+
+
+class EarlyStopping:
+    """Stop training when a monitored value stops improving.
+
+    Used through ``Trainer(..., early_stopping=EarlyStopping(...))``;
+    monitors the epoch loss by default or validation accuracy when
+    ``monitor="val_accuracy"``.
+    """
+
+    def __init__(
+        self,
+        patience: int = 10,
+        min_delta: float = 1e-4,
+        monitor: str = "loss",
+    ) -> None:
+        check_positive("patience", patience)
+        if monitor not in ("loss", "val_accuracy"):
+            raise ValueError(f"unknown monitor {monitor!r}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.monitor = monitor
+        self._best: float | None = None
+        self._bad = 0
+
+    def should_stop(self, history) -> bool:
+        """Record the latest epoch; True when patience is exhausted."""
+        series = history.loss if self.monitor == "loss" else history.val_accuracy
+        if not series:
+            return False
+        value = series[-1]
+        improving = (
+            self._best is None
+            or (self.monitor == "loss" and value < self._best - self.min_delta)
+            or (self.monitor == "val_accuracy" and value > self._best + self.min_delta)
+        )
+        if improving:
+            self._best = value
+            self._bad = 0
+            return False
+        self._bad += 1
+        return self._bad >= self.patience
+
+
+def clip_gradients(params: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging / tests).
+    """
+    check_positive("max_norm", max_norm)
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

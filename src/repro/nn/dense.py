@@ -1,0 +1,68 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, zeros
+from repro.nn.module import Layer, Parameter
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Affine map on the last axis: ``y = x W + b``.
+
+    Accepts inputs of any rank >= 2; the leading axes are treated as batch
+    dimensions (so the same layer applies per-vertex or per-graph).
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output width.
+    use_bias:
+        Disable for layers that must map zero vectors to zero vectors
+        (dummy-vertex propagation, see ``repro.core.architecture``).
+    rng:
+        Initialisation seed/generator.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        check_positive("in_features", in_features)
+        check_positive("out_features", out_features)
+        rng = as_rng(rng)
+        self.weight = Parameter(
+            glorot_uniform((in_features, out_features), in_features, out_features, rng),
+            name="dense.weight",
+        )
+        self.bias = Parameter(zeros((out_features,)), name="dense.bias") if use_bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "forward must run before backward"
+        x = self._x
+        # Collapse leading axes to accumulate parameter gradients.
+        x2 = x.reshape(-1, x.shape[-1])
+        g2 = grad.reshape(-1, grad.shape[-1])
+        self.weight.grad += x2.T @ g2
+        if self.bias is not None:
+            self.bias.grad += g2.sum(axis=0)
+        return grad @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])

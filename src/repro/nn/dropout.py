@@ -1,0 +1,41 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Layer
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Randomly zero a fraction ``rate`` of activations during training.
+
+    Uses inverted scaling (surviving units divided by the keep
+    probability) so inference needs no rescaling — identical to Keras.
+    The paper's architecture uses rate 0.5 before the softmax layer.
+    """
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator | int | None = None) -> None:
+        check_probability("rate", rate)
+        if rate >= 1.0:
+            raise ValueError("dropout rate must be < 1")
+        self.rate = rate
+        self._rng = as_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask

@@ -1,0 +1,40 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["glorot_uniform", "he_normal", "zeros"]
+
+
+def glorot_uniform(
+    shape: tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fan_in+fan_out)).
+
+    Keras's default initializer — used for every dense and conv kernel so
+    the architecture matches the paper's Keras implementation.
+    """
+    rng = as_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(
+    shape: tuple[int, ...],
+    fan_in: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """He normal: N(0, sqrt(2/fan_in)) — for ReLU-heavy stacks."""
+    rng = as_rng(rng)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)

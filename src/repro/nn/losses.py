@@ -1,0 +1,46 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SoftmaxCrossEntropy", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Mean softmax cross-entropy with integer class targets.
+
+    ``forward(logits, y)`` returns the scalar loss; ``backward()`` returns
+    the gradient w.r.t. the logits (already averaged over the batch).
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, y: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (batch, classes), got {logits.shape}")
+        y = np.asarray(y, dtype=np.int64)
+        if y.shape != (logits.shape[0],):
+            raise ValueError(f"targets shape {y.shape} mismatches batch {logits.shape[0]}")
+        if y.min() < 0 or y.max() >= logits.shape[1]:
+            raise ValueError("target class out of range")
+        probs = softmax(logits)
+        self._probs = probs
+        self._y = y
+        picked = probs[np.arange(y.size), y]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+    def backward(self) -> np.ndarray:
+        assert self._probs is not None and self._y is not None
+        grad = self._probs.copy()
+        grad[np.arange(self._y.size), self._y] -= 1.0
+        return grad / self._y.size

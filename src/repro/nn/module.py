@@ -1,0 +1,109 @@
+"""Core abstractions of the from-scratch neural-network framework.
+
+The paper trains its CNN with Keras on TensorFlow; offline we provide a
+minimal but complete numpy framework with the same ingredients: layers
+with exact backpropagation, RMSprop with learning-rate decay on plateau,
+softmax cross-entropy, dropout, and mini-batch training.
+
+Design:
+
+* :class:`Parameter` couples a value array with its gradient accumulator.
+* :class:`Layer` is the unit of computation: ``forward`` caches whatever
+  ``backward`` needs; ``backward`` receives the upstream gradient and
+  returns the input gradient while accumulating parameter gradients.
+* :class:`Network` is anything with ``forward``/``backward``/``parameters``;
+  :class:`Sequential` chains layers, and the GNN baselines implement their
+  own ``Network`` subclasses for architectures with masks and branching.
+
+All gradients are verified against central finite differences in
+``tests/nn/test_gradients.py``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Parameter", "Layer", "Network", "Sequential"]
+
+
+class Parameter:
+    """A trainable array and its gradient."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Layer(ABC):
+    """One differentiable computation step."""
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute outputs, caching what ``backward`` needs."""
+
+    @abstractmethod
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate ``d loss / d output`` to ``d loss / d input``,
+        accumulating parameter gradients along the way."""
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters of this layer (default: none)."""
+        return []
+
+
+class Network(ABC):
+    """A trainable model: forward, backward, parameters."""
+
+    @abstractmethod
+    def forward(self, x, training: bool = False) -> np.ndarray:
+        """Compute logits for a batch."""
+
+    @abstractmethod
+    def backward(self, grad: np.ndarray) -> None:
+        """Backpropagate the logits gradient through the whole model."""
+
+    @abstractmethod
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters."""
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return int(sum(p.value.size for p in self.parameters()))
+
+
+class Sequential(Network):
+    """A plain chain of layers operating on a single array."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> None:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]

@@ -1,0 +1,137 @@
+"""Gradient-descent optimizers.
+
+The paper trains with "the RMSPROP optimizer with initial learning rate
+0.01" and halves the rate after five epochs without loss improvement —
+:class:`RMSprop` here matches Keras's update rule, and the plateau
+scheduler lives in :mod:`repro.nn.schedulers`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["Optimizer", "SGD", "RMSprop", "Adam"]
+
+
+class Optimizer(ABC):
+    """Updates a fixed set of parameters from their accumulated gradients.
+
+    ``weight_decay`` adds L2 regularisation ``wd * p`` to every gradient
+    before the update rule (decoupled from the loss function, applied
+    identically by all optimizers here).
+    """
+
+    def __init__(
+        self, params: list[Parameter], lr: float, weight_decay: float = 0.0
+    ) -> None:
+        check_positive("lr", lr)
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.params = list(params)
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def _decay(self) -> None:
+        if self.weight_decay:
+            for p in self.params:
+                p.grad += self.weight_decay * p.value
+
+    @abstractmethod
+    def step(self) -> None:
+        """Apply one update from the current gradients."""
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        check_probability("momentum", momentum)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        self._decay()
+        for p, v in zip(self.params, self._velocity):
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.value += v
+
+
+class RMSprop(Optimizer):
+    """Keras-style RMSprop: ``a = rho a + (1-rho) g^2; p -= lr g / (sqrt(a)+eps)``."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        rho: float = 0.9,
+        eps: float = 1e-7,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        check_probability("rho", rho)
+        check_positive("eps", eps)
+        self.rho = rho
+        self.eps = eps
+        self._accum = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        self._decay()
+        for p, a in zip(self.params, self._accum):
+            a *= self.rho
+            a += (1.0 - self.rho) * p.grad**2
+            p.value -= self.lr * p.grad / (np.sqrt(a) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        check_probability("beta1", beta1)
+        check_probability("beta2", beta2)
+        check_positive("eps", eps)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._decay()
+        self._t += 1
+        correction1 = 1.0 - self.beta1**self._t
+        correction2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

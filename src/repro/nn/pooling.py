@@ -1,0 +1,174 @@
+"""Pooling / readout layers.
+
+DeepMap's readout is a summation over the vertex axis (Equation 7 as a
+layer); a concatenation readout is provided for the Section 6 ablation,
+and masked mean pooling serves the GNN baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Layer
+
+__all__ = [
+    "SumPool1D",
+    "MeanPool1D",
+    "MaxPool1D",
+    "GlobalMaxPool1D",
+    "Flatten",
+    "MaskedSumPool1D",
+]
+
+
+class SumPool1D(Layer):
+    """Sum over the length axis: ``(B, L, C) -> (B, C)``.
+
+    The paper's summation layer: with bias-free convolutions upstream,
+    dummy-vertex positions are exactly zero and contribute nothing.
+    """
+
+    def __init__(self) -> None:
+        self._length: int | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._length = x.shape[1]
+        return x.sum(axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._length is not None
+        return np.repeat(grad[:, None, :], self._length, axis=1)
+
+
+class MeanPool1D(Layer):
+    """Mean over the length axis: ``(B, L, C) -> (B, C)``."""
+
+    def __init__(self) -> None:
+        self._length: int | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._length = x.shape[1]
+        return x.mean(axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._length is not None
+        return np.repeat(grad[:, None, :] / self._length, self._length, axis=1)
+
+
+class MaxPool1D(Layer):
+    """Windowed max over the length axis: ``(B, L, C) -> (B, L', C)``.
+
+    DGCNN's original head uses MaxPool between its 1-D convolutions;
+    provided for paper-faithful configurations.
+    """
+
+    def __init__(self, pool_size: int = 2, stride: int | None = None) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        self._argmax: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+        self._idx: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch, length, channels = x.shape
+        if length < self.pool_size:
+            raise ValueError(
+                f"input length {length} shorter than pool {self.pool_size}"
+            )
+        l_out = (length - self.pool_size) // self.stride + 1
+        starts = np.arange(l_out) * self.stride
+        idx = starts[:, None] + np.arange(self.pool_size)[None, :]
+        windows = x[:, idx, :]  # (B, L', P, C)
+        arg = windows.argmax(axis=2)  # (B, L', C)
+        out = np.take_along_axis(windows, arg[:, :, None, :], axis=2)[:, :, 0, :]
+        self._argmax = arg
+        self._idx = idx
+        self._in_shape = x.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._argmax is not None and self._in_shape is not None
+        assert self._idx is not None
+        dx = np.zeros(self._in_shape, dtype=np.float64)
+        batch, l_out, channels = grad.shape
+        # Map window-local argmax back to absolute positions.
+        absolute = self._idx[np.arange(l_out)[:, None, None], self._argmax.transpose(1, 0, 2)]
+        # absolute shape: (L', B, C) -> transpose to (B, L', C)
+        absolute = absolute.transpose(1, 0, 2)
+        b_idx = np.arange(batch)[:, None, None]
+        c_idx = np.arange(channels)[None, None, :]
+        np.add.at(dx, (b_idx, absolute, c_idx), grad)
+        return dx
+
+
+class GlobalMaxPool1D(Layer):
+    """Max over the whole length axis: ``(B, L, C) -> (B, C)``."""
+
+    def __init__(self) -> None:
+        self._argmax: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._argmax = x.argmax(axis=1)  # (B, C)
+        self._in_shape = x.shape
+        return x.max(axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._argmax is not None and self._in_shape is not None
+        dx = np.zeros(self._in_shape, dtype=np.float64)
+        batch, _, channels = self._in_shape
+        b_idx = np.arange(batch)[:, None]
+        c_idx = np.arange(channels)[None, :]
+        dx[b_idx, self._argmax, c_idx] = grad
+        return dx
+
+
+class Flatten(Layer):
+    """Concatenate all non-batch axes: ``(B, ...) -> (B, prod(...))``.
+
+    The concatenation readout of the Section 6 discussion ("a possible
+    alternative is to use a concatenation layer").
+    """
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        return grad.reshape(self._shape)
+
+
+class MaskedSumPool1D(Layer):
+    """Sum over the length axis with an explicit validity mask.
+
+    The mask must be set (per batch) before ``forward``; baseline models
+    that pad graphs to a common vertex count use this to exclude padding
+    even when upstream layers carry biases.
+    """
+
+    def __init__(self) -> None:
+        self.mask: np.ndarray | None = None  # (B, L) of {0, 1}
+        self._length: int | None = None
+
+    def set_mask(self, mask: np.ndarray) -> None:
+        self.mask = np.asarray(mask, dtype=np.float64)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.mask is None:
+            raise RuntimeError("set_mask must be called before forward")
+        if self.mask.shape != x.shape[:2]:
+            raise ValueError(
+                f"mask shape {self.mask.shape} does not match input {x.shape[:2]}"
+            )
+        self._length = x.shape[1]
+        return (x * self.mask[:, :, None]).sum(axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self.mask is not None and self._length is not None
+        return grad[:, None, :] * self.mask[:, :, None]

@@ -1,0 +1,49 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+from repro.nn.optimizers import Optimizer
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["ReduceLROnPlateau"]
+
+
+class ReduceLROnPlateau:
+    """Halve the learning rate when the monitored loss stops improving.
+
+    Matches the paper's protocol: "decay the learning rate by 0.5 if the
+    number of epochs with no improvement in the loss reaches five."
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 5,
+        min_lr: float = 1e-6,
+        threshold: float = 1e-4,
+    ) -> None:
+        check_probability("factor", factor)
+        check_positive("patience", patience)
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.threshold = threshold
+        self._best = float("inf")
+        self._bad_epochs = 0
+
+    def step(self, loss: float) -> bool:
+        """Record an epoch loss; returns True if the rate was reduced."""
+        if loss < self._best - self.threshold:
+            self._best = loss
+            self._bad_epochs = 0
+            return False
+        self._bad_epochs += 1
+        if self._bad_epochs >= self.patience:
+            new_lr = max(self.optimizer.lr * self.factor, self.min_lr)
+            reduced = new_lr < self.optimizer.lr
+            self.optimizer.lr = new_lr
+            self._bad_epochs = 0
+            return reduced
+        return False

@@ -1,0 +1,6 @@
+"""From-scratch kernel C-SVM (LIBSVM substitute): SMO solver + classifier."""
+
+from repro.svm.smo import SMOResult, solve_smo
+from repro.svm.svc import DEFAULT_C_GRID, KernelSVC, select_c
+
+__all__ = ["SMOResult", "solve_smo", "KernelSVC", "select_c", "DEFAULT_C_GRID"]

@@ -1,0 +1,190 @@
+"""SMO solver for the dual C-SVM with maximal-violating-pair selection.
+
+Solves, for a precomputed kernel matrix ``K`` and labels ``y in {-1, +1}``:
+
+    min_a  1/2 a^T Q a - e^T a      (Q_ij = y_i y_j K_ij)
+    s.t.   0 <= a_i <= C,   y^T a = 0
+
+This is the optimisation problem LIBSVM solves, and we use LIBSVM's
+working-set strategy (Keerthi et al. 2001; Fan et al. 2005, WSS1): each
+iteration analytically optimises the pair of multipliers with the largest
+KKT violation, updating a maintained gradient in O(n).  Convergence is
+declared when the maximal violation drops below ``tol``.
+
+The paper's kernel baselines use a binary C-SVM with per-fold C selection;
+``repro.svm.svc`` builds that classifier on top of this solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["SMOResult", "solve_smo"]
+
+
+@dataclass
+class SMOResult:
+    """Solution of the dual problem.
+
+    Attributes
+    ----------
+    alpha:
+        Dual coefficients, ``0 <= alpha_i <= C``.
+    bias:
+        Intercept ``b`` of the decision function
+        ``f(x) = sum_i alpha_i y_i K(x_i, x) + b``.
+    iterations:
+        Number of pair optimisations performed.
+    converged:
+        Whether the maximal KKT violation fell below tolerance.
+    """
+
+    alpha: np.ndarray
+    bias: float
+    iterations: int
+    converged: bool
+
+    def support_indices(self, tol: float = 1e-8) -> np.ndarray:
+        """Indices with non-negligible dual weight."""
+        return np.nonzero(self.alpha > tol)[0]
+
+
+def solve_smo(
+    kernel: np.ndarray,
+    y: np.ndarray,
+    c: float,
+    tol: float = 1e-3,
+    max_iter: int | None = None,
+    seed: int | None = 0,  # kept for API stability; the solver is deterministic
+) -> SMOResult:
+    """Run SMO with maximal-violating-pair selection.
+
+    Parameters
+    ----------
+    kernel:
+        ``(n, n)`` symmetric PSD matrix.
+    y:
+        ``(n,)`` labels in ``{-1, +1}``.
+    c:
+        Box constraint ``C > 0``.
+    tol:
+        Stopping tolerance on the maximal KKT violation.
+    max_iter:
+        Hard cap on pair optimisations (scaled guard; typical problems
+        finish in a few times ``n`` iterations).
+    """
+    check_positive("c", c)
+    k = np.asarray(kernel, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = y.size
+    if k.shape != (n, n):
+        raise ValueError(f"kernel shape {k.shape} does not match {n} labels")
+    if not np.all(np.isin(y, (-1.0, 1.0))):
+        raise ValueError("labels must be -1 or +1")
+    if n == 0:
+        return SMOResult(np.zeros(0), 0.0, 0, True)
+    if max_iter is None:
+        # WSS1 converges linearly; the tail needs many cheap iterations on
+        # hard problems, so scale the guard with the problem size.
+        max_iter = max(20000, 200 * n)
+
+    alpha = np.zeros(n)
+    # Gradient of the dual objective: g = Q alpha - e; starts at -e.
+    grad = -np.ones(n)
+
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        i, j, violation = _select_pair(y, alpha, grad, c)
+        if violation <= tol:
+            converged = True
+            it -= 1
+            break
+
+        # Two-variable subproblem on (i, j) — LIBSVM's analytic update.
+        # The curvature along the feasible direction is the squared kernel
+        # distance ||phi_i - phi_j||^2 for BOTH label configurations.
+        quad = max(k[i, i] + k[j, j] - 2.0 * k[i, j], 1e-12)
+        # Progress along the feasible direction.
+        delta = (-y[i] * grad[i] + y[j] * grad[j]) / quad
+
+        a_i_old, a_j_old = alpha[i], alpha[j]
+        # Move alpha_i by y_i*delta, alpha_j by -y_j*delta, then clip to box
+        # while preserving the equality constraint.
+        da_i = y[i] * delta
+        da_j = -y[j] * delta
+        a_i = a_i_old + da_i
+        a_j = a_j_old + da_j
+
+        # Clip jointly: the pair moves on the line a_i y_i + a_j y_j = const.
+        if y[i] == y[j]:
+            total = a_i_old + a_j_old
+            a_i = float(np.clip(a_i, max(0.0, total - c), min(c, total)))
+            a_j = total - a_i
+        else:
+            diff = a_i_old - a_j_old
+            a_i = float(np.clip(a_i, max(0.0, diff), min(c, c + diff)))
+            a_j = a_i - diff
+        # Snap to exact bounds: float residue (~1e-16) would otherwise make
+        # an at-bound multiplier look movable to the working-set selection.
+        a_i = 0.0 if a_i < 1e-12 else (c if a_i > c - 1e-12 else a_i)
+        a_j = 0.0 if a_j < 1e-12 else (c if a_j > c - 1e-12 else a_j)
+
+        d_i = a_i - a_i_old
+        d_j = a_j - a_j_old
+        if abs(d_i) < 1e-14 and abs(d_j) < 1e-14:
+            # The selected pair cannot move (box corner): numerically stuck.
+            break
+        alpha[i], alpha[j] = a_i, a_j
+        # Gradient update: g += Q[:, i] d_i + Q[:, j] d_j.
+        grad += (y * k[:, i]) * (y[i] * d_i) + (y * k[:, j]) * (y[j] * d_j)
+
+    bias = _compute_bias(y, alpha, grad, c, tol)
+    return SMOResult(alpha=alpha, bias=bias, iterations=it, converged=converged)
+
+
+def _select_pair(
+    y: np.ndarray, alpha: np.ndarray, grad: np.ndarray, c: float
+) -> tuple[int, int, float]:
+    """Maximal-violating pair (WSS1).
+
+    ``I_up``: indices whose multiplier can increase along +y direction;
+    ``I_down``: indices that can decrease.  The violation is
+    ``max_{I_up}(-y g) - min_{I_down}(-y g)``.
+    """
+    neg_yg = -y * grad
+    up = ((y > 0) & (alpha < c)) | ((y < 0) & (alpha > 0))
+    down = ((y > 0) & (alpha > 0)) | ((y < 0) & (alpha < c))
+    if not up.any() or not down.any():
+        return 0, 0, 0.0
+    up_idx = np.nonzero(up)[0]
+    down_idx = np.nonzero(down)[0]
+    i = int(up_idx[np.argmax(neg_yg[up_idx])])
+    j = int(down_idx[np.argmin(neg_yg[down_idx])])
+    violation = float(neg_yg[i] - neg_yg[j])
+    return i, j, violation
+
+
+def _compute_bias(
+    y: np.ndarray, alpha: np.ndarray, grad: np.ndarray, c: float, tol: float
+) -> float:
+    """Bias from the KKT conditions at the solution.
+
+    For free (non-bound) multipliers, ``y_i f(x_i) = 1`` exactly, and
+    ``-y_i g_i = y_i - f_i + b... `` — in LIBSVM's convention the bias is
+    the midpoint of the feasible interval of ``-y g`` values; free
+    multipliers pin it exactly.
+    """
+    neg_yg = -y * grad
+    free = (alpha > tol) & (alpha < c - tol)
+    if free.any():
+        return float(np.mean(neg_yg[free]))
+    up = ((y > 0) & (alpha < c - tol)) | ((y < 0) & (alpha > tol))
+    down = ((y > 0) & (alpha > tol)) | ((y < 0) & (alpha < c - tol))
+    hi = neg_yg[up].max() if up.any() else 0.0
+    lo = neg_yg[down].min() if down.any() else 0.0
+    return float((hi + lo) / 2.0)

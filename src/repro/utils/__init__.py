@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG handling, validation, timing."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_fitted,
+    check_labels,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_fitted",
+    "check_labels",
+    "check_positive",
+    "check_probability",
+]

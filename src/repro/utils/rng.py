@@ -1,0 +1,41 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None``, an ``int``, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`as_rng` normalises all three into a
+``Generator`` so downstream code never touches global numpy state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_rng", "spawn_rngs"]
+
+
+def as_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a reproducible stream, or an
+        existing ``Generator`` which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``n`` independent generators.
+
+    Used when a dataset generator or a cross-validation loop needs one
+    stream per item so that changing the order of consumption does not
+    change what each item sees.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = as_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

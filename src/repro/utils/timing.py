@@ -1,0 +1,31 @@
+"""Wall-clock timing helper used by the runtime benchmarks (Table 5)."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self.start is not None
+        self.elapsed = time.perf_counter() - self.start

@@ -1,0 +1,43 @@
+"""Lightweight argument validation helpers used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_positive", "check_probability", "check_labels", "check_fitted"]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def check_labels(y: np.ndarray | list) -> np.ndarray:
+    """Validate a 1-D class-label vector and return it as an int array."""
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("labels must be non-empty")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(np.equal(np.mod(arr, 1), 0)):
+            raise ValueError("labels must be integers")
+        arr = arr.astype(np.int64)
+    return arr.astype(np.int64)
+
+
+def check_fitted(obj: object, attribute: str) -> None:
+    """Raise ``RuntimeError`` if ``obj`` lacks a fitted ``attribute``."""
+    if getattr(obj, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(obj).__name__} is not fitted; call fit() before using it"
+        )

@@ -1,0 +1,74 @@
+"""Tests for the GAT baseline (attention with hand-derived backward)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GATClassifier
+from repro.baselines.gat import GATNetwork, _AttentionHead
+from tests.baselines.test_networks import _check_params, _toy_batch
+
+TOL = 5e-6
+
+
+class TestAttentionHead:
+    def test_attention_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        head = _AttentionHead(3, 4, rng)
+        h = rng.normal(size=(2, 5, 3))
+        attend = np.ones((2, 5, 5))
+        head.forward(h, attend)
+        _, _, alpha, _, _ = head._cache
+        assert np.allclose(alpha.sum(axis=2), 1.0)
+
+    def test_masked_entries_zero(self):
+        rng = np.random.default_rng(1)
+        head = _AttentionHead(3, 4, rng)
+        h = rng.normal(size=(1, 4, 3))
+        attend = np.eye(4)[None]  # self-attention only
+        head.forward(h, attend)
+        _, _, alpha, _, _ = head._cache
+        assert np.allclose(alpha, np.eye(4)[None])
+
+    def test_self_only_attention_is_linear(self):
+        """With self-attention only, the head reduces to h W."""
+        rng = np.random.default_rng(2)
+        head = _AttentionHead(3, 4, rng)
+        h = rng.normal(size=(1, 4, 3))
+        out = head.forward(h, np.eye(4)[None])
+        assert np.allclose(out, h @ head.weight.value)
+
+
+class TestGATGradients:
+    def test_exact(self):
+        inputs, y = _toy_batch()
+        net = GATNetwork(
+            in_dim=4, hidden=3, num_layers=2, num_classes=2,
+            heads=2, dropout=0.0, rng=0,
+        )
+        assert _check_params(net, inputs, y) < TOL
+
+    def test_single_head_single_layer(self):
+        inputs, y = _toy_batch()
+        net = GATNetwork(
+            in_dim=4, hidden=5, num_layers=1, num_classes=2,
+            heads=1, dropout=0.0, rng=1,
+        )
+        assert _check_params(net, inputs, y) < TOL
+
+
+class TestEstimator:
+    def test_fit_predict(self, small_dataset):
+        graphs, y = small_dataset
+        model = GATClassifier(epochs=5, seed=0)
+        model.fit(graphs, y)
+        assert model.predict(graphs).shape == (len(graphs),)
+
+    def test_learns(self, small_dataset):
+        graphs, y = small_dataset
+        model = GATClassifier(epochs=30, seed=0)
+        model.fit(graphs, y)
+        assert model.score(graphs, y) >= 0.7
+
+    def test_rejects_bad_heads(self):
+        with pytest.raises(ValueError):
+            GATNetwork(in_dim=2, hidden=2, num_layers=1, num_classes=2, heads=0)

@@ -1,0 +1,70 @@
+"""Tests for the GCN / GraphSAGE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GCNClassifier
+from repro.baselines.gcn import GCNNetwork, _gcn_propagation, _mean_propagation
+from repro.features import WLVertexFeatures
+from tests.baselines.test_networks import _check_params, _toy_batch
+
+TOL = 1e-6
+
+
+class TestPropagationMatrices:
+    def test_gcn_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = (rng.random((2, 5, 5)) < 0.4).astype(float)
+        a = np.triu(a, 1)
+        a = a + np.swapaxes(a, 1, 2)
+        p = _gcn_propagation(a)
+        assert np.allclose(p, np.swapaxes(p, 1, 2))
+
+    def test_mean_rows_normalised(self):
+        a = np.zeros((1, 3, 3))
+        a[0, 0, 1] = a[0, 1, 0] = 1.0
+        a[0, 0, 2] = a[0, 2, 0] = 1.0
+        p = _mean_propagation(a)
+        assert np.allclose(p[0, 0].sum(), 1.0)
+
+    def test_mean_zero_degree_row_stays_zero(self):
+        a = np.zeros((1, 2, 2))
+        p = _mean_propagation(a)
+        assert np.allclose(p, 0.0)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("aggregator", ["gcn", "sage"])
+    def test_exact(self, aggregator):
+        inputs, y = _toy_batch()
+        net = GCNNetwork(
+            in_dim=4, hidden=5, num_layers=2, num_classes=2,
+            aggregator=aggregator, dropout=0.0, rng=0,
+        )
+        assert _check_params(net, inputs, y) < TOL
+
+    def test_rejects_bad_aggregator(self):
+        with pytest.raises(ValueError, match="aggregator"):
+            GCNNetwork(in_dim=2, hidden=2, num_layers=1, num_classes=2,
+                       aggregator="max")
+
+
+class TestEstimator:
+    @pytest.mark.parametrize("aggregator", ["gcn", "sage"])
+    def test_fit_predict(self, aggregator, small_dataset):
+        graphs, y = small_dataset
+        model = GCNClassifier(aggregator=aggregator, epochs=5, seed=0)
+        model.fit(graphs, y)
+        assert model.predict(graphs).shape == (len(graphs),)
+
+    def test_learns(self, small_dataset):
+        graphs, y = small_dataset
+        model = GCNClassifier(epochs=30, seed=0)
+        model.fit(graphs, y)
+        assert model.score(graphs, y) >= 0.7
+
+    def test_vertex_feature_map_inputs(self, small_dataset):
+        graphs, y = small_dataset
+        model = GCNClassifier(features=WLVertexFeatures(h=1), epochs=3, seed=0)
+        model.fit(graphs, y)
+        assert model.predict(graphs).shape == (len(graphs),)

@@ -1,0 +1,191 @@
+"""Gradient checks and training smoke tests for the four GNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DCNNClassifier,
+    DGCNNClassifier,
+    GINClassifier,
+    PatchySanClassifier,
+)
+from repro.baselines.dcnn import DCNNNetwork, diffusion_features
+from repro.baselines.dgcnn import DGCNNNetwork, SortPooling
+from repro.baselines.gin import GINNetwork
+from repro.features import WLVertexFeatures
+from repro.graph import Graph, cycle_graph, path_graph, star_graph
+from repro.nn import SoftmaxCrossEntropy
+
+EPS = 1e-6
+TOL = 1e-6
+
+
+def _check_params(net, inputs, y):
+    # Jitter biases away from zero: zero-initialised biases put the padded
+    # all-zero rows exactly on the ReLU kink, where central finite
+    # differences measure the average of the one-sided slopes instead of
+    # the subgradient backprop uses.
+    rng = np.random.default_rng(123)
+    for p in net.parameters():
+        if p.value.ndim == 1:
+            p.value += rng.normal(0.0, 0.3, size=p.value.shape)
+    lf = SoftmaxCrossEntropy()
+
+    def loss():
+        return lf.forward(net.forward(inputs, training=False), y)
+
+    loss()
+    net.zero_grad()
+    net.backward(lf.backward())
+    worst = 0.0
+    for p in net.parameters():
+        flat, grad = p.value.ravel(), p.grad.ravel()
+        for i in range(0, flat.size, max(1, flat.size // 7)):
+            orig = flat[i]
+            flat[i] = orig + EPS
+            up = loss()
+            flat[i] = orig - EPS
+            down = loss()
+            flat[i] = orig
+            worst = max(worst, abs((up - down) / (2 * EPS) - grad[i]))
+    return worst
+
+
+def _toy_batch(seed=0, b=3, w=6, d=4):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(b, w, d))
+    a = (rng.random((b, w, w)) < 0.4).astype(float)
+    a = np.triu(a, 1)
+    a = a + np.swapaxes(a, 1, 2)
+    mask = np.ones((b, w))
+    mask[0, 4:] = 0
+    x[0, 4:] = 0
+    a[0, 4:, :] = 0
+    a[0, :, 4:] = 0
+    y = np.arange(b) % 2
+    return (x, a, mask), y
+
+
+class TestGINGradients:
+    def test_exact(self):
+        inputs, y = _toy_batch()
+        net = GINNetwork(in_dim=4, hidden=5, num_layers=2, num_classes=2, dropout=0.0, rng=0)
+        assert _check_params(net, inputs, y) < TOL
+
+    def test_padding_invariance(self):
+        """Extra padded vertices never change the logits."""
+        (x, a, mask), _ = _toy_batch()
+        net = GINNetwork(in_dim=4, hidden=5, num_layers=2, num_classes=2, dropout=0.0, rng=0)
+        out = net.forward((x, a, mask))
+        pad = 3
+        x2 = np.concatenate([x, np.zeros((3, pad, 4))], axis=1)
+        a2 = np.zeros((3, 9, 9))
+        a2[:, :6, :6] = a
+        mask2 = np.concatenate([mask, np.zeros((3, pad))], axis=1)
+        out2 = net.forward((x2, a2, mask2))
+        assert np.allclose(out, out2)
+
+
+class TestDGCNNGradients:
+    def test_exact(self):
+        inputs, y = _toy_batch()
+        net = DGCNNNetwork(
+            in_dim=4, num_classes=2, conv_channels=(5, 1), sort_k=3,
+            dropout=0.0, rng=0,
+        )
+        assert _check_params(net, inputs, y) < TOL
+
+
+class TestSortPooling:
+    def test_sorts_by_last_channel(self):
+        z = np.zeros((1, 4, 2))
+        z[0, :, 1] = [0.1, 0.9, 0.5, 0.3]
+        mask = np.ones((1, 4))
+        out = SortPooling(k=2).forward(z, mask)
+        assert np.allclose(out[0, :, 1], [0.9, 0.5])
+
+    def test_padding_sorts_last(self):
+        z = np.zeros((1, 3, 1))
+        z[0, :, 0] = [5.0, 9.0, 7.0]
+        mask = np.array([[1.0, 0.0, 1.0]])  # vertex 1 is padding
+        out = SortPooling(k=2).forward(z, mask)
+        assert np.allclose(out[0, :, 0], [7.0, 5.0])
+
+    def test_fewer_than_k_zero_padded(self):
+        z = np.ones((1, 2, 1))
+        mask = np.array([[1.0, 0.0]])
+        out = SortPooling(k=3).forward(z, mask)
+        assert np.allclose(out[0, 1:], 0.0)
+
+    def test_backward_scatter(self):
+        z = np.zeros((1, 3, 1))
+        z[0, :, 0] = [1.0, 3.0, 2.0]
+        mask = np.ones((1, 3))
+        sp = SortPooling(k=2)
+        sp.forward(z, mask)
+        grad = np.array([[[10.0], [20.0]]])
+        dz = sp.backward(grad)
+        assert dz[0, 1, 0] == 10.0  # top vertex
+        assert dz[0, 2, 0] == 20.0
+        assert dz[0, 0, 0] == 0.0
+
+
+class TestDCNN:
+    def test_gradients(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 3, 5))
+        y = np.array([0, 1, 0, 1])
+        net = DCNNNetwork(hops=3, in_dim=5, num_classes=2, rng=0)
+        assert _check_params(net, x, y) < TOL
+
+    def test_diffusion_features_shape(self):
+        g = cycle_graph(5)
+        x = np.eye(5)
+        f = diffusion_features(g, x, hops=3)
+        assert f.shape == (3, 5)
+
+    def test_diffusion_rows_are_distributions(self):
+        g = star_graph(5)
+        x = np.eye(5)
+        f = diffusion_features(g, x, hops=2)
+        assert np.allclose(f.sum(axis=1), 1.0)
+
+
+class TestEstimators:
+    @pytest.mark.parametrize(
+        "cls", [GINClassifier, DGCNNClassifier, DCNNClassifier, PatchySanClassifier]
+    )
+    def test_fit_predict(self, cls, small_dataset):
+        graphs, y = small_dataset
+        model = cls(epochs=5, seed=0)
+        model.fit(graphs, y)
+        preds = model.predict(graphs)
+        assert preds.shape == (len(graphs),)
+        assert set(preds) <= {0, 1}
+
+    @pytest.mark.parametrize(
+        "cls", [GINClassifier, DGCNNClassifier, DCNNClassifier, PatchySanClassifier]
+    )
+    def test_vertex_feature_map_inputs(self, cls, small_dataset):
+        """Table 4 mode: baselines fed DeepMap's vertex feature maps."""
+        graphs, y = small_dataset
+        model = cls(features=WLVertexFeatures(h=1), epochs=3, seed=0)
+        model.fit(graphs, y)
+        assert model.predict(graphs).shape == (len(graphs),)
+
+    def test_gin_learns(self, small_dataset):
+        graphs, y = small_dataset
+        model = GINClassifier(epochs=25, seed=0)
+        model.fit(graphs, y)
+        assert model.score(graphs, y) >= 0.75
+
+    def test_unfitted_predict_raises(self, small_dataset):
+        graphs, _ = small_dataset
+        with pytest.raises(RuntimeError):
+            GINClassifier().predict(graphs)
+
+    def test_validation_history(self, small_dataset):
+        graphs, y = small_dataset
+        model = GINClassifier(epochs=3, seed=0)
+        model.fit(graphs[:8], y[:8], validation=(graphs[8:], y[8:]))
+        assert len(model.history_.val_accuracy) == 3

@@ -1,0 +1,74 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph import Graph, erdos_renyi
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3 with labels 0, 1, 2."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)], [0, 1, 2])
+
+
+@pytest.fixture
+def paper_example_graph() -> Graph:
+    """A small labeled graph resembling Fig. 2(b): labels {1, 2, 3, 4}."""
+    #      1 - 4 - 3
+    #          |   |
+    #          3 - 2
+    return Graph(
+        5,
+        [(0, 1), (1, 2), (1, 3), (2, 4), (3, 4)],
+        [1, 4, 3, 3, 2],
+    )
+
+
+@pytest.fixture
+def small_dataset():
+    """12 connected labeled graphs in two structural classes."""
+    rng = np.random.default_rng(42)
+    graphs, labels = [], []
+    for i in range(12):
+        p = 0.25 if i % 2 == 0 else 0.6
+        g = erdos_renyi(8, p, rng)
+        from repro.graph import ensure_connected
+
+        g = ensure_connected(g, rng)
+        g = g.with_labels((np.arange(8) % 3).tolist())
+        graphs.append(g)
+        labels.append(i % 2)
+    return graphs, np.array(labels)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def random_graphs(draw, min_nodes: int = 1, max_nodes: int = 10, max_labels: int = 3):
+    """Strategy producing small random labeled graphs."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+        if possible
+        else st.just([])
+    )
+    labels = draw(
+        st.lists(
+            st.integers(0, max_labels - 1), min_size=n, max_size=n
+        )
+    )
+    return Graph(n, edges, labels)
+
+
+@st.composite
+def permutations_of(draw, n: int):
+    """Strategy producing a permutation of 0..n-1."""
+    perm = draw(st.permutations(list(range(n))))
+    return list(perm)

@@ -1,0 +1,70 @@
+"""Tests for vertex-sequence alignment."""
+
+import numpy as np
+import pytest
+
+from repro.core import ORDERINGS, centrality_scores, vertex_sequence
+from repro.graph import Graph, cycle_graph, path_graph, star_graph
+
+
+class TestCentralityScores:
+    def test_eigenvector_default(self):
+        g = star_graph(5)
+        scores = centrality_scores(g, "eigenvector")
+        assert np.argmax(scores) == 0
+
+    def test_degree_ordering(self):
+        g = star_graph(5)
+        scores = centrality_scores(g, "degree")
+        assert scores[0] == 1.0
+
+    def test_canonical_is_permutation_score(self):
+        g = path_graph(4)
+        scores = centrality_scores(g, "canonical")
+        assert sorted(scores.tolist()) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            centrality_scores(cycle_graph(4), "alphabetical")
+
+    def test_all_orderings_listed(self):
+        for ordering in ORDERINGS:
+            centrality_scores(cycle_graph(4), ordering)
+
+
+class TestVertexSequence:
+    def test_star_center_first(self):
+        g = star_graph(6)
+        seq = vertex_sequence(g)
+        assert seq[0] == 0
+
+    def test_path_middle_first(self):
+        g = path_graph(5)
+        seq = vertex_sequence(g)
+        assert seq[0] == 2
+
+    def test_is_permutation(self):
+        g = cycle_graph(7)
+        assert sorted(vertex_sequence(g).tolist()) == list(range(7))
+
+    def test_ties_broken_by_degree_then_label(self):
+        # Two components: a triangle (degree 2) and an edge (degree 1);
+        # eigenvector centrality concentrates on the triangle.
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (3, 4)], [1, 0, 1, 0, 0])
+        seq = vertex_sequence(g).tolist()
+        assert set(seq[:3]) == {0, 1, 2}
+        # Within the triangle, equal centrality and degree: label ascending.
+        assert seq[0] == 1  # label 0 before label 1
+
+    def test_custom_scores(self):
+        g = path_graph(3)
+        seq = vertex_sequence(g, scores=np.array([0.1, 0.2, 0.9]))
+        assert seq.tolist() == [2, 1, 0]
+
+    def test_rejects_bad_scores_shape(self):
+        with pytest.raises(ValueError):
+            vertex_sequence(path_graph(3), scores=np.zeros(2))
+
+    def test_deterministic(self):
+        g = cycle_graph(8)
+        assert np.array_equal(vertex_sequence(g), vertex_sequence(g))

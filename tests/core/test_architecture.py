@@ -1,0 +1,86 @@
+"""Tests for the Fig. 4 CNN architecture."""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_CHANNELS, build_deepmap_cnn
+from repro.nn import Conv1D, Dense, Dropout, SumPool1D
+from repro.nn.pooling import Flatten
+
+
+class TestStructure:
+    def test_layer_sequence(self):
+        net = build_deepmap_cnn(m=7, r=3, num_classes=2)
+        convs = [l for l in net.layers if isinstance(l, Conv1D)]
+        assert len(convs) == 3
+        assert convs[0].kernel_size == 3 and convs[0].stride == 3
+        assert convs[1].kernel_size == 1 and convs[2].kernel_size == 1
+
+    def test_channel_plan(self):
+        net = build_deepmap_cnn(m=7, r=3, num_classes=2)
+        convs = [l for l in net.layers if isinstance(l, Conv1D)]
+        assert tuple(c.out_channels for c in convs) == DEFAULT_CHANNELS
+
+    def test_convs_bias_free(self):
+        net = build_deepmap_cnn(m=7, r=3, num_classes=2)
+        convs = [l for l in net.layers if isinstance(l, Conv1D)]
+        assert all(c.bias is None for c in convs)
+
+    def test_has_dropout_and_sum_pool(self):
+        net = build_deepmap_cnn(m=4, r=2, num_classes=3)
+        assert any(isinstance(l, Dropout) for l in net.layers)
+        assert any(isinstance(l, SumPool1D) for l in net.layers)
+
+    def test_output_shape(self):
+        net = build_deepmap_cnn(m=5, r=4, num_classes=3)
+        x = np.random.default_rng(0).normal(size=(2, 5 * 4, 5))  # w=5
+        assert net.forward(x).shape == (2, 3)
+
+
+class TestDummyInvariance:
+    def test_padding_does_not_change_logits(self):
+        """Appending all-zero dummy slots leaves logits unchanged — the
+        property Theorem 1 relies on (bias-free convs + sum readout)."""
+        rng = np.random.default_rng(0)
+        net = build_deepmap_cnn(m=6, r=2, num_classes=2, rng=1)
+        x = rng.normal(size=(3, 4 * 2, 6))
+        padded = np.concatenate([x, np.zeros((3, 6 * 2, 6))], axis=1)
+        assert np.allclose(net.forward(x), net.forward(padded))
+
+    def test_zero_input_gives_constant_logits(self):
+        net = build_deepmap_cnn(m=4, r=2, num_classes=2, rng=0)
+        out1 = net.forward(np.zeros((1, 8, 4)))
+        out2 = net.forward(np.zeros((1, 16, 4)))
+        assert np.allclose(out1, out2)
+
+
+class TestConcatReadout:
+    def test_concat_requires_w(self):
+        with pytest.raises(ValueError, match="requires w"):
+            build_deepmap_cnn(m=4, r=2, num_classes=2, readout="concat")
+
+    def test_concat_forward(self):
+        net = build_deepmap_cnn(m=4, r=2, num_classes=2, readout="concat", w=5)
+        assert any(isinstance(l, Flatten) for l in net.layers)
+        x = np.zeros((2, 10, 4))
+        assert net.forward(x).shape == (2, 2)
+
+    def test_unknown_readout_rejected(self):
+        with pytest.raises(ValueError, match="unknown readout"):
+            build_deepmap_cnn(m=4, r=2, num_classes=2, readout="max")
+
+
+class TestTrainability:
+    def test_gradient_flow(self):
+        from repro.nn import SoftmaxCrossEntropy
+
+        rng = np.random.default_rng(0)
+        net = build_deepmap_cnn(m=4, r=2, num_classes=2, rng=0)
+        x = rng.normal(size=(4, 6, 4))
+        y = np.array([0, 1, 0, 1])
+        lf = SoftmaxCrossEntropy()
+        lf.forward(net.forward(x, training=True), y)
+        net.zero_grad()
+        net.backward(lf.backward())
+        grads = [np.abs(p.grad).sum() for p in net.parameters()]
+        assert all(g > 0 for g in grads)

@@ -1,0 +1,71 @@
+"""Gradient and training checks for both DeepMap readout variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_deepmap_cnn
+from repro.nn import SoftmaxCrossEntropy
+
+
+def _grad_check(net, x, y, tol=1e-7):
+    lf = SoftmaxCrossEntropy()
+
+    def loss():
+        return lf.forward(net.forward(x, training=False), y)
+
+    loss()
+    net.zero_grad()
+    net.backward(lf.backward())
+    eps, worst = 1e-6, 0.0
+    for p in net.parameters():
+        flat, grad = p.value.ravel(), p.grad.ravel()
+        for i in range(0, flat.size, max(1, flat.size // 9)):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = loss()
+            flat[i] = orig - eps
+            down = loss()
+            flat[i] = orig
+            worst = max(worst, abs((up - down) / (2 * eps) - grad[i]))
+    return worst
+
+
+class TestReadoutGradients:
+    def test_sum_readout_exact(self):
+        rng = np.random.default_rng(0)
+        net = build_deepmap_cnn(m=5, r=3, num_classes=3, rng=1)
+        x = rng.normal(size=(4, 4 * 3, 5))
+        y = np.array([0, 1, 2, 0])
+        assert _grad_check(net, x, y) < 1e-7
+
+    def test_concat_readout_exact(self):
+        rng = np.random.default_rng(1)
+        net = build_deepmap_cnn(m=5, r=3, num_classes=2, readout="concat", w=4, rng=2)
+        x = rng.normal(size=(3, 4 * 3, 5))
+        y = np.array([0, 1, 0])
+        assert _grad_check(net, x, y) < 1e-7
+
+    def test_custom_channels_and_dense(self):
+        rng = np.random.default_rng(2)
+        net = build_deepmap_cnn(
+            m=4, r=2, num_classes=2, channels=(8, 4, 2), dense_units=16, rng=3
+        )
+        x = rng.normal(size=(2, 6, 4))
+        y = np.array([0, 1])
+        assert _grad_check(net, x, y) < 1e-7
+
+    def test_parameter_count_independent_of_w(self):
+        """Sum readout makes the network size-invariant: parameter count
+        must not depend on the sequence length w."""
+        a = build_deepmap_cnn(m=6, r=3, num_classes=2, rng=0)
+        b = build_deepmap_cnn(m=6, r=3, num_classes=2, rng=0)
+        xa = np.zeros((1, 5 * 3, 6))
+        xb = np.zeros((1, 50 * 3, 6))
+        a.forward(xa)
+        b.forward(xb)
+        assert a.num_parameters() == b.num_parameters()
+
+    def test_concat_parameters_grow_with_w(self):
+        a = build_deepmap_cnn(m=6, r=3, num_classes=2, readout="concat", w=5, rng=0)
+        b = build_deepmap_cnn(m=6, r=3, num_classes=2, readout="concat", w=50, rng=0)
+        assert b.num_parameters() > a.num_parameters()

@@ -1,0 +1,40 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import deepmap_wl
+from repro.core.persistence import load_model, save_model
+
+
+class TestPersistence:
+    def test_roundtrip_predictions_identical(self, small_dataset, tmp_path):
+        graphs, y = small_dataset
+        model = deepmap_wl(h=1, r=3, epochs=3, seed=0).fit(graphs, y)
+        path = tmp_path / "model.pkl"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(model.predict(graphs), restored.predict(graphs))
+        assert np.allclose(model.transform(graphs), restored.transform(graphs))
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_model(deepmap_wl(), tmp_path / "x.pkl")
+
+    def test_wrong_version_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"format_version": 999, "model": None}, fh)
+        with pytest.raises(ValueError, match="version"):
+            load_model(path)
+
+    def test_wrong_payload_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"format_version": 1, "model": 42}, fh)
+        with pytest.raises(ValueError, match="DeepMapClassifier"):
+            load_model(path)

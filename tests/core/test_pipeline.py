@@ -1,0 +1,114 @@
+"""Tests for the Algorithm 1 encoding pipeline, including Theorem 1."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeepMapEncoder
+from repro.features import WLVertexFeatures, extract_vertex_feature_matrices
+from repro.graph import Graph, cycle_graph, path_graph, star_graph
+
+
+def _encode(graphs, r=3, ordering="eigenvector"):
+    matrices, _ = extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=1))
+    encoder = DeepMapEncoder(r=r, ordering=ordering).fit(graphs)
+    return encoder.encode(graphs, matrices), matrices
+
+
+class TestShapes:
+    def test_tensor_shape(self):
+        graphs = [cycle_graph(5), star_graph(7), path_graph(3)]
+        enc, _ = _encode(graphs, r=3)
+        assert enc.w == 7
+        assert enc.tensors.shape == (3, 7 * 3, enc.m)
+
+    def test_vertex_mask(self):
+        graphs = [path_graph(3), path_graph(5)]
+        enc, _ = _encode(graphs, r=2)
+        assert enc.vertex_mask[0].sum() == 3
+        assert enc.vertex_mask[1].sum() == 5
+
+    def test_explicit_w(self):
+        graphs = [path_graph(3)]
+        matrices, _ = extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=1))
+        enc = DeepMapEncoder(r=2, w=10).encode(graphs, matrices)
+        assert enc.tensors.shape[1] == 20
+
+    def test_larger_graph_truncated_to_w(self):
+        train = [path_graph(4)]
+        matrices, vocab = extract_vertex_feature_matrices(train, WLVertexFeatures(h=1))
+        encoder = DeepMapEncoder(r=2).fit(train)
+        big = [path_graph(9)]
+        counts = WLVertexFeatures(h=1).extract(big)
+        big_matrices = [vocab.vectorize_rows(counts[0])]
+        enc = encoder.encode(big, big_matrices)
+        assert enc.tensors.shape[1] == 4 * 2
+
+
+class TestDummyZeroProperty:
+    def test_padding_rows_zero(self):
+        graphs = [path_graph(2), path_graph(6)]
+        enc, _ = _encode(graphs, r=3)
+        # Graph 0 has 2 vertices; slots 2..5 must be all-zero.
+        padding = enc.tensors[0, 2 * 3 :, :]
+        assert np.allclose(padding, 0.0)
+
+    def test_unfilled_field_rows_zero(self):
+        graphs = [path_graph(2)]
+        enc, _ = _encode(graphs, r=4)
+        # Each vertex's field has 2 real slots and 2 dummy rows.
+        slot0 = enc.tensors[0, :4, :]
+        assert np.allclose(slot0[2:], 0.0)
+        assert not np.allclose(slot0[:2], 0.0)
+
+
+class TestTheorem1:
+    """Isomorphic graphs produce identical CNN input tensors (hence
+    identical deep feature maps after the summation layer)."""
+
+    @pytest.mark.parametrize("ordering", ["eigenvector", "degree"])
+    def test_isomorphic_tensors_equal(self, ordering):
+        # Star with labeled arms: distinct centralities break all ties.
+        g = Graph(
+            6,
+            [(0, 1), (0, 2), (0, 3), (3, 4), (4, 5)],
+            [0, 1, 1, 2, 0, 1],
+        )
+        perm = [5, 3, 1, 0, 2, 4]
+        h = g.relabel_vertices(perm)
+        matrices, _ = extract_vertex_feature_matrices([g, h], WLVertexFeatures(h=2))
+        enc = DeepMapEncoder(r=3, ordering=ordering).fit([g, h]).encode(
+            [g, h], matrices
+        )
+        assert np.allclose(enc.tensors[0], enc.tensors[1])
+
+    def test_cycle_summed_maps_equal(self):
+        """Even with ties (vertex-transitive cycle), the *summed* deep map
+        input is permutation invariant."""
+        g = cycle_graph(6).with_labels([0, 1, 0, 1, 0, 1])
+        h = g.relabel_vertices([2, 3, 4, 5, 0, 1])
+        matrices, _ = extract_vertex_feature_matrices([g, h], WLVertexFeatures(h=2))
+        enc = DeepMapEncoder(r=3).fit([g, h]).encode([g, h], matrices)
+        # Sum over positions = readout input after identical convolutions.
+        assert np.allclose(
+            enc.tensors[0].sum(axis=0), enc.tensors[1].sum(axis=0)
+        )
+
+
+class TestValidation:
+    def test_rejects_misaligned_inputs(self):
+        graphs = [path_graph(3)]
+        with pytest.raises(ValueError, match="align"):
+            DeepMapEncoder(r=2).fit(graphs).encode(graphs, [])
+
+    def test_rejects_wrong_matrix_shape(self):
+        graphs = [path_graph(3)]
+        with pytest.raises(ValueError, match="shape"):
+            DeepMapEncoder(r=2).fit(graphs).encode(graphs, [np.zeros((2, 4))])
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError):
+            DeepMapEncoder(r=2).fit([])
+
+    def test_rejects_bad_r(self):
+        with pytest.raises(ValueError):
+            DeepMapEncoder(r=0)

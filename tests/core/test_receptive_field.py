@@ -1,0 +1,101 @@
+"""Tests for BFS receptive-field construction (Algorithm 1 lines 15-19)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DUMMY, all_receptive_fields, receptive_field
+from repro.core.alignment import centrality_scores
+from repro.graph import Graph, cycle_graph, path_graph, star_graph
+
+
+def _fields(g, r):
+    scores = centrality_scores(g)
+    return all_receptive_fields(g, r, scores), scores
+
+
+class TestFieldSize:
+    def test_exactly_r_slots(self):
+        g = cycle_graph(8)
+        fields, _ = _fields(g, 4)
+        assert fields.shape == (8, 4)
+
+    def test_r_one_is_center_only(self):
+        g = cycle_graph(5)
+        scores = centrality_scores(g)
+        for v in range(5):
+            field = receptive_field(g, v, 1, scores)
+            assert field.tolist() == [v]
+
+    def test_small_graph_padded_with_dummy(self):
+        g = path_graph(3)
+        scores = centrality_scores(g)
+        field = receptive_field(g, 0, 5, scores)
+        assert (field == DUMMY).sum() == 2
+
+    def test_isolated_vertex_mostly_dummy(self):
+        g = Graph(4, [(1, 2)])
+        scores = centrality_scores(g)
+        field = receptive_field(g, 0, 3, scores)
+        assert field[0] == 0
+        assert (field == DUMMY).sum() == 2
+
+
+class TestFieldMembership:
+    def test_contains_center(self):
+        g = cycle_graph(6)
+        fields, _ = _fields(g, 3)
+        for v in range(6):
+            assert v in fields[v]
+
+    def test_prefers_one_hop(self):
+        g = star_graph(6)
+        scores = centrality_scores(g)
+        field = receptive_field(g, 1, 3, scores)  # a leaf
+        # leaf's one-hop = center; rest comes from two-hop leaves
+        assert 0 in field
+
+    def test_top_centrality_one_hop_selected(self):
+        # Center 0 of a star with an extra pendant chain: one-hop
+        # neighbors exceed r-1, keep the highest-centrality ones.
+        g = Graph(6, [(0, 1), (0, 2), (0, 3), (0, 4), (4, 5)])
+        scores = centrality_scores(g)
+        field = receptive_field(g, 0, 3, scores)
+        assert 0 in field
+        # vertex 4 has highest centrality among leaves (extra neighbor 5)
+        assert 4 in field
+
+    def test_expands_hops_when_needed(self):
+        g = path_graph(6)
+        scores = centrality_scores(g)
+        field = receptive_field(g, 0, 4, scores)
+        # From the end of a path: needs vertices at distance 1, 2, 3.
+        assert set(field.tolist()) == {0, 1, 2, 3}
+
+
+class TestFieldOrdering:
+    def test_sorted_by_descending_score(self):
+        g = star_graph(8)
+        scores = centrality_scores(g)
+        field = receptive_field(g, 3, 4, scores)
+        real = field[field != DUMMY]
+        vals = scores[real]
+        assert np.all(np.diff(vals) <= 1e-12)
+
+    def test_dummies_trail(self):
+        g = path_graph(2)
+        scores = centrality_scores(g)
+        field = receptive_field(g, 0, 4, scores)
+        real_positions = np.nonzero(field != DUMMY)[0]
+        assert real_positions.tolist() == [0, 1]
+
+
+class TestValidation:
+    def test_rejects_bad_vertex(self):
+        g = cycle_graph(4)
+        with pytest.raises(ValueError):
+            receptive_field(g, 9, 3, centrality_scores(g))
+
+    def test_rejects_bad_r(self):
+        g = cycle_graph(4)
+        with pytest.raises(ValueError):
+            receptive_field(g, 0, 0, centrality_scores(g))

@@ -1,0 +1,100 @@
+"""Tests for the end-to-end vertex classifier (Section 7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeepMapVertexClassifier
+from repro.features import ShortestPathVertexFeatures
+from repro.graph import ensure_connected, erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def vertex_task():
+    """Graphs + per-vertex targets: predict whether degree >= 3."""
+    rng = np.random.default_rng(5)
+    graphs, targets = [], []
+    for _ in range(16):
+        g = ensure_connected(erdos_renyi(10, 0.35, rng), rng)
+        g = g.with_labels((np.arange(10) % 3).tolist())
+        graphs.append(g)
+        targets.append((g.degrees() >= 3).astype(int))
+    return graphs, targets
+
+
+class TestFitPredict:
+    def test_learns_degree_task(self, vertex_task):
+        from repro.features import WLVertexFeatures
+
+        graphs, targets = vertex_task
+        # Shallow WL features (h=1): deep hashes are near-unique per
+        # vertex and do not generalise from 12 small training graphs.
+        model = DeepMapVertexClassifier(
+            WLVertexFeatures(h=1), r=3, epochs=30, seed=0
+        )
+        model.fit(graphs[:12], targets[:12])
+        train_acc = model.score(graphs[:12], targets[:12])
+        test_acc = model.score(graphs[12:], targets[12:])
+        flat = np.concatenate(targets[12:])
+        majority = max(flat.mean(), 1 - flat.mean())
+        assert train_acc > 0.8
+        assert test_acc > majority - 0.05
+
+    def test_prediction_shapes(self, vertex_task):
+        graphs, targets = vertex_task
+        model = DeepMapVertexClassifier(r=2, epochs=2, seed=0)
+        model.fit(graphs[:6], targets[:6])
+        preds = model.predict(graphs[6:9])
+        assert [p.shape for p in preds] == [(g.n,) for g in graphs[6:9]]
+
+    def test_proba_rows_sum_one(self, vertex_task):
+        graphs, targets = vertex_task
+        model = DeepMapVertexClassifier(r=2, epochs=2, seed=0)
+        model.fit(graphs[:6], targets[:6])
+        probs = model.predict_proba(graphs[:2])
+        for p in probs:
+            assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_original_class_labels_returned(self, vertex_task):
+        graphs, targets = vertex_task
+        shifted = [t + 7 for t in targets]  # classes 7, 8
+        model = DeepMapVertexClassifier(r=2, epochs=2, seed=0)
+        model.fit(graphs[:6], shifted[:6])
+        preds = model.predict(graphs[:2])
+        assert set(np.concatenate(preds).tolist()) <= {7, 8}
+
+    def test_loss_history_recorded(self, vertex_task):
+        graphs, targets = vertex_task
+        model = DeepMapVertexClassifier(r=2, epochs=4, seed=0)
+        model.fit(graphs[:6], targets[:6])
+        assert len(model.loss_history_) == 4
+
+    def test_custom_extractor(self, vertex_task):
+        graphs, targets = vertex_task
+        model = DeepMapVertexClassifier(
+            ShortestPathVertexFeatures(), r=2, epochs=2, seed=0
+        )
+        model.fit(graphs[:6], targets[:6])
+        assert model.predict(graphs[:1])[0].shape == (graphs[0].n,)
+
+
+class TestValidation:
+    def test_misaligned_targets(self, vertex_task):
+        graphs, targets = vertex_task
+        model = DeepMapVertexClassifier(epochs=1)
+        with pytest.raises(ValueError, match="align"):
+            model.fit(graphs[:3], targets[:2])
+
+    def test_wrong_target_length(self, vertex_task):
+        graphs, targets = vertex_task
+        model = DeepMapVertexClassifier(epochs=1)
+        with pytest.raises(ValueError, match="mismatches"):
+            model.fit(graphs[:1], [np.zeros(3, dtype=int)])
+
+    def test_unfitted_predict(self, vertex_task):
+        graphs, _ = vertex_task
+        with pytest.raises(RuntimeError):
+            DeepMapVertexClassifier().predict(graphs[:1])
+
+    def test_unknown_shortcut_rejected(self):
+        with pytest.raises(ValueError, match="wl"):
+            DeepMapVertexClassifier("sp")

@@ -1,0 +1,47 @@
+"""Tests for the dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import GraphDataset
+from repro.graph import cycle_graph, path_graph
+
+
+@pytest.fixture
+def ds():
+    return GraphDataset(
+        name="toy",
+        graphs=[cycle_graph(4), path_graph(3), cycle_graph(5)],
+        y=np.array([0, 1, 0]),
+    )
+
+
+class TestGraphDataset:
+    def test_len(self, ds):
+        assert len(ds) == 3
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            GraphDataset(name="x", graphs=[cycle_graph(3)], y=np.array([0, 1]))
+
+    def test_statistics(self, ds):
+        s = ds.statistics()
+        assert s.size == 3
+        assert s.num_classes == 2
+        assert np.isclose(s.avg_nodes, 4.0)
+        assert np.isclose(s.avg_edges, (4 + 2 + 5) / 3)
+        assert s.num_labels == 1
+
+    def test_statistics_row_format(self, ds):
+        row = ds.statistics().row()
+        assert "toy" in row and "3" in row
+
+    def test_subset(self, ds):
+        sub = ds.subset([0, 2])
+        assert len(sub) == 2
+        assert sub.y.tolist() == [0, 0]
+        assert sub.name == "toy"
+
+    def test_subset_preserves_graphs(self, ds):
+        sub = ds.subset([1])
+        assert sub.graphs[0] == ds.graphs[1]

@@ -1,0 +1,63 @@
+"""Property-based tests over the dataset generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_dataset
+from repro.graph import connected_components
+
+SMALL_DATASETS = ("PTC_MR", "KKI", "IMDB-BINARY", "ENZYMES")
+
+
+@given(
+    name=st.sampled_from(SMALL_DATASETS),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=12, deadline=None)
+def test_generation_is_seed_deterministic(name, seed):
+    a = make_dataset(name, scale=0.02, seed=seed)
+    b = make_dataset(name, scale=0.02, seed=seed)
+    assert all(g1 == g2 for g1, g2 in zip(a.graphs, b.graphs))
+
+
+@given(
+    name=st.sampled_from(SMALL_DATASETS),
+    seed=st.integers(0, 20),
+)
+@settings(max_examples=10, deadline=None)
+def test_classes_roughly_balanced(name, seed):
+    ds = make_dataset(name, scale=0.02, seed=seed)
+    counts = np.bincount(ds.y)
+    assert counts.min() >= counts.max() - 1  # round-robin balance
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=10, deadline=None)
+def test_molecules_connected_and_labeled(seed):
+    ds = make_dataset("PTC_MR", scale=0.02, seed=seed)
+    for g in ds.graphs:
+        assert len(connected_components(g)) == 1
+        assert g.labels.min() >= 0
+        assert g.labels.max() < 18  # PTC_MR label alphabet
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=8, deadline=None)
+def test_ego_networks_have_hub(seed):
+    ds = make_dataset("IMDB-BINARY", scale=0.02, seed=seed)
+    for g in ds.graphs:
+        # vertex 0 is the ego and touches every clique
+        assert g.degree(0) >= 1
+        assert len(connected_components(g)) == 1
+
+
+@given(
+    scale_a=st.floats(0.02, 0.05),
+    scale_b=st.floats(0.1, 0.2),
+)
+@settings(max_examples=6, deadline=None)
+def test_scale_monotone_in_graph_count(scale_a, scale_b):
+    small = make_dataset("NCI1", scale=scale_a, seed=0)
+    large = make_dataset("NCI1", scale=scale_b, seed=0)
+    assert len(large) >= len(small)

@@ -1,0 +1,130 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BrainNetworkGenerator,
+    EgoNetworkGenerator,
+    MoleculeGenerator,
+    SynthieGenerator,
+    community_dataset,
+    ego_dataset,
+    molecule_dataset,
+)
+from repro.graph import connected_components
+
+
+class TestMoleculeGenerator:
+    def test_sparse_molecule_connected(self):
+        gen = MoleculeGenerator(avg_nodes=15, num_labels=6)
+        g = gen.sample(0, 0)
+        assert len(connected_components(g)) == 1
+
+    def test_labels_in_alphabet(self):
+        gen = MoleculeGenerator(avg_nodes=12, num_labels=5)
+        g = gen.sample(1, 1)
+        assert g.labels.max() < 5
+
+    def test_complete_variant(self):
+        gen = MoleculeGenerator(avg_nodes=10, num_labels=4, complete=True)
+        g = gen.sample(0, 0)
+        assert g.num_edges == g.n * (g.n - 1) // 2
+
+    def test_deterministic(self):
+        gen = MoleculeGenerator(avg_nodes=14, num_labels=6)
+        assert gen.sample(0, 7) == gen.sample(0, 7)
+
+    def test_class_out_of_range(self):
+        gen = MoleculeGenerator(num_classes=2)
+        with pytest.raises(ValueError):
+            gen.sample(5, 0)
+
+    def test_extra_edges_raise_density(self):
+        sparse = MoleculeGenerator(avg_nodes=30, extra_edge_rate=0.0)
+        dense = MoleculeGenerator(avg_nodes=30, extra_edge_rate=1.0)
+        e_sparse = np.mean([sparse.sample(0, s).num_edges for s in range(10)])
+        e_dense = np.mean([dense.sample(0, s).num_edges for s in range(10)])
+        assert e_dense > e_sparse * 1.5
+
+    def test_dataset_balanced(self):
+        gen = MoleculeGenerator(num_classes=2)
+        graphs, y = molecule_dataset(gen, 20, seed=0)
+        assert len(graphs) == 20
+        assert np.bincount(y).tolist() == [10, 10]
+
+
+class TestEgoNetworkGenerator:
+    def test_ego_connected_to_all_cliques(self):
+        gen = EgoNetworkGenerator([(3.0, 4.0, 0.2)], avg_nodes=15)
+        g = gen.sample(0, 0)
+        assert len(connected_components(g)) == 1
+
+    def test_class_profiles_differ_in_density(self):
+        gen = EgoNetworkGenerator(
+            [(1.5, 12.0, 0.1), (6.0, 3.0, 0.1)], avg_nodes=20
+        )
+        dens = []
+        for cls in (0, 1):
+            ds = [gen.sample(cls, s) for s in range(15)]
+            dens.append(np.mean([g.num_edges / g.n for g in ds]))
+        assert dens[0] > dens[1]  # big cliques are denser
+
+    def test_rejects_empty_profiles(self):
+        with pytest.raises(ValueError):
+            EgoNetworkGenerator([])
+
+    def test_dataset_covers_classes(self):
+        gen = EgoNetworkGenerator([(2.0, 5.0, 0.2), (3.0, 4.0, 0.2)])
+        _, y = ego_dataset(gen, 11, seed=0)
+        assert set(y.tolist()) == {0, 1}
+
+
+class TestSynthieGenerator:
+    def test_four_classes(self):
+        gen = SynthieGenerator(seed_nodes=20)
+        graphs, y = community_dataset(gen, 16, seed=0)
+        assert set(y.tolist()) == {0, 1, 2, 3}
+
+    def test_fixed_size(self):
+        gen = SynthieGenerator(seed_nodes=25)
+        g = gen.sample(0, 0)
+        assert g.n == 25
+
+    def test_connected(self):
+        gen = SynthieGenerator(seed_nodes=20)
+        for cls in range(4):
+            g = gen.sample(cls, cls)
+            assert len(connected_components(g)) == 1
+
+    def test_seed_families_structurally_distinct(self):
+        gen = SynthieGenerator(seed_nodes=30)
+        # Same class twice with different seeds shares the seed skeleton.
+        g1 = gen.sample(0, 1)
+        g2 = gen.sample(2, 1)
+        assert g1 != g2
+
+
+class TestBrainNetworkGenerator:
+    def test_vertex_labels_are_atlas_regions(self):
+        gen = BrainNetworkGenerator(atlas_size=190)
+        g = gen.sample(0, 0)
+        assert g.labels.max() < 190
+        assert len(set(g.labels.tolist())) == g.n  # distinct ROIs
+
+    def test_subject_size_near_mean(self):
+        gen = BrainNetworkGenerator(regions_per_subject=27.0)
+        sizes = [gen.sample(0, s).n for s in range(20)]
+        assert 20 < np.mean(sizes) < 35
+
+    def test_classes_differ_in_modularity(self):
+        gen = BrainNetworkGenerator()
+        def within_fraction(g):
+            comm = gen.community_of
+            within = sum(
+                1 for u, v in g.edges if comm[g.labels[u]] == comm[g.labels[v]]
+            )
+            return within / max(g.num_edges, 1)
+        f0 = np.mean([within_fraction(gen.sample(0, s)) for s in range(10)])
+        f1 = np.mean([within_fraction(gen.sample(1, s)) for s in range(10)])
+        assert f0 > f1

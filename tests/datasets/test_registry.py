@@ -1,0 +1,85 @@
+"""Tests for the benchmark dataset registry (paper Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    PAPER_STATS,
+    degree_labeled,
+    make_dataset,
+    paper_statistics,
+)
+from repro.graph import path_graph
+
+
+class TestRegistry:
+    def test_all_fifteen_present(self):
+        assert len(DATASET_NAMES) == 15
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("MUTAG")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_dataset("KKI", scale=0.0)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generates_with_right_classes(self, name):
+        ds = make_dataset(name, scale=0.02, seed=0)
+        assert ds.statistics().num_classes == PAPER_STATS[name].num_classes
+
+    @pytest.mark.parametrize("name", ["PTC_MR", "IMDB-BINARY", "KKI"])
+    def test_deterministic(self, name):
+        a = make_dataset(name, scale=0.05, seed=3)
+        b = make_dataset(name, scale=0.05, seed=3)
+        assert all(g1 == g2 for g1, g2 in zip(a.graphs, b.graphs))
+        assert np.array_equal(a.y, b.y)
+
+    @pytest.mark.parametrize("name", ["PTC_MR", "IMDB-BINARY"])
+    def test_seed_changes_data(self, name):
+        a = make_dataset(name, scale=0.05, seed=0)
+        b = make_dataset(name, scale=0.05, seed=1)
+        assert any(g1 != g2 for g1, g2 in zip(a.graphs, b.graphs))
+
+    def test_scale_controls_size(self):
+        small = make_dataset("NCI1", scale=0.02, seed=0)
+        large = make_dataset("NCI1", scale=0.1, seed=0)
+        assert len(large) > len(small)
+
+    def test_minimum_forty_graphs(self):
+        ds = make_dataset("KKI", scale=0.01, seed=0)
+        assert len(ds) >= 40
+
+    @pytest.mark.parametrize(
+        "name", ["PTC_MR", "NCI1", "ENZYMES", "KKI", "BZR_MD"]
+    )
+    def test_avg_nodes_near_paper(self, name):
+        ds = make_dataset(name, scale=0.05, seed=0)
+        s = ds.statistics()
+        paper = PAPER_STATS[name]
+        assert abs(s.avg_nodes - paper.avg_nodes) / paper.avg_nodes < 0.25
+
+    def test_unlabeled_datasets_get_degree_labels(self):
+        ds = make_dataset("IMDB-BINARY", scale=0.05, seed=0)
+        assert not ds.has_vertex_labels
+        for g in ds.graphs[:5]:
+            assert np.array_equal(g.labels, g.degrees())
+
+    def test_complete_graph_datasets(self):
+        ds = make_dataset("BZR_MD", scale=0.05, seed=0)
+        g = ds.graphs[0]
+        assert g.num_edges == g.n * (g.n - 1) // 2
+
+    def test_paper_statistics_row(self):
+        s = paper_statistics("ENZYMES")
+        assert s.size == 600
+        assert s.num_classes == 6
+
+
+class TestDegreeLabeled:
+    def test_replaces_labels(self):
+        g = path_graph(4).with_labels([9, 9, 9, 9])
+        out = degree_labeled([g])[0]
+        assert out.labels.tolist() == [1, 2, 2, 1]

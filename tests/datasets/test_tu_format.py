@@ -1,0 +1,79 @@
+"""Tests for TU-format dataset IO."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import GraphDataset, make_dataset
+from repro.datasets.tu_format import load_tu_dataset, save_tu_dataset
+from repro.graph import Graph, cycle_graph, path_graph
+
+
+@pytest.fixture
+def toy():
+    return GraphDataset(
+        name="TOY",
+        graphs=[
+            cycle_graph(3).with_labels([1, 2, 3]),
+            path_graph(4).with_labels([2, 2, 1, 1]),
+        ],
+        y=np.array([0, 1]),
+    )
+
+
+class TestRoundtrip:
+    def test_graphs_identical(self, toy, tmp_path):
+        save_tu_dataset(toy, tmp_path / "TOY")
+        loaded = load_tu_dataset(tmp_path / "TOY")
+        assert len(loaded) == 2
+        for original, restored in zip(toy.graphs, loaded.graphs):
+            assert original == restored
+        assert np.array_equal(loaded.y, toy.y)
+
+    def test_synthetic_benchmark_roundtrip(self, tmp_path):
+        ds = make_dataset("PTC_MR", scale=0.05, seed=0)
+        save_tu_dataset(ds, tmp_path / "PTC_MR")
+        loaded = load_tu_dataset(tmp_path / "PTC_MR")
+        assert len(loaded) == len(ds)
+        for original, restored in zip(ds.graphs, loaded.graphs):
+            assert original == restored
+
+    def test_name_defaults_to_directory(self, toy, tmp_path):
+        save_tu_dataset(toy, tmp_path / "TOY")
+        loaded = load_tu_dataset(tmp_path / "TOY")
+        assert loaded.name == "TOY"
+
+
+class TestEdgeCases:
+    def test_edgeless_graph(self, tmp_path):
+        ds = GraphDataset(name="E", graphs=[Graph(3, [])], y=np.array([0]))
+        # Single-class dataset is fine for IO purposes.
+        save_tu_dataset(ds, tmp_path / "E")
+        loaded = load_tu_dataset(tmp_path / "E")
+        assert loaded.graphs[0].n == 3
+        assert loaded.graphs[0].num_edges == 0
+
+    def test_missing_files_raise(self, tmp_path):
+        (tmp_path / "X").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_tu_dataset(tmp_path / "X")
+
+    def test_without_node_labels(self, toy, tmp_path):
+        save_tu_dataset(toy, tmp_path / "TOY")
+        (tmp_path / "TOY" / "TOY_node_labels.txt").unlink()
+        loaded = load_tu_dataset(tmp_path / "TOY")
+        assert not loaded.has_vertex_labels
+        assert loaded.graphs[0].labels.tolist() == [0, 0, 0]
+
+    def test_cross_graph_edge_rejected(self, toy, tmp_path):
+        save_tu_dataset(toy, tmp_path / "TOY")
+        adj = tmp_path / "TOY" / "TOY_A.txt"
+        adj.write_text(adj.read_text() + "1, 7\n")  # vertex 1 in g1, 7 in g2
+        with pytest.raises(ValueError, match="crosses graphs"):
+            load_tu_dataset(tmp_path / "TOY")
+
+    def test_negative_node_labels_shifted(self, toy, tmp_path):
+        save_tu_dataset(toy, tmp_path / "TOY")
+        nl = tmp_path / "TOY" / "TOY_node_labels.txt"
+        nl.write_text("-1\n0\n1\n0\n0\n-1\n-1\n")
+        loaded = load_tu_dataset(tmp_path / "TOY")
+        assert loaded.graphs[0].labels.min() >= 0

@@ -1,0 +1,66 @@
+"""Tests for learning-curve and sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import deepmap_wl
+from repro.datasets import GraphDataset
+from repro.eval import parameter_sweep, training_curves
+from repro.graph import ensure_connected, erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    rng = np.random.default_rng(1)
+    graphs, labels = [], []
+    for i in range(16):
+        p = 0.25 if i % 2 == 0 else 0.6
+        g = ensure_connected(erdos_renyi(8, p, rng), rng)
+        g = g.with_labels((np.arange(8) % 2).tolist())
+        graphs.append(g)
+        labels.append(i % 2)
+    return GraphDataset(name="tiny", graphs=graphs, y=np.array(labels))
+
+
+class TestTrainingCurves:
+    def test_curves_have_epoch_length(self, tiny_dataset):
+        curves = training_curves(
+            {
+                "wl-a": lambda: deepmap_wl(h=1, r=2, epochs=4, seed=0),
+                "wl-b": lambda: deepmap_wl(h=1, r=3, epochs=4, seed=1),
+            },
+            tiny_dataset,
+        )
+        assert set(curves) == {"wl-a", "wl-b"}
+        assert all(len(c) == 4 for c in curves.values())
+
+    def test_accuracies_in_unit_interval(self, tiny_dataset):
+        curves = training_curves(
+            {"m": lambda: deepmap_wl(h=1, r=2, epochs=3, seed=0)}, tiny_dataset
+        )
+        assert all(0.0 <= a <= 1.0 for a in curves["m"])
+
+
+class TestParameterSweep:
+    def test_sweep_covers_values(self, tiny_dataset):
+        results = parameter_sweep(
+            lambda fold, r: deepmap_wl(h=1, r=r, epochs=3, seed=fold),
+            "r",
+            [1, 2, 3],
+            tiny_dataset,
+            n_splits=2,
+            seed=0,
+        )
+        assert list(results) == [1, 2, 3]
+        for res in results.values():
+            assert len(res.fold_accuracies) == 2
+
+    def test_result_names_carry_parameter(self, tiny_dataset):
+        results = parameter_sweep(
+            lambda fold, r: deepmap_wl(h=1, r=r, epochs=2, seed=fold),
+            "r",
+            [2],
+            tiny_dataset,
+            n_splits=2,
+        )
+        assert results[2].name == "r=2"

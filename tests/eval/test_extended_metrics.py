@@ -1,0 +1,72 @@
+"""Tests for precision/recall/F1, the report, and McNemar's test."""
+
+import numpy as np
+import pytest
+
+from repro.eval import classification_report, mcnemar_test, precision_recall_f1
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        scores = precision_recall_f1([0, 1, 0, 1], [0, 1, 0, 1])
+        assert scores[0] == (1.0, 1.0, 1.0)
+        assert scores[1] == (1.0, 1.0, 1.0)
+
+    def test_known_values(self):
+        # class 0: tp=1 fp=1 fn=1 -> p=0.5 r=0.5 f1=0.5
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 0, 1]
+        scores = precision_recall_f1(y_true, y_pred)
+        assert scores[0] == (0.5, 0.5, 0.5)
+
+    def test_never_predicted_class(self):
+        scores = precision_recall_f1([0, 1], [0, 0])
+        p, r, f1 = scores[1]
+        assert p == 0.0 and r == 0.0 and f1 == 0.0
+
+    def test_multiclass(self):
+        scores = precision_recall_f1([0, 1, 2, 2], [0, 1, 2, 1])
+        assert set(scores) == {0, 1, 2}
+        assert scores[2][1] == 0.5  # recall of class 2
+
+
+class TestClassificationReport:
+    def test_contains_all_classes(self):
+        report = classification_report([0, 1, 2], [0, 1, 2])
+        for token in ("0", "1", "2", "accuracy: 1.000"):
+            assert token in report
+
+
+class TestMcNemar:
+    def test_identical_models(self):
+        y = np.array([0, 1] * 10)
+        stat, p = mcnemar_test(y, y, y)
+        assert stat == 0.0 and p == 1.0
+
+    def test_clearly_different_models(self):
+        y = np.zeros(60, dtype=int)
+        perfect = np.zeros(60, dtype=int)
+        bad = np.ones(60, dtype=int)  # always wrong
+        stat, p = mcnemar_test(y, perfect, bad)
+        assert p < 0.001
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 40)
+        a = rng.integers(0, 2, 40)
+        b = rng.integers(0, 2, 40)
+        stat_ab, p_ab = mcnemar_test(y, a, b)
+        stat_ba, p_ba = mcnemar_test(y, b, a)
+        assert stat_ab == stat_ba and p_ab == p_ba
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mcnemar_test([0, 1], [0], [0, 1])
+
+    def test_p_value_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 3, 50)
+        a = rng.integers(0, 3, 50)
+        b = rng.integers(0, 3, 50)
+        _, p = mcnemar_test(y, a, b)
+        assert 0.0 <= p <= 1.0

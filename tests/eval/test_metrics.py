@@ -1,0 +1,45 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import accuracy, confusion_matrix, mean_std
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 0, 1, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_on_perfect(self):
+        classes, mat = confusion_matrix([0, 1, 1], [0, 1, 1])
+        assert classes.tolist() == [0, 1]
+        assert mat.tolist() == [[1, 0], [0, 2]]
+
+    def test_off_diagonal(self):
+        _, mat = confusion_matrix([0, 0], [1, 1])
+        assert mat[0, 1] == 2
+
+    def test_handles_unseen_predictions(self):
+        classes, mat = confusion_matrix([0, 0], [0, 2])
+        assert classes.tolist() == [0, 2]
+        assert mat.sum() == 2
+
+
+class TestMeanStd:
+    def test_values(self):
+        m, s = mean_std([1.0, 2.0, 3.0])
+        assert np.isclose(m, 2.0)
+        assert np.isclose(s, np.sqrt(2 / 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_std([])

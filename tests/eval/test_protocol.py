@@ -1,0 +1,78 @@
+"""Tests for the paper's CV protocols."""
+
+import numpy as np
+import pytest
+
+from repro.core import deepmap_wl
+from repro.datasets import GraphDataset
+from repro.eval import CVResult, evaluate_kernel_svm, evaluate_neural_model
+from repro.graph import ensure_connected, erdos_renyi
+from repro.kernels import WeisfeilerLehmanKernel
+
+
+@pytest.fixture(scope="module")
+def toy_dataset():
+    rng = np.random.default_rng(0)
+    graphs, labels = [], []
+    for i in range(30):
+        p = 0.2 if i % 2 == 0 else 0.6
+        g = ensure_connected(erdos_renyi(9, p, rng), rng)
+        g = g.with_labels((np.arange(9) % 3).tolist())
+        graphs.append(g)
+        labels.append(i % 2)
+    return GraphDataset(name="toy", graphs=graphs, y=np.array(labels))
+
+
+class TestCVResult:
+    def test_formatting(self):
+        r = CVResult(name="wl", fold_accuracies=[0.5, 0.6, 0.7])
+        assert r.formatted() == "60.00+-8.16"
+
+    def test_mean_std(self):
+        r = CVResult(name="x", fold_accuracies=[1.0, 0.0])
+        assert r.mean == 0.5
+        assert r.std == 0.5
+
+
+class TestKernelProtocol:
+    def test_learns_toy(self, toy_dataset):
+        res = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), toy_dataset, n_splits=3, seed=0
+        )
+        assert res.mean > 0.7
+        assert len(res.fold_accuracies) == 3
+
+    def test_records_selected_c(self, toy_dataset):
+        res = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), toy_dataset, n_splits=3, seed=0
+        )
+        assert len(res.extra["selected_c"]) == 3
+
+    def test_deterministic(self, toy_dataset):
+        a = evaluate_kernel_svm(WeisfeilerLehmanKernel(2), toy_dataset, 3, seed=1)
+        b = evaluate_kernel_svm(WeisfeilerLehmanKernel(2), toy_dataset, 3, seed=1)
+        assert a.fold_accuracies == b.fold_accuracies
+
+
+class TestNeuralProtocol:
+    def test_epoch_selection(self, toy_dataset):
+        res = evaluate_neural_model(
+            lambda fold: deepmap_wl(h=1, r=2, epochs=6, seed=fold),
+            toy_dataset,
+            n_splits=3,
+            seed=0,
+            name="deepmap-wl",
+        )
+        assert res.best_epoch is not None
+        assert 0 <= res.best_epoch < 6
+        assert len(res.fold_accuracies) == 3
+        assert len(res.extra["mean_curve"]) == 6
+
+    def test_accuracy_above_chance(self, toy_dataset):
+        res = evaluate_neural_model(
+            lambda fold: deepmap_wl(h=2, r=3, epochs=12, seed=fold),
+            toy_dataset,
+            n_splits=3,
+            seed=0,
+        )
+        assert res.mean > 0.7

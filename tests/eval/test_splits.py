@@ -1,0 +1,68 @@
+"""Tests for stratified splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import stratified_kfold, train_test_split
+
+
+class TestStratifiedKFold:
+    def test_partition(self):
+        y = np.array([0, 1] * 20)
+        splits = stratified_kfold(y, n_splits=5, seed=0)
+        assert len(splits) == 5
+        all_test = np.concatenate([t for _, t in splits])
+        assert sorted(all_test.tolist()) == list(range(40))
+
+    def test_train_test_disjoint(self):
+        y = np.array([0, 1] * 20)
+        for train, test in stratified_kfold(y, n_splits=4, seed=0):
+            assert set(train) & set(test) == set()
+
+    def test_stratification(self):
+        y = np.array([0] * 30 + [1] * 10)
+        for _, test in stratified_kfold(y, n_splits=5, seed=0):
+            counts = np.bincount(y[test], minlength=2)
+            assert counts[0] == 6 and counts[1] == 2
+
+    def test_too_few_samples_rejected(self):
+        y = np.array([0, 0, 1, 1])
+        with pytest.raises(ValueError, match="folds"):
+            stratified_kfold(y, n_splits=3)
+
+    def test_rejects_one_split(self):
+        with pytest.raises(ValueError):
+            stratified_kfold(np.zeros(10, dtype=int), n_splits=1)
+
+    def test_deterministic(self):
+        y = np.array([0, 1, 2] * 10)
+        a = stratified_kfold(y, n_splits=3, seed=4)
+        b = stratified_kfold(y, n_splits=3, seed=4)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert np.array_equal(ta, tb) and np.array_equal(sa, sb)
+
+    @given(st.integers(2, 5), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_every_class_in_every_train(self, n_splits, seed):
+        y = np.array(([0] * 12 + [1] * 9 + [2] * 7))
+        for train, _ in stratified_kfold(y, n_splits=n_splits, seed=seed):
+            assert set(y[train].tolist()) == {0, 1, 2}
+
+
+class TestTrainTestSplit:
+    def test_fraction_respected(self):
+        y = np.array([0, 1] * 50)
+        train, test = train_test_split(y, test_fraction=0.2, seed=0)
+        assert len(test) == 20
+
+    def test_both_classes_present(self):
+        y = np.array([0] * 5 + [1] * 45)
+        train, test = train_test_split(y, 0.2, seed=0)
+        assert set(y[train].tolist()) == {0, 1}
+        assert set(y[test].tolist()) == {0, 1}
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.array([0, 1]), test_fraction=1.0)

@@ -1,0 +1,166 @@
+"""Tests for graph construction helpers and random models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    barabasi_albert,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    disjoint_union,
+    empty_graph,
+    ensure_connected,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.graph import Graph
+
+
+class TestDeterministicBuilders:
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.n == 5 and g.num_edges == 0
+
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert g.degrees().tolist() == [1, 2, 2, 1]
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_star_rejects_zero(self):
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+    def test_grid(self):
+        g = grid_graph(2, 3)
+        assert g.n == 6
+        assert g.num_edges == 7  # 2*(3-1) horizontal + 3 vertical
+
+    def test_grid_corner_degree(self):
+        g = grid_graph(3, 3)
+        assert g.degree(0) == 2  # corners
+        assert g.degree(4) == 4  # center
+
+
+class TestRandomModels:
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(10, 0.3, seed=5) == erdos_renyi(10, 0.3, seed=5)
+
+    def test_erdos_renyi_p_zero(self):
+        assert erdos_renyi(10, 0.0, seed=1).num_edges == 0
+
+    def test_erdos_renyi_p_one(self):
+        assert erdos_renyi(6, 1.0, seed=1).num_edges == 15
+
+    def test_erdos_renyi_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+    def test_erdos_renyi_edge_count_concentrates(self):
+        g = erdos_renyi(100, 0.2, seed=0)
+        expected = 0.2 * 100 * 99 / 2
+        assert abs(g.num_edges - expected) < 0.25 * expected
+
+    def test_barabasi_albert_sizes(self):
+        g = barabasi_albert(30, 2, seed=0)
+        assert g.n == 30
+        # Each of the 28 new vertices adds exactly 2 edges.
+        assert g.num_edges == 28 * 2
+
+    def test_barabasi_albert_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+
+    def test_barabasi_albert_has_hubs(self):
+        g = barabasi_albert(200, 2, seed=0)
+        assert g.degrees().max() > 3 * np.median(g.degrees())
+
+    def test_watts_strogatz_p0_is_lattice(self):
+        g = watts_strogatz(10, 4, 0.0, seed=0)
+        assert all(g.degree(v) == 4 for v in g)
+
+    def test_watts_strogatz_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_watts_strogatz_edge_count_preserved(self):
+        g0 = watts_strogatz(20, 4, 0.0, seed=0)
+        g1 = watts_strogatz(20, 4, 0.5, seed=0)
+        assert g0.num_edges == g1.num_edges
+
+    def test_random_tree_edge_count(self):
+        g = random_tree(15, seed=0)
+        assert g.num_edges == 14
+        assert len(connected_components(g)) == 1
+
+    def test_random_tree_trivial(self):
+        assert random_tree(1, seed=0).n == 1
+        assert random_tree(0, seed=0).n == 0
+
+    @given(st.integers(2, 20), st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_random_tree_is_tree(self, n, seed):
+        g = random_tree(n, seed=seed)
+        assert g.num_edges == n - 1
+        assert len(connected_components(g)) == 1
+
+
+class TestDisjointUnion:
+    def test_counts(self):
+        g = disjoint_union([path_graph(3), cycle_graph(4)])
+        assert g.n == 7
+        assert g.num_edges == 2 + 4
+
+    def test_labels_concatenated(self):
+        a = Graph(2, [], [1, 2])
+        b = Graph(2, [], [3, 4])
+        assert disjoint_union([a, b]).labels.tolist() == [1, 2, 3, 4]
+
+    def test_no_cross_edges(self):
+        g = disjoint_union([complete_graph(3), complete_graph(3)])
+        assert len(connected_components(g)) == 2
+
+    def test_empty_list(self):
+        assert disjoint_union([]).n == 0
+
+
+class TestEnsureConnected:
+    def test_already_connected_unchanged(self):
+        g = path_graph(5)
+        assert ensure_connected(g, seed=0) == g
+
+    def test_connects_components(self):
+        g = disjoint_union([path_graph(3), path_graph(3), path_graph(3)])
+        h = ensure_connected(g, seed=0)
+        assert len(connected_components(h)) == 1
+        assert h.num_edges == g.num_edges + 2
+
+    def test_preserves_labels(self):
+        g = Graph(4, [(0, 1), (2, 3)], [9, 8, 7, 6])
+        h = ensure_connected(g, seed=0)
+        assert h.labels.tolist() == [9, 8, 7, 6]

@@ -1,0 +1,107 @@
+"""Tests for WL refinement, invariant hashing, and canonical ranking."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    canonical_ranking,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    wl_graph_hash,
+    wl_iterations,
+    wl_refine,
+)
+
+from tests.conftest import random_graphs
+
+
+def _random_permutation(n, rnd):
+    perm = list(range(n))
+    rnd.shuffle(perm)
+    return perm
+
+
+class TestWLRefine:
+    def test_splits_by_degree_first_round(self):
+        g = path_graph(3)  # degrees 1, 2, 1
+        colors = np.zeros(3, dtype=np.int64)
+        new, _ = wl_refine(g, colors)
+        assert new[0] == new[2]
+        assert new[1] != new[0]
+
+    def test_stable_partition_fixed_point(self):
+        g = cycle_graph(6)
+        colors = np.zeros(6, dtype=np.int64)
+        new, _ = wl_refine(g, colors)
+        # all vertices equivalent in a cycle
+        assert len(set(new.tolist())) == 1
+
+    def test_respects_initial_labels(self):
+        g = Graph(2, [(0, 1)], [0, 1])
+        colors, _ = wl_refine(g, g.labels)
+        assert colors[0] != colors[1]
+
+
+class TestWLIterations:
+    def test_iteration_zero_is_compressed_labels(self):
+        g = Graph(3, [], [10, 20, 10])
+        its = wl_iterations(g, 0)
+        assert len(its) == 1
+        assert its[0].tolist() == [0, 1, 0]
+
+    def test_length(self):
+        g = cycle_graph(4)
+        assert len(wl_iterations(g, 3)) == 4
+
+    def test_rejects_negative_h(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            wl_iterations(cycle_graph(4), -1)
+
+
+class TestWLGraphHash:
+    def test_isomorphic_equal(self):
+        g = path_graph(5)
+        h = g.relabel_vertices([4, 2, 0, 1, 3])
+        assert wl_graph_hash(g) == wl_graph_hash(h)
+
+    def test_different_structures_differ(self):
+        assert wl_graph_hash(path_graph(4)) != wl_graph_hash(star_graph(4))
+
+    def test_labels_matter(self):
+        g1 = Graph(2, [(0, 1)], [0, 0])
+        g2 = Graph(2, [(0, 1)], [0, 1])
+        assert wl_graph_hash(g1) != wl_graph_hash(g2)
+
+    @given(random_graphs(min_nodes=2, max_nodes=8), st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_under_relabeling(self, g, rnd):
+        perm = _random_permutation(g.n, rnd)
+        assert wl_graph_hash(g) == wl_graph_hash(g.relabel_vertices(perm))
+
+
+class TestCanonicalRanking:
+    def test_star_center_first(self):
+        order = canonical_ranking(star_graph(5))
+        assert order[0] == 0
+
+    def test_is_permutation(self):
+        g = cycle_graph(7)
+        order = canonical_ranking(g)
+        assert sorted(order.tolist()) == list(range(7))
+
+    @given(random_graphs(min_nodes=2, max_nodes=7), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_invariant_color_sequence(self, g, rnd):
+        """The multiset of (degree, label) along the canonical order is
+        identical for isomorphic graphs — the ranking is canonical up to
+        WL-equivalent vertices."""
+        perm = _random_permutation(g.n, rnd)
+        h = g.relabel_vertices(perm)
+        key_g = [(g.degree(v), g.label(v)) for v in canonical_ranking(g)]
+        key_h = [(h.degree(v), h.label(v)) for v in canonical_ranking(h)]
+        assert key_g == key_h

@@ -1,0 +1,49 @@
+"""Tests for networkx interop."""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.graph import Graph, from_networkx, to_networkx
+
+from tests.conftest import random_graphs
+
+
+class TestRoundtrip:
+    @given(random_graphs(min_nodes=1, max_nodes=10))
+    @settings(max_examples=30, deadline=None)
+    def test_graph_roundtrip(self, g):
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_labels_preserved(self):
+        g = Graph(3, [(0, 1)], [4, 5, 6])
+        nxg = to_networkx(g)
+        assert nxg.nodes[1]["label"] == 5
+        assert from_networkx(nxg).labels.tolist() == [4, 5, 6]
+
+
+class TestFromNetworkx:
+    def test_arbitrary_node_names(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        nxg.add_node("c", label=7)
+        g = from_networkx(nxg)
+        assert g.n == 3
+        assert g.num_edges == 1
+
+    def test_missing_labels_default_zero(self):
+        nxg = nx.path_graph(3)
+        g = from_networkx(nxg)
+        assert g.labels.tolist() == [0, 0, 0]
+
+    def test_self_loops_dropped(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.num_edges == 1
+
+    def test_custom_label_attr(self):
+        nxg = nx.Graph()
+        nxg.add_node(0, atom=3)
+        g = from_networkx(nxg, label_attr="atom")
+        assert g.labels.tolist() == [3]

@@ -1,0 +1,196 @@
+"""Unit tests for the core Graph type."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+
+from tests.conftest import random_graphs
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0, [])
+        assert g.n == 0
+        assert g.num_edges == 0
+
+    def test_basic(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_default_labels_are_zero(self):
+        g = Graph(3, [(0, 1)])
+        assert g.labels.tolist() == [0, 0, 0]
+
+    def test_labels_stored(self):
+        g = Graph(3, [], [5, 6, 7])
+        assert g.label(1) == 6
+
+    def test_edges_normalised_u_lt_v(self):
+        g = Graph(3, [(2, 0), (2, 1)])
+        assert g.edges.tolist() == [[0, 2], [1, 2]]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(2, [(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(0, 2)])
+
+    def test_rejects_negative_vertex_count(self):
+        with pytest.raises(ValueError):
+            Graph(-1, [])
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(ValueError, match="length"):
+            Graph(3, [], [1, 2])
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Graph(2, [], [0, -1])
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors(0).tolist() == [1, 2, 3]
+
+    def test_neighbors_isolated(self):
+        g = Graph(3, [(0, 1)])
+        assert g.neighbors(2).size == 0
+
+    def test_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_degrees_vector(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.degrees().tolist() == [1, 2, 1]
+
+    def test_has_edge(self):
+        g = Graph(3, [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_iter_and_len(self):
+        g = Graph(4, [])
+        assert list(g) == [0, 1, 2, 3]
+        assert len(g) == 4
+
+    def test_repr_mentions_counts(self):
+        g = Graph(3, [(0, 1)], [0, 0, 1])
+        assert "n=3" in repr(g)
+        assert "m=1" in repr(g)
+
+    def test_arrays_immutable(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.labels[0] = 5
+        with pytest.raises(ValueError):
+            g.edges[0, 0] = 2
+
+
+class TestAdjacencyMatrix:
+    def test_symmetric(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        a = g.adjacency_matrix()
+        assert np.array_equal(a, a.T)
+
+    def test_values(self):
+        g = Graph(3, [(0, 2)])
+        a = g.adjacency_matrix()
+        assert a[0, 2] == 1 and a[2, 0] == 1
+        assert a.sum() == 2
+
+    def test_zero_diagonal(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert np.all(np.diag(g.adjacency_matrix()) == 0)
+
+
+class TestEquality:
+    def test_equal(self):
+        assert Graph(2, [(0, 1)], [1, 2]) == Graph(2, [(0, 1)], [1, 2])
+
+    def test_unequal_labels(self):
+        assert Graph(2, [(0, 1)], [1, 2]) != Graph(2, [(0, 1)], [2, 1])
+
+    def test_unequal_edges(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+
+    def test_hashable(self):
+        g1 = Graph(2, [(0, 1)])
+        g2 = Graph(2, [(0, 1)])
+        assert hash(g1) == hash(g2)
+        assert len({g1, g2}) == 1
+
+
+class TestRelabelVertices:
+    def test_identity(self):
+        g = Graph(3, [(0, 1), (1, 2)], [1, 2, 3])
+        assert g.relabel_vertices([0, 1, 2]) == g
+
+    def test_labels_travel(self):
+        g = Graph(2, [(0, 1)], [7, 9])
+        h = g.relabel_vertices([1, 0])
+        assert h.labels.tolist() == [9, 7]
+
+    def test_structure_preserved(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        h = g.relabel_vertices([3, 2, 1, 0])
+        assert h.num_edges == g.num_edges
+        assert sorted(h.degrees().tolist()) == sorted(g.degrees().tolist())
+
+    def test_rejects_non_permutation(self):
+        g = Graph(3, [])
+        with pytest.raises(ValueError):
+            g.relabel_vertices([0, 0, 1])
+
+    @given(random_graphs(min_nodes=2, max_nodes=8), st.randoms())
+    def test_degree_sequence_invariant(self, g, rnd):
+        perm = list(range(g.n))
+        rnd.shuffle(perm)
+        h = g.relabel_vertices(perm)
+        assert sorted(h.degrees().tolist()) == sorted(g.degrees().tolist())
+        assert sorted(h.labels.tolist()) == sorted(g.labels.tolist())
+
+
+class TestInducedSubgraph:
+    def test_triangle_from_k4(self):
+        k4 = Graph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        sub = k4.induced_subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.num_edges == 3
+
+    def test_labels_follow_order(self):
+        g = Graph(3, [(0, 1)], [5, 6, 7])
+        sub = g.induced_subgraph([2, 0])
+        assert sub.labels.tolist() == [7, 5]
+
+    def test_rejects_duplicates(self):
+        g = Graph(3, [])
+        with pytest.raises(ValueError, match="distinct"):
+            g.induced_subgraph([0, 0])
+
+    def test_empty_selection(self):
+        g = Graph(3, [(0, 1)])
+        sub = g.induced_subgraph([])
+        assert sub.n == 0
+
+
+class TestWithLabels:
+    def test_replaces_labels(self):
+        g = Graph(2, [(0, 1)], [0, 0])
+        h = g.with_labels([3, 4])
+        assert h.labels.tolist() == [3, 4]
+        assert h.num_edges == 1
+        assert g.labels.tolist() == [0, 0]  # original untouched

@@ -1,0 +1,142 @@
+"""Tests for graphlet enumeration, sampling, and canonicalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    canonical_graphlet_code,
+    complete_graph,
+    count_graphlets_per_vertex,
+    cycle_graph,
+    enumerate_graphlets,
+    num_connected_graphlets,
+    path_graph,
+    sample_rooted_graphlets,
+    star_graph,
+)
+
+from tests.conftest import random_graphs
+
+
+class TestCanonicalCode:
+    def test_path_vs_triangle(self):
+        tri = complete_graph(3)
+        pat = path_graph(3)
+        code_tri = canonical_graphlet_code(tri, [0, 1, 2])
+        code_pat = canonical_graphlet_code(pat, [0, 1, 2])
+        assert code_tri != code_pat
+
+    def test_invariant_under_vertex_order(self):
+        g = path_graph(3)
+        assert canonical_graphlet_code(g, [0, 1, 2]) == canonical_graphlet_code(
+            g, [2, 0, 1]
+        )
+
+    def test_size_recorded(self):
+        g = complete_graph(4)
+        k, _ = canonical_graphlet_code(g, [0, 1, 2, 3])
+        assert k == 4
+
+    def test_rejects_oversized(self):
+        g = complete_graph(7)
+        with pytest.raises(ValueError):
+            canonical_graphlet_code(g, list(range(6)))
+
+    @given(random_graphs(min_nodes=5, max_nodes=9), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_relabeling_invariance(self, g, rnd):
+        verts = list(range(5))
+        perm = list(range(g.n))
+        rnd.shuffle(perm)
+        h = g.relabel_vertices(perm)
+        assert canonical_graphlet_code(g, verts) == canonical_graphlet_code(
+            h, [perm[v] for v in verts]
+        )
+
+
+class TestNumConnectedGraphlets:
+    def test_known_counts(self):
+        # OEIS A001349: connected graphs on n nodes.
+        assert num_connected_graphlets(3) == 2
+        assert num_connected_graphlets(4) == 6
+        assert num_connected_graphlets(5) == 21
+
+    def test_rejects_large_k(self):
+        with pytest.raises(ValueError):
+            num_connected_graphlets(6)
+
+
+class TestEnumeration:
+    def test_k4_all_triangles(self):
+        counts = enumerate_graphlets(complete_graph(4), 3)
+        assert sum(counts.values()) == 4  # C(4,3) all connected
+        assert len(counts) == 1  # all triangles
+
+    def test_path_graphlets(self):
+        counts = enumerate_graphlets(path_graph(5), 3)
+        # 3 consecutive triples, all paths, no triangles.
+        assert sum(counts.values()) == 3
+        assert len(counts) == 1
+
+    def test_star_counts(self):
+        counts = enumerate_graphlets(star_graph(5), 3)
+        # every pair of leaves + center = a path graphlet: C(4,2) = 6
+        assert sum(counts.values()) == 6
+
+    def test_cycle_has_no_triangle(self):
+        tri_code = canonical_graphlet_code(complete_graph(3), [0, 1, 2])
+        counts = enumerate_graphlets(cycle_graph(6), 3)
+        assert tri_code not in counts
+
+    def test_covers_all_types_on_rich_graph(self):
+        # A graph containing all six connected 4-graphlets.
+        from repro.graph import erdos_renyi
+
+        found = set()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            g = erdos_renyi(8, 0.5, rng)
+            found |= set(enumerate_graphlets(g, 4).keys())
+        assert len(found) == 6
+
+
+class TestSampling:
+    def test_sample_count(self):
+        g = cycle_graph(8)
+        samples = sample_rooted_graphlets(g, 0, k=4, q=12, seed=0)
+        assert len(samples) == 12
+
+    def test_samples_contain_root_component_limit(self):
+        g = Graph(4, [(0, 1)])  # component of size 2
+        samples = sample_rooted_graphlets(g, 0, k=4, q=5, seed=0)
+        assert all(k <= 2 for k, _ in samples)
+
+    def test_isolated_vertex(self):
+        g = Graph(3, [(1, 2)])
+        samples = sample_rooted_graphlets(g, 0, k=3, q=4, seed=0)
+        assert all(k == 1 for k, _ in samples)
+
+    def test_deterministic_with_seed(self):
+        g = cycle_graph(10)
+        a = sample_rooted_graphlets(g, 0, k=5, q=10, seed=3)
+        b = sample_rooted_graphlets(g, 0, k=5, q=10, seed=3)
+        assert a == b
+
+    def test_triangle_sampler_finds_triangle(self):
+        g = complete_graph(3)
+        samples = sample_rooted_graphlets(g, 0, k=3, q=5, seed=0)
+        tri_code = canonical_graphlet_code(g, [0, 1, 2])
+        assert all(s == tri_code for s in samples)
+
+    def test_per_vertex_histograms(self):
+        g = cycle_graph(6)
+        hists = count_graphlets_per_vertex(g, k=3, q=8, seed=0)
+        assert len(hists) == 6
+        assert all(sum(h.values()) == 8 for h in hists)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            sample_rooted_graphlets(cycle_graph(4), 0, k=3, q=0)

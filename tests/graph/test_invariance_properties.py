@@ -1,0 +1,75 @@
+"""Cross-cutting isomorphism-invariance properties (hypothesis-driven).
+
+The paper's Theorem 1 rests on a chain of invariances: centrality values,
+BFS structure, WL colors, and feature maps must all be preserved under
+vertex relabeling.  These tests pin each link of the chain.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    apsp_bfs,
+    connected_components,
+    eigenvector_centrality,
+    enumerate_graphlets,
+)
+
+from tests.conftest import random_graphs
+
+
+def _perm(n, rnd):
+    p = list(range(n))
+    rnd.shuffle(p)
+    return p
+
+
+class TestCentralityInvariance:
+    @given(random_graphs(min_nodes=2, max_nodes=9), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_centrality_multiset_invariant(self, g, rnd):
+        perm = _perm(g.n, rnd)
+        h = g.relabel_vertices(perm)
+        cg = np.sort(eigenvector_centrality(g))
+        ch = np.sort(eigenvector_centrality(h))
+        assert np.allclose(cg, ch, atol=1e-6)
+
+    @given(random_graphs(min_nodes=2, max_nodes=9), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_centrality_travels_with_vertices(self, g, rnd):
+        perm = _perm(g.n, rnd)
+        h = g.relabel_vertices(perm)
+        cg = eigenvector_centrality(g)
+        ch = eigenvector_centrality(h)
+        # vertex v of g is perm[v] of h
+        assert np.allclose(cg, ch[np.array(perm)], atol=1e-6)
+
+
+class TestDistanceInvariance:
+    @given(random_graphs(min_nodes=2, max_nodes=8), st.randoms())
+    @settings(max_examples=25, deadline=None)
+    def test_distance_matrix_conjugation(self, g, rnd):
+        perm = np.array(_perm(g.n, rnd))
+        h = g.relabel_vertices(perm.tolist())
+        dg = apsp_bfs(g)
+        dh = apsp_bfs(h)
+        assert np.array_equal(dg, dh[np.ix_(perm, perm)])
+
+
+class TestStructuralCounts:
+    @given(random_graphs(min_nodes=3, max_nodes=8), st.randoms())
+    @settings(max_examples=20, deadline=None)
+    def test_graphlet_histogram_invariant(self, g, rnd):
+        perm = _perm(g.n, rnd)
+        h = g.relabel_vertices(perm)
+        assert enumerate_graphlets(g, 3) == enumerate_graphlets(h, 3)
+
+    @given(random_graphs(min_nodes=1, max_nodes=10), st.randoms())
+    @settings(max_examples=20, deadline=None)
+    def test_component_sizes_invariant(self, g, rnd):
+        perm = _perm(g.n, rnd)
+        h = g.relabel_vertices(perm)
+        sizes_g = sorted(len(c) for c in connected_components(g))
+        sizes_h = sorted(len(c) for c in connected_components(h))
+        assert sizes_g == sizes_h

@@ -1,0 +1,104 @@
+"""Tests for PageRank, closeness, and betweenness centralities."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import (
+    Graph,
+    betweenness_centrality,
+    closeness_centrality,
+    cycle_graph,
+    pagerank_centrality,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+from tests.conftest import random_graphs
+
+
+class TestPageRank:
+    def test_sums_to_one(self):
+        pr = pagerank_centrality(star_graph(6))
+        assert np.isclose(pr.sum(), 1.0)
+
+    def test_star_center_highest(self):
+        pr = pagerank_centrality(star_graph(6))
+        assert np.argmax(pr) == 0
+
+    def test_matches_networkx(self):
+        g = path_graph(7)
+        ours = pagerank_centrality(g)
+        theirs = nx.pagerank(to_networkx(g))
+        assert np.allclose(ours, [theirs[v] for v in range(g.n)], atol=1e-6)
+
+    def test_handles_isolated_vertices(self):
+        g = Graph(4, [(0, 1)])
+        pr = pagerank_centrality(g)
+        assert np.isclose(pr.sum(), 1.0)
+        assert np.all(pr > 0)
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValueError):
+            pagerank_centrality(cycle_graph(4), damping=1.5)
+
+    def test_empty_graph(self):
+        assert pagerank_centrality(Graph(0, [])).size == 0
+
+
+class TestCloseness:
+    def test_star_center_highest(self):
+        c = closeness_centrality(star_graph(6))
+        assert np.argmax(c) == 0
+
+    def test_matches_networkx_connected(self):
+        g = cycle_graph(7)
+        ours = closeness_centrality(g)
+        theirs = nx.closeness_centrality(to_networkx(g))
+        assert np.allclose(ours, [theirs[v] for v in range(g.n)], atol=1e-9)
+
+    def test_matches_networkx_disconnected(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        ours = closeness_centrality(g)
+        theirs = nx.closeness_centrality(to_networkx(g))
+        assert np.allclose(ours, [theirs[v] for v in range(g.n)], atol=1e-9)
+
+    def test_singleton(self):
+        assert closeness_centrality(Graph(1, [])).tolist() == [0.0]
+
+
+class TestBetweenness:
+    def test_path_middle_highest(self):
+        b = betweenness_centrality(path_graph(5))
+        assert np.argmax(b) == 2
+
+    def test_leaves_zero(self):
+        b = betweenness_centrality(star_graph(5))
+        assert np.allclose(b[1:], 0.0)
+        assert b[0] > 0
+
+    @given(random_graphs(min_nodes=2, max_nodes=8))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_networkx(self, g):
+        ours = betweenness_centrality(g)
+        theirs = nx.betweenness_centrality(to_networkx(g))
+        assert np.allclose(ours, [theirs[v] for v in range(g.n)], atol=1e-9)
+
+    def test_cycle_uniform(self):
+        b = betweenness_centrality(cycle_graph(6))
+        assert np.allclose(b, b[0])
+
+
+class TestOrderingIntegration:
+    @pytest.mark.parametrize(
+        "ordering", ["pagerank", "closeness", "betweenness"]
+    )
+    def test_new_orderings_usable(self, ordering):
+        from repro.core import centrality_scores, vertex_sequence
+
+        g = star_graph(6)
+        scores = centrality_scores(g, ordering)
+        seq = vertex_sequence(g, scores, ordering)
+        assert seq[0] == 0  # the hub leads under all these measures

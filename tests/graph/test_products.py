@@ -1,0 +1,75 @@
+"""Tests for graph products and their relation to the RW kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    cartesian_product,
+    cycle_graph,
+    direct_product,
+    path_graph,
+    product_vertex_pairs,
+)
+from repro.kernels import RandomWalkKernel
+
+
+class TestDirectProduct:
+    def test_vertex_count_uniform_labels(self):
+        g1, g2 = path_graph(3), path_graph(2)
+        prod, pairs = direct_product(g1, g2)
+        assert prod.n == 6
+        assert len(pairs) == 6
+
+    def test_label_compatibility_restricts(self):
+        g1 = Graph(2, [(0, 1)], [0, 1])
+        g2 = Graph(2, [(0, 1)], [1, 1])
+        prod, pairs = direct_product(g1, g2)
+        # Only vertex 1 of g1 matches labels of g2's vertices.
+        assert len(pairs) == 2
+
+    def test_edge_rule(self):
+        # K2 x K2 (uniform labels) = two disjoint edges.
+        g = path_graph(2)
+        prod, _ = direct_product(g, g)
+        assert prod.n == 4
+        assert prod.num_edges == 2
+
+    def test_walk_correspondence_with_rw_kernel(self):
+        """t-step walk count in the product equals the kernel's t-th term."""
+        g1 = cycle_graph(4)
+        g2 = cycle_graph(3)
+        prod, _ = direct_product(g1, g2)
+        a = prod.adjacency_matrix()
+        # 1-step walks in the product = ones^T A ones.
+        walks_1 = float(a.sum())
+        k0 = RandomWalkKernel(steps=1, decay=1.0)._pair(g1, g2)
+        # k = (t=0 term: |Vx|) + 1.0 * (t=1 term)
+        assert np.isclose(k0 - prod.n, walks_1)
+
+
+class TestCartesianProduct:
+    def test_grid_from_paths(self):
+        # P2 cartesian P3 = 2x3 grid: 6 vertices, 7 edges.
+        prod, _ = cartesian_product(path_graph(2), path_graph(3))
+        assert prod.n == 6
+        assert prod.num_edges == 7
+
+    def test_degree_sum_rule(self):
+        # deg_{G * H}(u, v) = deg_G(u) + deg_H(v)
+        g1, g2 = cycle_graph(4), path_graph(3)
+        prod, pairs = cartesian_product(g1, g2)
+        for i, (u, v) in enumerate(pairs):
+            assert prod.degree(i) == g1.degree(u) + g2.degree(v)
+
+
+class TestProductVertexPairs:
+    def test_without_label_matching(self):
+        g1 = Graph(2, [], [0, 1])
+        g2 = Graph(3, [], [2, 2, 2])
+        assert len(product_vertex_pairs(g1, g2, match_labels=False)) == 6
+
+    def test_with_label_matching(self):
+        g1 = Graph(2, [], [0, 2])
+        g2 = Graph(3, [], [2, 2, 2])
+        assert len(product_vertex_pairs(g1, g2, match_labels=True)) == 3

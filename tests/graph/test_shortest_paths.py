@@ -1,0 +1,69 @@
+"""Tests for all-pairs shortest paths (BFS and Floyd-Warshall agree,
+and both agree with networkx)."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graph import (
+    UNREACHABLE,
+    apsp_bfs,
+    apsp_floyd_warshall,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    to_networkx,
+)
+from repro.graph.graph import Graph
+
+from tests.conftest import random_graphs
+
+
+class TestKnownDistances:
+    def test_path(self):
+        d = apsp_bfs(path_graph(4))
+        assert d[0, 3] == 3
+        assert d[1, 2] == 1
+
+    def test_cycle_wraps(self):
+        d = apsp_bfs(cycle_graph(6))
+        assert d[0, 3] == 3
+        assert d[0, 5] == 1
+
+    def test_grid(self):
+        d = apsp_bfs(grid_graph(3, 3))
+        assert d[0, 8] == 4  # manhattan distance corner to corner
+
+    def test_diagonal_zero(self):
+        d = apsp_bfs(cycle_graph(5))
+        assert np.all(np.diag(d) == 0)
+
+    def test_disconnected_marked(self):
+        g = Graph(3, [(0, 1)])
+        d = apsp_bfs(g)
+        assert d[0, 2] == UNREACHABLE
+        assert d[2, 0] == UNREACHABLE
+
+
+class TestImplementationsAgree:
+    @given(random_graphs(min_nodes=1, max_nodes=9))
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_equals_floyd_warshall(self, g):
+        assert np.array_equal(apsp_bfs(g), apsp_floyd_warshall(g))
+
+    @given(random_graphs(min_nodes=2, max_nodes=8))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx(self, g):
+        ours = apsp_bfs(g)
+        nxg = to_networkx(g)
+        lengths = dict(nx.all_pairs_shortest_path_length(nxg))
+        for u in range(g.n):
+            for v in range(g.n):
+                expected = lengths.get(u, {}).get(v, UNREACHABLE)
+                assert ours[u, v] == expected
+
+    @given(random_graphs(min_nodes=1, max_nodes=9))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetric(self, g):
+        d = apsp_bfs(g)
+        assert np.array_equal(d, d.T)

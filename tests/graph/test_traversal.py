@@ -1,0 +1,103 @@
+"""Tests for BFS traversal primitives."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    bfs_layers,
+    bfs_order,
+    connected_components,
+    cycle_graph,
+    disjoint_union,
+    path_graph,
+    star_graph,
+)
+
+from tests.conftest import random_graphs
+
+
+class TestBFSLayers:
+    def test_star_layers(self):
+        g = star_graph(5)
+        layers = list(bfs_layers(g, 0))
+        assert layers == [[0], [1, 2, 3, 4]]
+
+    def test_path_layers_from_end(self):
+        g = path_graph(4)
+        assert list(bfs_layers(g, 0)) == [[0], [1], [2], [3]]
+
+    def test_path_layers_from_middle(self):
+        g = path_graph(5)
+        assert list(bfs_layers(g, 2)) == [[2], [1, 3], [0, 4]]
+
+    def test_unreachable_not_included(self):
+        g = disjoint_union([path_graph(2), path_graph(2)])
+        visited = [v for layer in bfs_layers(g, 0) for v in layer]
+        assert sorted(visited) == [0, 1]
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(ValueError):
+            list(bfs_layers(path_graph(3), 3))
+
+    def test_layers_sorted_within(self):
+        g = star_graph(6)
+        layers = list(bfs_layers(g, 0))
+        assert layers[1] == sorted(layers[1])
+
+
+class TestBFSOrder:
+    def test_starts_at_source(self):
+        g = cycle_graph(5)
+        assert bfs_order(g, 3)[0] == 3
+
+    def test_visits_component_once(self):
+        g = cycle_graph(6)
+        order = bfs_order(g, 0)
+        assert sorted(order) == list(range(6))
+
+
+class TestBFSDistances:
+    def test_path_distances(self):
+        g = path_graph(4)
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3]
+
+    def test_unreachable_is_minus_one(self):
+        g = Graph(3, [(0, 1)])
+        assert bfs_distances(g, 0).tolist() == [0, 1, -1]
+
+    def test_cycle_symmetry(self):
+        g = cycle_graph(6)
+        d = bfs_distances(g, 0)
+        assert d.tolist() == [0, 1, 2, 3, 2, 1]
+
+    @given(random_graphs(min_nodes=1, max_nodes=8))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality_one_hop(self, g):
+        # Distances of adjacent vertices differ by at most 1.
+        for src in range(g.n):
+            d = bfs_distances(g, src)
+            for u, v in g.edges:
+                if d[u] >= 0 and d[v] >= 0:
+                    assert abs(d[u] - d[v]) <= 1
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        assert connected_components(cycle_graph(4)) == [[0, 1, 2, 3]]
+
+    def test_multiple(self):
+        g = disjoint_union([path_graph(2), path_graph(3)])
+        assert connected_components(g) == [[0, 1], [2, 3, 4]]
+
+    def test_isolated_vertices(self):
+        g = Graph(3, [])
+        assert connected_components(g) == [[0], [1], [2]]
+
+    @given(random_graphs(min_nodes=1, max_nodes=10))
+    @settings(max_examples=30, deadline=None)
+    def test_partition(self, g):
+        comps = connected_components(g)
+        flat = [v for c in comps for v in c]
+        assert sorted(flat) == list(range(g.n))

@@ -1,0 +1,54 @@
+"""Tests for gram-matrix utilities."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import normalize_gram, validate_gram
+
+
+class TestNormalizeGram:
+    def test_unit_diagonal(self):
+        k = np.array([[4.0, 2.0], [2.0, 9.0]])
+        n = normalize_gram(k)
+        assert np.allclose(np.diag(n), 1.0)
+
+    def test_cosine_value(self):
+        k = np.array([[4.0, 2.0], [2.0, 9.0]])
+        n = normalize_gram(k)
+        assert np.isclose(n[0, 1], 2.0 / 6.0)
+
+    def test_zero_row_handled(self):
+        k = np.array([[0.0, 0.0], [0.0, 4.0]])
+        n = normalize_gram(k)
+        assert n[0, 1] == 0.0
+        assert n[0, 0] == 1.0
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(6, 3))
+        n = normalize_gram(a @ a.T)
+        assert np.all(n <= 1.0 + 1e-9)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalize_gram(np.zeros((2, 3)))
+
+    def test_preserves_psd(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(8, 4))
+        validate_gram(normalize_gram(a @ a.T))
+
+
+class TestValidateGram:
+    def test_accepts_psd(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(5, 5))
+        validate_gram(a @ a.T)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_gram(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_rejects_negative_definite(self):
+        with pytest.raises(ValueError, match="PSD"):
+            validate_gram(np.array([[1.0, 2.0], [2.0, 1.0]]))

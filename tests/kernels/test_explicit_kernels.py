@@ -1,0 +1,132 @@
+"""Tests for the three explicit-feature kernels (GK, SP, WL)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    ExhaustiveGraphletKernel,
+    GraphletKernel,
+    ShortestPathKernel,
+    WeisfeilerLehmanKernel,
+    normalize_gram,
+    validate_gram,
+)
+from repro.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+
+from tests.conftest import random_graphs
+
+
+ALL_KERNELS = [
+    GraphletKernel(k=3, samples=8, seed=0),
+    ShortestPathKernel(),
+    WeisfeilerLehmanKernel(h=2),
+    ExhaustiveGraphletKernel(k=3),
+]
+IDS = ["gk", "sp", "wl", "gk-exact"]
+
+
+@pytest.fixture
+def labeled_graphs():
+    return [
+        cycle_graph(5).with_labels([0, 1, 0, 1, 0]),
+        star_graph(5).with_labels([1, 0, 0, 0, 1]),
+        path_graph(5).with_labels([0, 0, 1, 1, 0]),
+        complete_graph(4).with_labels([0, 1, 0, 1]),
+    ]
+
+
+class TestGramProperties:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=IDS)
+    def test_symmetric_psd(self, kernel, labeled_graphs):
+        gram = kernel.gram(labeled_graphs)
+        validate_gram(gram)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=IDS)
+    def test_normalized_unit_diag(self, kernel, labeled_graphs):
+        n = kernel.normalized_gram(labeled_graphs)
+        assert np.allclose(np.diag(n), 1.0)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=IDS)
+    def test_self_similarity_maximal_normalized(self, kernel, labeled_graphs):
+        n = kernel.normalized_gram(labeled_graphs)
+        assert np.all(n <= 1.0 + 1e-9)
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [ShortestPathKernel(), WeisfeilerLehmanKernel(h=2)],
+        ids=["sp", "wl"],
+    )
+    def test_isomorphism_invariance(self, kernel):
+        g = cycle_graph(6).with_labels([0, 1, 2, 0, 1, 2])
+        h = g.relabel_vertices([2, 4, 0, 5, 1, 3])
+        gram = kernel.gram([g, h])
+        assert np.isclose(gram[0, 0], gram[1, 1])
+        assert np.isclose(gram[0, 1], gram[0, 0])
+
+
+class TestShortestPathKernel:
+    def test_known_value_two_paths(self):
+        # Two identical 2-edge paths with uniform labels: each vertex sees
+        # (0,0,1) and (0,0,2) patterns; phi = {d1: 4, d2: 2} per graph.
+        g = path_graph(3)
+        gram = ShortestPathKernel().gram([g, g])
+        assert gram[0, 1] == 4 * 4 + 2 * 2
+
+    def test_labels_change_kernel(self):
+        g1 = path_graph(3)
+        g2 = path_graph(3).with_labels([1, 0, 1])
+        gram = ShortestPathKernel().gram([g1, g2])
+        assert gram[0, 1] < gram[0, 0]
+
+
+class TestWLKernel:
+    def test_h_zero_is_label_histogram(self):
+        g1 = Graph(3, [], [0, 0, 1])
+        g2 = Graph(3, [], [0, 1, 1])
+        gram = WeisfeilerLehmanKernel(h=0).gram([g1, g2])
+        # phi1 = [2, 1], phi2 = [1, 2] -> dot = 4
+        assert gram[0, 1] == 4
+        assert gram[0, 0] == 5
+
+    def test_deeper_h_refines(self):
+        g1 = path_graph(4)
+        g2 = star_graph(4)
+        n0 = WeisfeilerLehmanKernel(h=0).normalized_gram([g1, g2])
+        n2 = WeisfeilerLehmanKernel(h=2).normalized_gram([g1, g2])
+        # Same degree-0 labels (all zero): indistinguishable at h=0,
+        # separated by refinement.
+        assert np.isclose(n0[0, 1], 1.0)
+        assert n2[0, 1] < 1.0
+
+
+class TestGraphletKernelExact:
+    def test_feature_map_shape(self):
+        graphs = [complete_graph(4), cycle_graph(5)]
+        phi = ExhaustiveGraphletKernel(k=3).feature_map(graphs)
+        assert phi.shape[0] == 2
+
+    def test_triangle_count_k4(self):
+        phi = ExhaustiveGraphletKernel(k=3).feature_map([complete_graph(4)])
+        assert phi.sum() == 4
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ExhaustiveGraphletKernel(k=0)
+
+
+class TestPSDProperty:
+    @given(
+        st.lists(random_graphs(min_nodes=2, max_nodes=6), min_size=2, max_size=5)
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_wl_gram_psd_random_sets(self, graphs):
+        validate_gram(WeisfeilerLehmanKernel(h=1).gram(graphs))
+
+    @given(
+        st.lists(random_graphs(min_nodes=2, max_nodes=6), min_size=2, max_size=5)
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sp_gram_psd_random_sets(self, graphs):
+        validate_gram(ShortestPathKernel().gram(graphs))

@@ -1,0 +1,157 @@
+"""Tests for the implicit kernels: random walk, RetGK, DGK, GNTK."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+from repro.kernels import (
+    DeepGraphKernel,
+    GraphNeuralTangentKernel,
+    HighOrderRandomWalkKernel,
+    RandomWalkKernel,
+    ReturnProbabilityKernel,
+    SkipGramEmbedding,
+    normalize_gram,
+    return_probability_features,
+    validate_gram,
+)
+
+
+@pytest.fixture
+def graphs():
+    return [
+        cycle_graph(5).with_labels([0, 1, 0, 1, 0]),
+        star_graph(5).with_labels([1, 0, 0, 0, 1]),
+        path_graph(4).with_labels([0, 0, 1, 1]),
+    ]
+
+
+class TestRandomWalkKernel:
+    def test_psd(self, graphs):
+        validate_gram(RandomWalkKernel(steps=3).gram(graphs))
+
+    def test_label_mismatch_zero(self):
+        g1 = Graph(2, [(0, 1)], [0, 0])
+        g2 = Graph(2, [(0, 1)], [1, 1])
+        gram = RandomWalkKernel(steps=3).gram([g1, g2])
+        assert gram[0, 1] == 0.0
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWalkKernel(steps=0)
+
+    def test_walk_count_hand_check(self):
+        # Single edge, uniform labels: product graph of two K2s has
+        # 4 compatible pairs; t=0 term = 4; one step: each pair (u,v)
+        # reaches (u', v') for the unique neighbors: W x = x -> sum 4.
+        g = Graph(2, [(0, 1)])
+        k = RandomWalkKernel(steps=1, decay=0.5)
+        val = k._pair(g, g)
+        assert val == 4 + 0.5 * 4
+
+    def test_isomorphism_invariance(self):
+        g = cycle_graph(6)
+        h = g.relabel_vertices([3, 0, 5, 1, 4, 2])
+        gram = RandomWalkKernel(steps=4).gram([g, h])
+        assert np.isclose(gram[0, 0], gram[1, 1])
+        assert np.isclose(gram[0, 1], gram[0, 0])
+
+    def test_high_order_differs_from_first_order(self, graphs):
+        k1 = RandomWalkKernel(steps=3).gram(graphs)
+        k2 = HighOrderRandomWalkKernel(steps=3, order=2).gram(graphs)
+        assert not np.allclose(normalize_gram(k1), normalize_gram(k2))
+
+
+class TestReturnProbabilities:
+    def test_feature_shape(self):
+        f = return_probability_features(cycle_graph(5), steps=4)
+        assert f.shape == (5, 4)
+
+    def test_bipartite_no_odd_returns(self):
+        f = return_probability_features(path_graph(2), steps=4)
+        # Walks on a single edge return only at even steps.
+        assert np.allclose(f[:, 0], 0.0)
+        assert np.allclose(f[:, 1], 1.0)
+
+    def test_symmetric_vertices_equal(self):
+        f = return_probability_features(cycle_graph(6), steps=5)
+        assert np.allclose(f, f[0][None, :])
+
+    def test_probabilities_bounded(self):
+        f = return_probability_features(star_graph(6), steps=6)
+        assert np.all(f >= 0) and np.all(f <= 1)
+
+    def test_kernel_psd(self, graphs):
+        gram = ReturnProbabilityKernel(steps=6).gram(graphs)
+        validate_gram(gram, tol=1e-6)
+
+    def test_isomorphism_invariance(self):
+        g = cycle_graph(6).with_labels([0, 1] * 3)
+        h = g.relabel_vertices([2, 3, 4, 5, 0, 1])
+        gram = ReturnProbabilityKernel(steps=5, gamma=1.0).gram([g, h])
+        assert np.isclose(gram[0, 1], gram[0, 0])
+
+    def test_labels_gate_similarity(self):
+        g1 = cycle_graph(4).with_labels([0] * 4)
+        g2 = cycle_graph(4).with_labels([1] * 4)
+        gram = ReturnProbabilityKernel(steps=4, gamma=1.0).gram([g1, g2])
+        assert gram[0, 1] == 0.0
+        assert gram[0, 0] > 0.0
+
+
+class TestDeepGraphKernel:
+    def test_psd(self, graphs):
+        gram = DeepGraphKernel(
+            embedding=SkipGramEmbedding(dim=4, epochs=1, seed=0)
+        ).gram(graphs)
+        validate_gram(gram, tol=1e-6)
+
+    def test_deterministic(self, graphs):
+        k = lambda: DeepGraphKernel(
+            embedding=SkipGramEmbedding(dim=4, epochs=1, seed=0)
+        ).gram(graphs)
+        assert np.allclose(k(), k())
+
+    def test_skipgram_shapes(self):
+        emb = SkipGramEmbedding(dim=8, epochs=1, seed=0)
+        e = emb.fit([[0, 1, 2, 1], [2, 3]], vocab_size=4)
+        assert e.shape == (4, 8)
+
+    def test_skipgram_cooccurring_tokens_closer(self):
+        # Tokens 0/1 always co-occur; 2/3 always co-occur; mixed never.
+        sentences = [[0, 1, 0, 1]] * 30 + [[2, 3, 2, 3]] * 30
+        emb = SkipGramEmbedding(dim=8, epochs=5, lr=0.1, seed=0)
+        e = emb.fit(sentences, vocab_size=4)
+        e = e / np.linalg.norm(e, axis=1, keepdims=True)
+        assert e[0] @ e[1] > e[0] @ e[2]
+
+    def test_empty_sentence_handled(self):
+        emb = SkipGramEmbedding(dim=4, epochs=1, seed=0)
+        e = emb.fit([[]], vocab_size=3)
+        assert e.shape == (3, 4)
+
+
+class TestGNTK:
+    def test_psd(self, graphs):
+        validate_gram(GraphNeuralTangentKernel(blocks=2, mlp_layers=2).gram(graphs))
+
+    def test_isomorphism_invariance(self):
+        g = star_graph(5).with_labels([1, 0, 0, 0, 2])
+        h = g.relabel_vertices([4, 0, 1, 2, 3])
+        gram = GraphNeuralTangentKernel(blocks=2, mlp_layers=1).gram([g, h])
+        assert np.isclose(gram[0, 1], gram[0, 0], rtol=1e-10)
+
+    def test_structure_sensitivity(self):
+        gram = GraphNeuralTangentKernel(blocks=2, mlp_layers=2).normalized_gram(
+            [path_graph(6), star_graph(6), path_graph(6)]
+        )
+        assert gram[0, 2] > gram[0, 1]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GraphNeuralTangentKernel(blocks=0)
+
+    def test_no_degree_scaling_variant(self, graphs):
+        a = GraphNeuralTangentKernel(scale_by_degree=True).gram(graphs)
+        b = GraphNeuralTangentKernel(scale_by_degree=False).gram(graphs)
+        assert not np.allclose(a, b)

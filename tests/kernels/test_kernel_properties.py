@@ -1,0 +1,112 @@
+"""Cross-kernel semantic properties beyond PSD-ness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, cycle_graph, disjoint_union, path_graph, star_graph
+from repro.kernels import (
+    GraphNeuralTangentKernel,
+    RandomWalkKernel,
+    ReturnProbabilityKernel,
+    ShortestPathKernel,
+    WeisfeilerLehmanKernel,
+    normalize_gram,
+)
+
+from tests.conftest import random_graphs
+
+
+class TestWLDepthBehaviour:
+    def test_gram_entries_monotone_in_h(self):
+        """WL features accumulate over iterations, so un-normalised gram
+        entries are non-decreasing in h."""
+        graphs = [cycle_graph(6), star_graph(6), path_graph(6)]
+        prev = None
+        for h in range(4):
+            gram = WeisfeilerLehmanKernel(h).gram(graphs)
+            if prev is not None:
+                assert np.all(gram >= prev - 1e-9)
+            prev = gram
+
+    def test_wl_blind_spot_regular_pair(self):
+        """C6 vs two triangles is the textbook WL-indistinguishable pair
+        (both 2-regular, one label class forever) — the kernel must see
+        them as identical, while the shortest-path kernel separates them
+        (distance-2/3 pairs exist only in C6)."""
+        c6 = cycle_graph(6)
+        two_triangles = disjoint_union([cycle_graph(3), cycle_graph(3)])
+        wl = WeisfeilerLehmanKernel(3).normalized_gram([c6, two_triangles])
+        assert np.isclose(wl[0, 1], 1.0)
+        sp = ShortestPathKernel().normalized_gram([c6, two_triangles])
+        assert sp[0, 1] < 1.0 - 1e-9
+
+
+class TestSPLocality:
+    def test_unreachable_pairs_dont_contribute(self):
+        connected = path_graph(4)
+        split = disjoint_union([path_graph(2), path_graph(2)])
+        gram = ShortestPathKernel().gram([connected, split])
+        # The split graph has fewer path pairs -> smaller self-similarity.
+        assert gram[1, 1] < gram[0, 0]
+
+    def test_triangle_vs_path_overlap(self):
+        # Uniform labels: triangle has only distance-1 pairs; P3 has
+        # distance-1 and distance-2 pairs. Overlap = product of d1 counts.
+        tri = cycle_graph(3)
+        p3 = path_graph(3)
+        gram = ShortestPathKernel().gram([tri, p3])
+        # tri: 6 ordered d1 pairs; p3: 4 ordered d1 pairs -> 24.
+        assert gram[0, 1] == 24
+
+
+class TestRandomWalkSemantics:
+    def test_more_steps_never_decreases(self):
+        g1 = cycle_graph(5)
+        g2 = cycle_graph(6)
+        vals = [
+            RandomWalkKernel(steps=s, decay=0.5)._pair(g1, g2) for s in (1, 2, 4)
+        ]
+        assert vals[0] <= vals[1] <= vals[2]
+
+    def test_decay_dampens(self):
+        g = cycle_graph(5)
+        lo = RandomWalkKernel(steps=4, decay=0.01)._pair(g, g)
+        hi = RandomWalkKernel(steps=4, decay=0.5)._pair(g, g)
+        assert lo < hi
+
+
+class TestRetGKSemantics:
+    def test_structural_roles_cluster(self):
+        """Star center vs leaf: very different return probabilities."""
+        from repro.kernels import return_probability_features
+
+        f = return_probability_features(star_graph(7), steps=6)
+        center, leaf = f[0], f[1]
+        other_leaf = f[2]
+        assert np.linalg.norm(leaf - other_leaf) < 1e-12
+        assert np.linalg.norm(center - leaf) > 0.1
+
+    def test_self_similarity_largest_normalized(self):
+        graphs = [cycle_graph(5), star_graph(5), path_graph(5)]
+        gram = normalize_gram(ReturnProbabilityKernel(steps=6).gram(graphs))
+        assert np.all(gram <= 1.0 + 1e-9)
+
+
+class TestGNTKSemantics:
+    def test_labels_dominate_at_depth_zero_features(self):
+        same = Graph(2, [(0, 1)], [0, 0])
+        diff = Graph(2, [(0, 1)], [1, 1])
+        gram = GraphNeuralTangentKernel(blocks=1, mlp_layers=1).gram([same, diff])
+        # Cross term only sees label-mismatched pairs at init.
+        assert gram[0, 1] < gram[0, 0]
+
+    @given(st.lists(random_graphs(min_nodes=2, max_nodes=6), min_size=2, max_size=4))
+    @settings(max_examples=10, deadline=None)
+    def test_normalized_bounded(self, graphs):
+        gram = normalize_gram(
+            GraphNeuralTangentKernel(blocks=1, mlp_layers=1).gram(graphs)
+        )
+        assert np.all(gram <= 1.0 + 1e-7)
+        assert np.all(gram >= -1.0 - 1e-7)

@@ -1,0 +1,172 @@
+"""Tests for BatchNorm, EarlyStopping, gradient clipping, weight decay."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Dense,
+    EarlyStopping,
+    Parameter,
+    ReLU,
+    RMSprop,
+    SGD,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Trainer,
+    clip_gradients,
+)
+
+
+class TestBatchNorm:
+    def test_training_normalises(self):
+        rng = np.random.default_rng(0)
+        bn = BatchNorm(4)
+        x = rng.normal(3.0, 2.0, size=(200, 4))
+        out = bn.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_track(self):
+        rng = np.random.default_rng(1)
+        bn = BatchNorm(2, momentum=0.5)
+        for _ in range(30):
+            bn.forward(rng.normal(5.0, 1.0, size=(64, 2)), training=True)
+        assert np.allclose(bn.running_mean, 5.0, atol=0.3)
+
+    def test_inference_uses_running_stats(self):
+        bn = BatchNorm(2)
+        bn.running_mean = np.array([1.0, 2.0])
+        bn.running_var = np.array([4.0, 9.0])
+        x = np.array([[1.0, 2.0]])
+        out = bn.forward(x, training=False)
+        assert np.allclose(out, 0.0, atol=1e-3)
+
+    def test_3d_input(self):
+        rng = np.random.default_rng(2)
+        bn = BatchNorm(3)
+        out = bn.forward(rng.normal(size=(4, 5, 3)), training=True)
+        assert out.shape == (4, 5, 3)
+        assert np.allclose(out.mean(axis=(0, 1)), 0.0, atol=1e-7)
+
+    def test_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(3)
+        net = Sequential([Dense(3, 4, rng=0), BatchNorm(4), ReLU(), Dense(4, 2, rng=1)])
+        x = rng.normal(size=(8, 3))
+        y = np.array([0, 1] * 4)
+        lf = SoftmaxCrossEntropy()
+
+        def loss():
+            return lf.forward(net.forward(x, training=True), y)
+
+        # BatchNorm in training mode recomputes batch stats per call, so
+        # finite differences are consistent with backward.
+        loss()
+        net.zero_grad()
+        net.backward(lf.backward())
+        eps, worst = 1e-6, 0.0
+        # Freeze running-stat updates' effect by reusing training mode.
+        for p in net.parameters():
+            flat, grad = p.value.ravel(), p.grad.ravel()
+            for i in range(0, flat.size, max(1, flat.size // 7)):
+                orig = flat[i]
+                flat[i] = orig + eps
+                up = loss()
+                flat[i] = orig - eps
+                down = loss()
+                flat[i] = orig
+                worst = max(worst, abs((up - down) / (2 * eps) - grad[i]))
+        assert worst < 1e-6
+
+    def test_rejects_wrong_width(self):
+        bn = BatchNorm(3)
+        with pytest.raises(ValueError):
+            bn.forward(np.zeros((2, 4)))
+
+
+class TestEarlyStopping:
+    def _history(self, losses):
+        from repro.nn import History
+
+        h = History()
+        h.loss = list(losses)
+        return h
+
+    def test_stops_on_plateau(self):
+        es = EarlyStopping(patience=2, monitor="loss")
+        h = self._history([])
+        stops = []
+        for loss in (1.0, 0.5, 0.5, 0.5):
+            h.loss.append(loss)
+            stops.append(es.should_stop(h))
+        assert stops == [False, False, False, True]
+
+    def test_resets_on_improvement(self):
+        es = EarlyStopping(patience=2, monitor="loss")
+        h = self._history([])
+        for loss in (1.0, 1.0, 0.5, 0.5):
+            h.loss.append(loss)
+            assert not es.should_stop(h)
+
+    def test_val_accuracy_monitor(self):
+        from repro.nn import History
+
+        es = EarlyStopping(patience=1, monitor="val_accuracy")
+        h = History()
+        h.val_accuracy = [0.5]
+        assert not es.should_stop(h)
+        h.val_accuracy.append(0.5)
+        assert es.should_stop(h)
+
+    def test_trainer_integration(self):
+        rng = np.random.default_rng(0)
+        x = np.ones((20, 2))  # unlearnable: loss plateaus immediately
+        y = np.array([0, 1] * 10)
+        net = Sequential([Dense(2, 4, rng=0), ReLU(), Dense(4, 2, rng=1)])
+        trainer = Trainer(
+            epochs=50, seed=0, early_stopping=EarlyStopping(patience=3)
+        )
+        hist = trainer.fit(net, x, y)
+        assert len(hist.loss) < 50
+
+    def test_rejects_unknown_monitor(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(monitor="f1")
+
+
+class TestClipAndDecay:
+    def test_clip_scales_to_max_norm(self):
+        p = Parameter(np.zeros(3))
+        p.grad[:] = [3.0, 4.0, 0.0]  # norm 5
+        pre = clip_gradients([p], max_norm=1.0)
+        assert np.isclose(pre, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_clip_noop_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad[:] = [0.3, 0.4]
+        clip_gradients([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            p.zero_grad()
+            opt.step()
+        assert abs(p.value[0]) < 0.2
+
+    def test_rmsprop_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = RMSprop([p], lr=0.01, weight_decay=0.1)
+        p.grad[:] = [0.0]
+        opt.step()
+        assert p.value[0] < 1.0
+
+    def test_trainer_max_grad_norm(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(20, 2)) * 100  # large inputs -> large grads
+        y = (x[:, 0] > 0).astype(int)
+        net = Sequential([Dense(2, 4, rng=0), ReLU(), Dense(4, 2, rng=1)])
+        hist = Trainer(epochs=3, seed=0, max_grad_norm=1.0).fit(net, x, y)
+        assert all(np.isfinite(l) for l in hist.loss)

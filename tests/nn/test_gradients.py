@@ -1,0 +1,198 @@
+"""Finite-difference gradient verification for every layer.
+
+Each test builds a tiny network ending in softmax cross-entropy, runs one
+backward pass, and compares every parameter gradient (and the input
+gradient) against central finite differences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaskedSumPool1D,
+    MeanPool1D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SoftmaxCrossEntropy,
+    SumPool1D,
+    Tanh,
+)
+
+EPS = 1e-6
+TOL = 1e-7
+
+
+def check_param_gradients(net, x, y):
+    """Max |analytic - numeric| over a sample of parameter entries."""
+    loss_fn = SoftmaxCrossEntropy()
+
+    def loss():
+        return loss_fn.forward(net.forward(x, training=False), y)
+
+    loss()
+    net.zero_grad()
+    net.backward(loss_fn.backward())
+    worst = 0.0
+    for p in net.parameters():
+        flat = p.value.ravel()
+        grad = p.grad.ravel()
+        step = max(1, flat.size // 11)
+        for i in range(0, flat.size, step):
+            orig = flat[i]
+            flat[i] = orig + EPS
+            up = loss()
+            flat[i] = orig - EPS
+            down = loss()
+            flat[i] = orig
+            worst = max(worst, abs((up - down) / (2 * EPS) - grad[i]))
+    return worst
+
+
+def check_input_gradient(layer, x, out_grad=None):
+    """Finite-difference check of backward() w.r.t. the input."""
+    out = layer.forward(x, training=False)
+    if out_grad is None:
+        rng = np.random.default_rng(0)
+        out_grad = rng.normal(size=out.shape)
+    dx = layer.backward(out_grad)
+
+    def scalar(xv):
+        return float((layer.forward(xv, training=False) * out_grad).sum())
+
+    worst = 0.0
+    flat = x.ravel()
+    step = max(1, flat.size // 13)
+    for i in range(0, flat.size, step):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        up = scalar(x)
+        flat[i] = orig - EPS
+        down = scalar(x)
+        flat[i] = orig
+        worst = max(worst, abs((up - down) / (2 * EPS) - dx.ravel()[i]))
+    return worst
+
+
+class TestDense:
+    def test_param_gradients(self):
+        rng = np.random.default_rng(0)
+        net = Sequential([Dense(4, 5, rng=1), ReLU(), Dense(5, 3, rng=2)])
+        x = rng.normal(size=(6, 4))
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert check_param_gradients(net, x, y) < TOL
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng=0)
+        assert check_input_gradient(layer, rng.normal(size=(5, 4))) < TOL
+
+    def test_no_bias_variant(self):
+        rng = np.random.default_rng(2)
+        net = Sequential([Dense(3, 4, use_bias=False, rng=0), Dense(4, 2, rng=1)])
+        x = rng.normal(size=(4, 3))
+        y = np.array([0, 1, 0, 1])
+        assert check_param_gradients(net, x, y) < TOL
+
+    def test_high_rank_input(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(4, 2, rng=0)
+        assert check_input_gradient(layer, rng.normal(size=(2, 3, 4))) < TOL
+
+
+class TestConv1D:
+    @pytest.mark.parametrize("kernel,stride", [(3, 3), (2, 1), (1, 1), (3, 2)])
+    def test_param_gradients(self, kernel, stride):
+        rng = np.random.default_rng(0)
+        net = Sequential(
+            [
+                Conv1D(2, 4, kernel_size=kernel, stride=stride, rng=1),
+                ReLU(),
+                SumPool1D(),
+                Dense(4, 2, rng=2),
+            ]
+        )
+        x = rng.normal(size=(3, 9, 2))
+        y = np.array([0, 1, 0])
+        assert check_param_gradients(net, x, y) < TOL
+
+    def test_input_gradient_overlapping_windows(self):
+        rng = np.random.default_rng(1)
+        layer = Conv1D(3, 2, kernel_size=3, stride=1, rng=0)
+        assert check_input_gradient(layer, rng.normal(size=(2, 7, 3))) < TOL
+
+    def test_no_bias_zero_maps_to_zero(self):
+        layer = Conv1D(3, 4, kernel_size=2, stride=2, use_bias=False, rng=0)
+        out = layer.forward(np.zeros((1, 6, 3)))
+        assert np.allclose(out, 0.0)
+
+    def test_rejects_short_input(self):
+        layer = Conv1D(2, 2, kernel_size=5, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 3, 2)))
+
+    def test_rejects_wrong_channels(self):
+        layer = Conv1D(2, 2, kernel_size=1, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 3, 5)))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, Tanh, Sigmoid])
+    def test_input_gradient(self, layer_cls):
+        rng = np.random.default_rng(2)
+        layer = layer_cls()
+        # offset from 0 to avoid the ReLU kink
+        x = rng.normal(size=(4, 5)) + 0.1 * np.sign(rng.normal(size=(4, 5)))
+        assert check_input_gradient(layer, x) < 1e-6
+
+
+class TestPooling:
+    def test_sum_pool_gradient(self):
+        rng = np.random.default_rng(3)
+        assert check_input_gradient(SumPool1D(), rng.normal(size=(2, 5, 3))) < TOL
+
+    def test_mean_pool_gradient(self):
+        rng = np.random.default_rng(4)
+        assert check_input_gradient(MeanPool1D(), rng.normal(size=(2, 5, 3))) < TOL
+
+    def test_flatten_gradient(self):
+        rng = np.random.default_rng(5)
+        assert check_input_gradient(Flatten(), rng.normal(size=(2, 4, 3))) < TOL
+
+    def test_masked_sum_gradient(self):
+        rng = np.random.default_rng(6)
+        layer = MaskedSumPool1D()
+        mask = np.array([[1, 1, 0, 0], [1, 1, 1, 1]], dtype=float)
+        layer.set_mask(mask)
+        x = rng.normal(size=(2, 4, 3))
+        out = layer.forward(x)
+        assert np.allclose(out[0], x[0, :2].sum(axis=0))
+        grad = rng.normal(size=out.shape)
+        dx = layer.backward(grad)
+        assert np.allclose(dx[0, 2:], 0.0)
+
+
+class TestEndToEndStack:
+    def test_deepmap_like_stack(self):
+        """The full Fig. 4-shaped stack has exact gradients."""
+        rng = np.random.default_rng(7)
+        net = Sequential(
+            [
+                Conv1D(5, 8, kernel_size=3, stride=3, use_bias=False, rng=0),
+                ReLU(),
+                Conv1D(8, 4, kernel_size=1, use_bias=False, rng=1),
+                ReLU(),
+                SumPool1D(),
+                Dense(4, 16, rng=2),
+                ReLU(),
+                Dense(16, 3, rng=3),
+            ]
+        )
+        x = rng.normal(size=(4, 12, 5))
+        y = np.array([0, 1, 2, 1])
+        assert check_param_gradients(net, x, y) < TOL

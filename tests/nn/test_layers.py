@@ -1,0 +1,141 @@
+"""Behavioural tests for layers: shapes, modes, dropout statistics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    MeanPool1D,
+    ReLU,
+    Sigmoid,
+    SumPool1D,
+    Tanh,
+    softmax,
+)
+from repro.nn.losses import SoftmaxCrossEntropy
+
+
+class TestDenseShapes:
+    def test_2d(self):
+        layer = Dense(4, 7, rng=0)
+        assert layer.forward(np.zeros((3, 4))).shape == (3, 7)
+
+    def test_3d(self):
+        layer = Dense(4, 7, rng=0)
+        assert layer.forward(np.zeros((2, 5, 4))).shape == (2, 5, 7)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+
+class TestConvShapes:
+    def test_output_length_stride_equals_kernel(self):
+        layer = Conv1D(2, 3, kernel_size=4, stride=4, rng=0)
+        assert layer.forward(np.zeros((1, 12, 2))).shape == (1, 3, 3)
+
+    def test_output_length_overlapping(self):
+        layer = Conv1D(2, 3, kernel_size=3, stride=1, rng=0)
+        assert layer.forward(np.zeros((1, 10, 2))).shape == (1, 8, 3)
+
+    def test_output_length_helper(self):
+        layer = Conv1D(1, 1, kernel_size=3, stride=2, rng=0)
+        assert layer.output_length(9) == 4
+
+
+class TestActivationValues:
+    def test_relu(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        assert out.tolist() == [0.0, 0.0, 2.0]
+
+    def test_tanh_range(self):
+        out = Tanh().forward(np.array([-100.0, 100.0]))
+        assert np.allclose(out, [-1.0, 1.0])
+
+    def test_sigmoid_extremes_stable(self):
+        out = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+
+
+class TestDropout:
+    def test_inference_identity(self):
+        x = np.ones((10, 10))
+        assert np.array_equal(Dropout(0.5, rng=0).forward(x, training=False), x)
+
+    def test_training_zeroes_fraction(self):
+        x = np.ones((100, 100))
+        out = Dropout(0.5, rng=0).forward(x, training=True)
+        zero_frac = np.mean(out == 0)
+        assert 0.45 < zero_frac < 0.55
+
+    def test_inverted_scaling_preserves_mean(self):
+        x = np.ones((200, 200))
+        out = Dropout(0.3, rng=0).forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((20, 20))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_rate_zero_noop(self):
+        x = np.ones((5, 5))
+        assert np.array_equal(Dropout(0.0).forward(x, training=True), x)
+
+    def test_rejects_rate_one(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestPoolingValues:
+    def test_sum(self):
+        x = np.arange(12.0).reshape(1, 4, 3)
+        assert np.allclose(SumPool1D().forward(x)[0], x[0].sum(axis=0))
+
+    def test_mean(self):
+        x = np.arange(12.0).reshape(1, 4, 3)
+        assert np.allclose(MeanPool1D().forward(x)[0], x[0].mean(axis=0))
+
+    def test_flatten_roundtrip(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        f = Flatten()
+        out = f.forward(x)
+        assert out.shape == (2, 12)
+        assert np.array_equal(f.backward(out), x)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 4))
+        assert np.allclose(softmax(logits).sum(axis=1), 1.0)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = SoftmaxCrossEntropy().forward(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_loss_is_log_c(self):
+        logits = np.zeros((4, 3))
+        loss = SoftmaxCrossEntropy().forward(logits, np.array([0, 1, 2, 0]))
+        assert np.isclose(loss, np.log(3))
+
+    def test_gradient_sums_to_zero_rows(self):
+        lf = SoftmaxCrossEntropy()
+        logits = np.random.default_rng(1).normal(size=(6, 3))
+        lf.forward(logits, np.array([0, 1, 2, 0, 1, 2]))
+        assert np.allclose(lf.backward().sum(axis=1), 0.0, atol=1e-12)
+
+    def test_rejects_bad_targets(self):
+        lf = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            lf.forward(np.zeros((2, 2)), np.array([0, 5]))
+
+    def test_rejects_bad_shapes(self):
+        lf = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            lf.forward(np.zeros((2, 2)), np.array([0, 1, 1]))

@@ -1,0 +1,66 @@
+"""Tests for max pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GlobalMaxPool1D, MaxPool1D
+
+
+class TestMaxPool1D:
+    def test_values(self):
+        x = np.array([[[1.0], [5.0], [3.0], [2.0]]])
+        out = MaxPool1D(pool_size=2).forward(x)
+        assert out[0, :, 0].tolist() == [5.0, 3.0]
+
+    def test_output_shape_with_stride(self):
+        x = np.zeros((2, 9, 3))
+        out = MaxPool1D(pool_size=3, stride=2).forward(x)
+        assert out.shape == (2, 4, 3)
+
+    def test_backward_routes_to_argmax(self):
+        x = np.array([[[1.0], [5.0], [3.0], [2.0]]])
+        mp = MaxPool1D(pool_size=2)
+        mp.forward(x)
+        dx = mp.backward(np.array([[[10.0], [20.0]]]))
+        assert dx[0, :, 0].tolist() == [0.0, 10.0, 20.0, 0.0]
+
+    def test_gradient_matches_fd(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 7, 3))
+        mp = MaxPool1D(pool_size=3, stride=2)
+        out = mp.forward(x)
+        g = rng.normal(size=out.shape)
+        dx = mp.backward(g)
+        eps, worst = 1e-6, 0.0
+        flat = x.ravel()
+        for i in range(0, flat.size, 5):
+            o = flat[i]
+            flat[i] = o + eps
+            up = (mp.forward(x) * g).sum()
+            flat[i] = o - eps
+            down = (mp.forward(x) * g).sum()
+            flat[i] = o
+            worst = max(worst, abs((up - down) / (2 * eps) - dx.ravel()[i]))
+        assert worst < 1e-8
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            MaxPool1D(pool_size=5).forward(np.zeros((1, 3, 2)))
+
+    def test_rejects_bad_pool_size(self):
+        with pytest.raises(ValueError):
+            MaxPool1D(pool_size=0)
+
+
+class TestGlobalMaxPool1D:
+    def test_values(self):
+        x = np.array([[[1.0, -2.0], [3.0, -1.0]]])
+        out = GlobalMaxPool1D().forward(x)
+        assert out[0].tolist() == [3.0, -1.0]
+
+    def test_backward_one_hot(self):
+        x = np.array([[[1.0], [3.0], [2.0]]])
+        gm = GlobalMaxPool1D()
+        gm.forward(x)
+        dx = gm.backward(np.array([[7.0]]))
+        assert dx[0, :, 0].tolist() == [0.0, 7.0, 0.0]

@@ -1,0 +1,117 @@
+"""Tests for optimizers and the plateau scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, ReduceLROnPlateau, RMSprop
+
+
+def _param(value):
+    p = Parameter(np.array(value, dtype=np.float64))
+    return p
+
+
+class TestSGD:
+    def test_single_step(self):
+        p = _param([1.0])
+        p.grad[:] = [2.0]
+        SGD([p], lr=0.1).step()
+        assert np.isclose(p.value[0], 0.8)
+
+    def test_momentum_accumulates(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad[:] = [1.0]
+        opt.step()  # v = -0.1
+        p.grad[:] = [1.0]
+        opt.step()  # v = -0.19
+        assert np.isclose(p.value[0], -0.29)
+
+    def test_zero_grad(self):
+        p = _param([1.0])
+        p.grad[:] = [5.0]
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad[0] == 0.0
+
+
+class TestRMSprop:
+    def test_keras_update_rule(self):
+        p = _param([1.0])
+        p.grad[:] = [2.0]
+        opt = RMSprop([p], lr=0.01, rho=0.9, eps=1e-7)
+        opt.step()
+        accum = 0.1 * 4.0
+        expected = 1.0 - 0.01 * 2.0 / (np.sqrt(accum) + 1e-7)
+        assert np.isclose(p.value[0], expected)
+
+    def test_adapts_to_gradient_scale(self):
+        # Two parameters with very different gradient magnitudes should
+        # move by comparable amounts.
+        p1, p2 = _param([0.0]), _param([0.0])
+        opt = RMSprop([p1, p2], lr=0.01)
+        for _ in range(10):
+            p1.grad[:] = [100.0]
+            p2.grad[:] = [0.01]
+            opt.step()
+        assert abs(p1.value[0]) < 10 * abs(p2.value[0])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            RMSprop([_param([0.0])], lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        # With bias correction, the first Adam step is ~lr regardless of
+        # gradient scale.
+        for g in (0.001, 1.0, 1000.0):
+            p = _param([0.0])
+            p.grad[:] = [g]
+            Adam([p], lr=0.01).step()
+            assert np.isclose(abs(p.value[0]), 0.01, rtol=1e-3)
+
+    def test_converges_on_quadratic(self):
+        p = _param([5.0])
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            p.grad[:] = 2 * p.value  # d/dx x^2
+            opt.step()
+        assert abs(p.value[0]) < 0.05
+
+
+class TestReduceLROnPlateau:
+    def test_no_reduction_while_improving(self):
+        p = _param([0.0])
+        opt = RMSprop([p], lr=0.01)
+        sched = ReduceLROnPlateau(opt, patience=2)
+        for loss in (1.0, 0.9, 0.8, 0.7):
+            assert not sched.step(loss)
+        assert opt.lr == 0.01
+
+    def test_reduces_after_patience(self):
+        p = _param([0.0])
+        opt = RMSprop([p], lr=0.01)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=3)
+        sched.step(1.0)
+        reduced = [sched.step(1.0) for _ in range(3)]
+        assert reduced == [False, False, True]
+        assert np.isclose(opt.lr, 0.005)
+
+    def test_respects_min_lr(self):
+        p = _param([0.0])
+        opt = RMSprop([p], lr=1e-6)
+        sched = ReduceLROnPlateau(opt, patience=1, min_lr=1e-6)
+        sched.step(1.0)
+        sched.step(1.0)
+        assert opt.lr == 1e-6
+
+    def test_counter_resets_on_improvement(self):
+        p = _param([0.0])
+        opt = RMSprop([p], lr=0.01)
+        sched = ReduceLROnPlateau(opt, patience=2)
+        sched.step(1.0)
+        sched.step(1.0)  # bad 1
+        sched.step(0.5)  # improvement resets
+        sched.step(0.5)  # bad 1
+        assert opt.lr == 0.01

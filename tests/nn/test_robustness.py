@@ -1,0 +1,87 @@
+"""Robustness / failure-injection tests for the NN framework."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    ReLU,
+    RMSprop,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Trainer,
+)
+
+
+class TestNumericalStability:
+    def test_extreme_inputs_finite(self):
+        net = Sequential([Dense(3, 8, rng=0), ReLU(), Dense(8, 2, rng=1)])
+        x = np.array([[1e6, -1e6, 1e6]])
+        out = net.forward(x)
+        assert np.all(np.isfinite(out))
+
+    def test_loss_finite_on_confident_wrong(self):
+        lf = SoftmaxCrossEntropy()
+        logits = np.array([[1000.0, -1000.0]])
+        loss = lf.forward(logits, np.array([1]))
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(lf.backward()))
+
+    def test_training_survives_large_lr(self):
+        """RMSprop's normalisation keeps steps bounded even at lr=1."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 2))
+        y = (x[:, 0] > 0).astype(int)
+        net = Sequential([Dense(2, 8, rng=0), ReLU(), Dense(8, 2, rng=1)])
+        trainer = Trainer(
+            optimizer_factory=lambda p: RMSprop(p, lr=1.0),
+            epochs=5,
+            seed=0,
+        )
+        hist = trainer.fit(net, x, y)
+        assert all(np.isfinite(l) for l in hist.loss)
+        for p in net.parameters():
+            assert np.all(np.isfinite(p.value))
+
+    def test_degenerate_constant_features(self):
+        x = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        net = Sequential([Dense(3, 4, rng=0), ReLU(), Dense(4, 2, rng=1)])
+        hist = Trainer(epochs=3, seed=0).fit(net, x, y)
+        # Cannot learn, but must not blow up; loss stays near log 2.
+        assert all(np.isfinite(l) for l in hist.loss)
+        assert hist.loss[-1] < 2.0
+
+
+class TestTrainerEdgeCases:
+    def test_batch_larger_than_dataset(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 2))
+        y = (x[:, 0] > 0).astype(int)
+        net = Sequential([Dense(2, 4, rng=0), ReLU(), Dense(4, 2, rng=1)])
+        hist = Trainer(epochs=2, batch_size=256, seed=0).fit(net, x, y)
+        assert len(hist.loss) == 2
+
+    def test_single_sample_batches(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6, 2))
+        y = (x[:, 0] > 0).astype(int)
+        net = Sequential([Dense(2, 4, rng=0), ReLU(), Dense(4, 2, rng=1)])
+        hist = Trainer(epochs=2, batch_size=1, seed=0).fit(net, x, y)
+        assert len(hist.loss) == 2
+
+    def test_labels_must_be_contiguous_from_zero(self):
+        # The trainer consumes already-indexed targets; out-of-range
+        # classes must be caught by the loss.
+        net = Sequential([Dense(2, 2, rng=0)])
+        x = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            Trainer(epochs=1).fit(net, x, np.array([0, 5]))
+
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ValueError):
+            Trainer(epochs=0)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            Trainer(batch_size=0)

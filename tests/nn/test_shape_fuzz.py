@@ -1,0 +1,103 @@
+"""Hypothesis shape-fuzzing for the NN layers: any legal input shape must
+produce the documented output shape and a backward of the input shape."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    BatchNorm,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalMaxPool1D,
+    MaxPool1D,
+    MeanPool1D,
+    ReLU,
+    SumPool1D,
+    Tanh,
+)
+
+
+@given(
+    batch=st.integers(1, 5),
+    length=st.integers(1, 12),
+    in_ch=st.integers(1, 4),
+    out_ch=st.integers(1, 4),
+    kernel=st.integers(1, 4),
+    stride=st.integers(1, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_conv1d_shapes(batch, length, in_ch, out_ch, kernel, stride):
+    if length < kernel:
+        return
+    layer = Conv1D(in_ch, out_ch, kernel_size=kernel, stride=stride, rng=0)
+    x = np.zeros((batch, length, in_ch))
+    out = layer.forward(x)
+    l_out = (length - kernel) // stride + 1
+    assert out.shape == (batch, l_out, out_ch)
+    assert layer.backward(np.zeros_like(out)).shape == x.shape
+
+
+@given(
+    lead=st.lists(st.integers(1, 4), min_size=1, max_size=3),
+    in_f=st.integers(1, 6),
+    out_f=st.integers(1, 6),
+)
+@settings(max_examples=40, deadline=None)
+def test_dense_shapes(lead, in_f, out_f):
+    layer = Dense(in_f, out_f, rng=0)
+    x = np.zeros((*lead, in_f))
+    out = layer.forward(x)
+    assert out.shape == (*lead, out_f)
+    assert layer.backward(np.zeros_like(out)).shape == x.shape
+
+
+@given(
+    batch=st.integers(1, 4),
+    length=st.integers(1, 8),
+    channels=st.integers(1, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_pooling_shapes(batch, length, channels):
+    x = np.random.default_rng(0).normal(size=(batch, length, channels))
+    for layer in (SumPool1D(), MeanPool1D(), GlobalMaxPool1D()):
+        out = layer.forward(x)
+        assert out.shape == (batch, channels)
+        assert layer.backward(np.zeros_like(out)).shape == x.shape
+    flat = Flatten()
+    out = flat.forward(x)
+    assert out.shape == (batch, length * channels)
+
+
+@given(
+    batch=st.integers(1, 4),
+    features=st.integers(1, 6),
+    rate=st.floats(0.0, 0.9),
+)
+@settings(max_examples=30, deadline=None)
+def test_elementwise_layers_preserve_shape(batch, features, rate):
+    x = np.random.default_rng(1).normal(size=(batch, features))
+    for layer in (ReLU(), Tanh(), Dropout(rate, rng=0), BatchNorm(features)):
+        out = layer.forward(x, training=True)
+        assert out.shape == x.shape
+        assert layer.backward(np.zeros_like(out)).shape == x.shape
+
+
+@given(
+    batch=st.integers(1, 3),
+    length=st.integers(2, 10),
+    channels=st.integers(1, 3),
+    pool=st.integers(1, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_maxpool_shapes(batch, length, channels, pool):
+    if length < pool:
+        return
+    layer = MaxPool1D(pool_size=pool)
+    x = np.random.default_rng(2).normal(size=(batch, length, channels))
+    out = layer.forward(x)
+    l_out = (length - pool) // pool + 1
+    assert out.shape == (batch, l_out, channels)
+    assert layer.backward(np.zeros_like(out)).shape == x.shape

@@ -1,0 +1,136 @@
+"""Tests for the training loop and its paper protocol."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    ReLU,
+    Sequential,
+    Trainer,
+    predict_labels,
+    predict_logits,
+    predict_proba,
+)
+
+
+def _xor_data(n=160, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+    return x, y
+
+
+def _mlp(seed=0):
+    return Sequential(
+        [Dense(2, 24, rng=seed), ReLU(), Dense(24, 24, rng=seed + 1), ReLU(), Dense(24, 2, rng=seed + 2)]
+    )
+
+
+class TestTraining:
+    def test_learns_xor(self):
+        x, y = _xor_data()
+        hist = Trainer(epochs=50, batch_size=32, seed=0).fit(_mlp(), x, y)
+        assert hist.train_accuracy[-1] > 0.95
+
+    def test_loss_decreases(self):
+        x, y = _xor_data()
+        hist = Trainer(epochs=30, seed=0).fit(_mlp(), x, y)
+        assert hist.loss[-1] < hist.loss[0]
+
+    def test_history_lengths(self):
+        x, y = _xor_data(60)
+        hist = Trainer(epochs=7, seed=0).fit(_mlp(), x, y)
+        assert len(hist.loss) == len(hist.train_accuracy) == len(hist.lr) == 7
+
+    def test_validation_tracked(self):
+        x, y = _xor_data(100)
+        hist = Trainer(epochs=5, seed=0).fit(
+            _mlp(), x[:80], y[:80], validation=(x[80:], y[80:])
+        )
+        assert len(hist.val_accuracy) == 5
+        assert all(0.0 <= a <= 1.0 for a in hist.val_accuracy)
+
+    def test_epoch_callback_invoked(self):
+        x, y = _xor_data(40)
+        seen = []
+        Trainer(epochs=3, seed=0).fit(
+            _mlp(), x, y, epoch_callback=lambda e, h: seen.append(e)
+        )
+        assert seen == [0, 1, 2]
+
+    def test_deterministic_given_seed(self):
+        x, y = _xor_data(60)
+        h1 = Trainer(epochs=5, seed=3).fit(_mlp(seed=1), x, y)
+        h2 = Trainer(epochs=5, seed=3).fit(_mlp(seed=1), x, y)
+        assert np.allclose(h1.loss, h2.loss)
+
+    def test_lr_decays_on_plateau(self):
+        x, y = _xor_data(100)
+        hist = Trainer(epochs=60, seed=0).fit(_mlp(), x, y)
+        assert hist.lr[-1] < hist.lr[0]
+
+    def test_rejects_mismatched_labels(self):
+        x, y = _xor_data(20)
+        with pytest.raises(ValueError):
+            Trainer(epochs=1).fit(_mlp(), x, y[:-1])
+
+    def test_tuple_inputs_sliced_together(self):
+        """Trainer must slice multi-array inputs consistently."""
+        from repro.nn.module import Network, Parameter
+        from repro.nn.dense import Dense as D
+
+        class TwoInput(Network):
+            def __init__(self):
+                self.fc = D(4, 2, rng=0)
+
+            def forward(self, x, training=False):
+                a, b = x
+                assert a.shape[0] == b.shape[0]
+                return self.fc.forward(np.concatenate([a, b], axis=1), training)
+
+            def backward(self, grad):
+                self.fc.backward(grad)
+
+            def parameters(self):
+                return self.fc.parameters()
+
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(30, 2))
+        b = rng.normal(size=(30, 2))
+        y = (a[:, 0] > 0).astype(int)
+        hist = Trainer(epochs=2, batch_size=8, seed=0).fit(TwoInput(), (a, b), y)
+        assert len(hist.loss) == 2
+
+
+class TestPrediction:
+    def test_predict_shapes(self):
+        x, y = _xor_data(50)
+        net = _mlp()
+        Trainer(epochs=2, seed=0).fit(net, x, y)
+        assert predict_logits(net, x).shape == (50, 2)
+        assert predict_labels(net, x).shape == (50,)
+        proba = predict_proba(net, x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_batched_equals_full(self):
+        x, y = _xor_data(50)
+        net = _mlp()
+        Trainer(epochs=2, seed=0).fit(net, x, y)
+        assert np.allclose(
+            predict_logits(net, x, batch_size=7), predict_logits(net, x, batch_size=50)
+        )
+
+
+class TestHistory:
+    def test_best_epoch(self):
+        from repro.nn import History
+
+        h = History(val_accuracy=[0.5, 0.8, 0.6])
+        assert h.best_epoch() == 1
+
+    def test_best_epoch_empty_raises(self):
+        from repro.nn import History
+
+        with pytest.raises(ValueError):
+            History().best_epoch()

@@ -1,0 +1,51 @@
+"""Consistency properties of the SVM layer used by the CV protocol."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import WeisfeilerLehmanKernel, normalize_gram
+from repro.svm import KernelSVC, solve_smo
+
+
+class TestDecisionConsistency:
+    def test_training_points_scored_like_decision_function(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack(
+            [rng.normal([2, 0], 0.6, (20, 2)), rng.normal([-2, 0], 0.6, (20, 2))]
+        )
+        y = np.array([1] * 20 + [0] * 20)
+        k = x @ x.T
+        model = KernelSVC(c=10).fit(k, y)
+        preds_from_rows = model.predict(k)
+        scores = model.decision_function(k)
+        preds_from_scores = model.classes_[scores.argmax(axis=1)]
+        assert np.array_equal(preds_from_rows, preds_from_scores)
+
+    def test_dual_objective_improves_with_c(self):
+        """Larger C can only reduce training error on this noisy set."""
+        rng = np.random.default_rng(1)
+        x = np.vstack(
+            [rng.normal([1, 0], 1.2, (30, 2)), rng.normal([-1, 0], 1.2, (30, 2))]
+        )
+        y = np.array([1] * 30 + [0] * 30)
+        k = x @ x.T
+        acc = [KernelSVC(c=c).fit(k, y).score(k, y) for c in (0.01, 1.0, 100.0)]
+        assert acc[0] <= acc[-1] + 1e-9
+
+    def test_scaling_kernel_equivalent_to_scaling_c(self):
+        """K -> a*K with C -> C/a yields the same decision function."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 3))
+        y = np.sign(x[:, 0]).astype(int)
+        k = x @ x.T
+        res1 = solve_smo(k, np.where(y > 0, 1.0, -1.0), c=1.0)
+        res2 = solve_smo(4.0 * k, np.where(y > 0, 1.0, -1.0), c=0.25)
+        f1 = (res1.alpha * np.where(y > 0, 1.0, -1.0)) @ k + res1.bias
+        f2 = (res2.alpha * np.where(y > 0, 1.0, -1.0)) @ (4.0 * k) + res2.bias
+        assert np.array_equal(np.sign(f1), np.sign(f2))
+
+    def test_normalized_graph_kernel_end_to_end(self, small_dataset):
+        graphs, y = small_dataset
+        gram = normalize_gram(WeisfeilerLehmanKernel(2).gram(graphs))
+        model = KernelSVC(c=10).fit(gram, y)
+        assert model.score(gram, y) >= 0.8

@@ -1,0 +1,102 @@
+"""Tests for the SMO solver: analytic solutions, KKT conditions, bounds."""
+
+import numpy as np
+import pytest
+
+from repro.svm import solve_smo
+
+
+def _linear_kernel(x):
+    return x @ x.T
+
+
+class TestAnalyticSolutions:
+    def test_two_points(self):
+        # x = -1, +1 with labels -1, +1: alpha = [1/2, 1/2], b = 0.
+        k = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        res = solve_smo(k, np.array([-1.0, 1.0]), c=10.0)
+        assert np.allclose(res.alpha, [0.5, 0.5])
+        assert abs(res.bias) < 1e-9
+        assert res.converged
+
+    def test_asymmetric_two_points(self):
+        # x = 0, 2: maximal margin at x=1 -> f(x) = x - 1.
+        x = np.array([[0.0], [2.0]])
+        y = np.array([-1.0, 1.0])
+        res = solve_smo(_linear_kernel(x), y, c=100.0)
+        w = (res.alpha * y) @ x
+        assert np.isclose(w[0], 1.0, atol=1e-6)
+        assert np.isclose(res.bias, -1.0, atol=1e-6)
+
+    def test_equality_constraint(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 3))
+        y = np.sign(x[:, 0] + 0.1)
+        res = solve_smo(_linear_kernel(x), y, c=1.0)
+        assert abs((res.alpha * y).sum()) < 1e-9
+
+
+class TestBoxConstraints:
+    def test_alpha_within_box(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(40, 2))
+        y = np.sign(x[:, 0] + 0.3 * rng.normal(size=40))
+        for c in (0.1, 1.0, 10.0):
+            res = solve_smo(_linear_kernel(x), y, c=c)
+            assert np.all(res.alpha >= -1e-12)
+            assert np.all(res.alpha <= c + 1e-12)
+
+    def test_noisy_point_hits_bound(self):
+        # One mislabeled point must saturate at C.
+        x = np.array([[-2.0], [-1.5], [1.5], [2.0], [-1.8]])
+        y = np.array([-1.0, -1.0, 1.0, 1.0, 1.0])  # last is noise
+        res = solve_smo(_linear_kernel(x), y, c=1.0)
+        assert np.isclose(res.alpha[4], 1.0)
+
+
+class TestKKT:
+    def test_kkt_satisfied_separable(self):
+        rng = np.random.default_rng(2)
+        x = np.vstack(
+            [rng.normal([2, 2], 0.4, (25, 2)), rng.normal([-2, -2], 0.4, (25, 2))]
+        )
+        y = np.array([1.0] * 25 + [-1.0] * 25)
+        res = solve_smo(_linear_kernel(x), y, c=10.0)
+        assert res.converged
+        f = (res.alpha * y) @ _linear_kernel(x) + res.bias
+        margins = y * f
+        non_sv = res.alpha < 1e-8
+        assert np.all(margins[non_sv] >= 1.0 - 1e-2)
+
+    def test_kkt_satisfied_overlapping(self):
+        rng = np.random.default_rng(3)
+        x = np.vstack(
+            [rng.normal([1, 0], 1.0, (30, 2)), rng.normal([-1, 0], 1.0, (30, 2))]
+        )
+        y = np.array([1.0] * 30 + [-1.0] * 30)
+        res = solve_smo(_linear_kernel(x), y, c=1.0)
+        assert res.converged
+
+
+class TestValidation:
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError, match="-1 or \\+1"):
+            solve_smo(np.eye(2), np.array([0.0, 1.0]), c=1.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            solve_smo(np.eye(3), np.array([1.0, -1.0]), c=1.0)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            solve_smo(np.eye(2), np.array([1.0, -1.0]), c=0.0)
+
+    def test_empty_problem(self):
+        res = solve_smo(np.zeros((0, 0)), np.zeros(0), c=1.0)
+        assert res.converged
+        assert res.alpha.size == 0
+
+    def test_support_indices(self):
+        k = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        res = solve_smo(k, np.array([-1.0, 1.0]), c=10.0)
+        assert res.support_indices().tolist() == [0, 1]

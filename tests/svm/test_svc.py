@@ -1,0 +1,105 @@
+"""Tests for the kernel C-SVM classifier and per-fold C selection."""
+
+import numpy as np
+import pytest
+
+from repro.svm import DEFAULT_C_GRID, KernelSVC, select_c
+
+
+@pytest.fixture
+def binary_problem():
+    rng = np.random.default_rng(0)
+    x = np.vstack(
+        [rng.normal([2, 2], 0.5, (30, 2)), rng.normal([-2, -2], 0.5, (30, 2))]
+    )
+    y = np.array([1] * 30 + [0] * 30)
+    return x @ x.T, y
+
+
+@pytest.fixture
+def multiclass_problem():
+    rng = np.random.default_rng(1)
+    x = np.vstack(
+        [
+            rng.normal([3, 0], 0.4, (20, 2)),
+            rng.normal([-3, 0], 0.4, (20, 2)),
+            rng.normal([0, 3], 0.4, (20, 2)),
+        ]
+    )
+    y = np.repeat([0, 1, 2], 20)
+    return x @ x.T, y
+
+
+class TestBinary:
+    def test_separable_perfect(self, binary_problem):
+        k, y = binary_problem
+        model = KernelSVC(c=10).fit(k, y)
+        assert model.score(k, y) == 1.0
+
+    def test_classes_recorded(self, binary_problem):
+        k, y = binary_problem
+        model = KernelSVC().fit(k, y + 5)  # labels 5, 6
+        assert model.classes_.tolist() == [5, 6]
+        assert set(model.predict(k)) <= {5, 6}
+
+    def test_decision_function_shape(self, binary_problem):
+        k, y = binary_problem
+        model = KernelSVC().fit(k, y)
+        assert model.decision_function(k[:7]).shape == (7, 2)
+
+    def test_holdout_prediction(self, binary_problem):
+        k, y = binary_problem
+        train = np.arange(0, 60, 2)
+        test = np.arange(1, 60, 2)
+        model = KernelSVC(c=10).fit(k[np.ix_(train, train)], y[train])
+        acc = model.score(k[np.ix_(test, train)], y[test])
+        assert acc == 1.0
+
+
+class TestMulticlass:
+    def test_three_classes(self, multiclass_problem):
+        k, y = multiclass_problem
+        model = KernelSVC(c=10).fit(k, y)
+        assert model.score(k, y) == 1.0
+
+    def test_ovr_has_one_row_per_class(self, multiclass_problem):
+        k, y = multiclass_problem
+        model = KernelSVC().fit(k, y)
+        assert model._dual_coef.shape == (3, y.size)
+
+
+class TestValidation:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            KernelSVC().predict(np.zeros((1, 2)))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            KernelSVC().fit(np.eye(3), [1, 1, 1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSVC().fit(np.eye(3), [0, 1])
+
+    def test_bad_c_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSVC(c=-1.0)
+
+
+class TestSelectC:
+    def test_returns_grid_value(self, binary_problem):
+        k, y = binary_problem
+        assert select_c(k, y) in DEFAULT_C_GRID
+
+    def test_custom_grid(self, binary_problem):
+        k, y = binary_problem
+        assert select_c(k, y, grid=(0.5, 2.0)) in (0.5, 2.0)
+
+    def test_tiny_training_set_falls_back(self):
+        k = np.eye(2)
+        y = np.array([0, 1])
+        assert select_c(k, y) == DEFAULT_C_GRID[0]
+
+    def test_deterministic(self, multiclass_problem):
+        k, y = multiclass_problem
+        assert select_c(k, y, seed=7) == select_c(k, y, seed=7)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--dataset", "PTC_MR"])
+        assert args.model == "deepmap-wl"
+        assert args.folds == 3
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--dataset", "PTC_MR", "--model", "transformer"]
+            )
+
+
+class TestCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "PTC_MR" in out and "COLLAB" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "PTC_MR", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "graphs:   40" in out
+
+    def test_train_neural(self, capsys):
+        code = main(
+            [
+                "train", "--dataset", "PTC_MR", "--model", "deepmap-wl",
+                "--scale", "0.05", "--folds", "2", "--epochs", "2",
+            ]
+        )
+        assert code == 0
+        assert "accuracy:" in capsys.readouterr().out
+
+    def test_train_kernel(self, capsys):
+        code = main(
+            [
+                "train", "--dataset", "PTC_MR", "--model", "wl-svm",
+                "--scale", "0.05", "--folds", "2",
+            ]
+        )
+        assert code == 0
+        assert "accuracy:" in capsys.readouterr().out
+
+    def test_export_roundtrip(self, tmp_path, capsys):
+        code = main(
+            ["export", "--dataset", "PTC_MR", "--out", str(tmp_path / "PTC_MR"),
+             "--scale", "0.05"]
+        )
+        assert code == 0
+        from repro.datasets.tu_format import load_tu_dataset
+
+        loaded = load_tu_dataset(tmp_path / "PTC_MR")
+        assert len(loaded) == 40

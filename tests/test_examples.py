@@ -1,0 +1,40 @@
+"""Static checks on the example scripts.
+
+Full example runs take minutes each (they are exercised manually and by
+CI nightly); here we verify every example imports cleanly — catching
+syntax errors, missing symbols, and API drift — and follows the repo
+conventions (a module docstring and a main() entry point).
+"""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_three_examples(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_imports_cleanly(self, path):
+        module = _load_module(path)
+        assert hasattr(module, "main"), f"{path.name} lacks a main() entry point"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_has_docstring_and_guard(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+        source = path.read_text()
+        assert '__name__ == "__main__"' in source

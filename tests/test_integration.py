@@ -1,0 +1,127 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import deepmap_sp, deepmap_wl, make_dataset
+from repro.baselines import GINClassifier
+from repro.eval import evaluate_kernel_svm, evaluate_neural_model, train_test_split
+from repro.features import WLVertexFeatures
+from repro.kernels import ShortestPathKernel, WeisfeilerLehmanKernel
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return make_dataset("IMDB-BINARY", scale=0.06, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ptc():
+    return make_dataset("PTC_MR", scale=0.15, seed=0)
+
+
+class TestKernelPipeline:
+    def test_wl_svm_beats_chance_on_imdb(self, imdb):
+        res = evaluate_kernel_svm(WeisfeilerLehmanKernel(3), imdb, n_splits=3, seed=0)
+        chance = max(np.bincount(imdb.y)) / len(imdb)
+        assert res.mean > chance + 0.05
+
+    def test_sp_svm_runs_on_ptc(self, ptc):
+        res = evaluate_kernel_svm(ShortestPathKernel(), ptc, n_splits=3, seed=0)
+        assert 0.0 <= res.mean <= 1.0
+
+
+class TestDeepMapPipeline:
+    def test_deepmap_wl_beats_chance(self, imdb):
+        train, test = train_test_split(imdb.y, 0.25, seed=0)
+        model = deepmap_wl(h=2, r=4, epochs=20, seed=0)
+        model.fit([imdb.graphs[i] for i in train], imdb.y[train])
+        acc = model.score([imdb.graphs[i] for i in test], imdb.y[test])
+        chance = max(np.bincount(imdb.y[test])) / len(test)
+        assert acc > chance
+
+    def test_deepmap_improves_over_kernel_on_train(self, imdb):
+        """The representational-power claim (Fig. 6): the deep model fits
+        the training data better than the linear kernel machine."""
+        train, _ = train_test_split(imdb.y, 0.3, seed=0)
+        graphs = [imdb.graphs[i] for i in train]
+        y = imdb.y[train]
+        model = deepmap_wl(h=2, r=4, epochs=30, seed=0)
+        model.fit(graphs, y)
+        deep_train_acc = max(model.history_.train_accuracy)
+        from repro.kernels import normalize_gram
+        from repro.svm import KernelSVC
+
+        gram = normalize_gram(WeisfeilerLehmanKernel(2).gram(graphs))
+        svm_train_acc = KernelSVC(c=10).fit(gram, y).score(gram, y)
+        assert deep_train_acc >= svm_train_acc - 0.15
+
+    def test_full_neural_protocol(self, ptc):
+        res = evaluate_neural_model(
+            lambda fold: deepmap_sp(r=3, epochs=5, seed=fold),
+            ptc,
+            n_splits=3,
+            seed=0,
+        )
+        assert len(res.fold_accuracies) == 3
+
+
+class TestBaselineParity:
+    def test_gin_both_input_modes(self, imdb):
+        train, test = train_test_split(imdb.y, 0.25, seed=0)
+        tr_graphs = [imdb.graphs[i] for i in train]
+        te_graphs = [imdb.graphs[i] for i in test]
+        onehot = GINClassifier(epochs=8, seed=0)
+        onehot.fit(tr_graphs, imdb.y[train])
+        vfm = GINClassifier(features=WLVertexFeatures(h=1), epochs=8, seed=0)
+        vfm.fit(tr_graphs, imdb.y[train])
+        for model in (onehot, vfm):
+            preds = model.predict(te_graphs)
+            assert preds.shape == (len(te_graphs),)
+
+
+class TestModelComparison:
+    def test_mcnemar_between_models(self, imdb):
+        """The significance machinery composes with real models."""
+        from repro.eval import mcnemar_test
+        from repro.kernels import WeisfeilerLehmanKernel, normalize_gram
+        from repro.svm import KernelSVC
+
+        train, test = train_test_split(imdb.y, 0.3, seed=0)
+        dm = deepmap_wl(h=2, r=3, epochs=8, seed=0)
+        dm.fit([imdb.graphs[i] for i in train], imdb.y[train])
+        pred_dm = dm.predict([imdb.graphs[i] for i in test])
+
+        gram = normalize_gram(WeisfeilerLehmanKernel(2).gram(imdb.graphs))
+        svm = KernelSVC(c=10).fit(gram[np.ix_(train, train)], imdb.y[train])
+        pred_svm = svm.predict(gram[np.ix_(test, train)])
+
+        stat, p = mcnemar_test(imdb.y[test], pred_dm, pred_svm)
+        assert stat >= 0.0
+        assert 0.0 <= p <= 1.0
+
+    def test_cv_result_format_usable_in_reports(self, ptc):
+        from repro.eval import evaluate_kernel_svm
+        from repro.kernels import ShortestPathKernel
+
+        res = evaluate_kernel_svm(ShortestPathKernel(), ptc, n_splits=3, seed=0)
+        formatted = res.formatted()
+        mean_str, std_str = formatted.split("+-")
+        assert 0 <= float(mean_str) <= 100
+        assert 0 <= float(std_str) <= 100
+
+
+class TestTheorem1EndToEnd:
+    def test_isomorphic_graphs_same_prediction(self):
+        """Theorem 1: isomorphic graphs get identical deep feature maps,
+        hence identical predictions."""
+        ds = make_dataset("PTC_MR", scale=0.12, seed=0)
+        model = deepmap_wl(h=2, r=3, epochs=5, seed=0)
+        model.fit(ds.graphs, ds.y)
+        g = ds.graphs[0]
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(g.n).tolist()
+        h = g.relabel_vertices(perm)
+        emb_g = model.transform([g])
+        emb_h = model.transform([h])
+        assert np.allclose(emb_g, emb_h, atol=1e-8)

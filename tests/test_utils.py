@@ -1,0 +1,106 @@
+"""Tests for the utility layer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Timer,
+    as_rng,
+    check_fitted,
+    check_labels,
+    check_positive,
+    check_probability,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_reproducible(self):
+        assert as_rng(5).integers(0, 100) == as_rng(5).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(0, 3)
+        values = [s.integers(0, 2**31) for s in streams]
+        assert len(set(values)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [s.integers(0, 100) for s in spawn_rngs(7, 4)]
+        b = [s.integers(0, 100) for s in spawn_rngs(7, 4)]
+        assert a == b
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_zero_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestValidation:
+    def test_check_positive_strict(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_positive_nonstrict(self):
+        check_positive("x", 0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_labels_accepts_float_integers(self):
+        out = check_labels(np.array([0.0, 1.0, 2.0]))
+        assert out.dtype == np.int64
+
+    def test_check_labels_rejects_fractions(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([0.5, 1.0]))
+
+    def test_check_labels_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_labels(np.zeros((2, 2)))
+
+    def test_check_labels_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_labels([])
+
+    def test_check_fitted(self):
+        class Thing:
+            attr = None
+
+        with pytest.raises(RuntimeError, match="not fitted"):
+            check_fitted(Thing(), "attr")
+
+        thing = Thing()
+        thing.attr = 1
+        check_fitted(thing, "attr")  # no raise
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_resets_per_use(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
