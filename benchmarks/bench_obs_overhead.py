@@ -1,0 +1,117 @@
+"""Observability overhead guard: disabled instrumentation must be free.
+
+``repro.obs`` promises zero-overhead-by-default: with observability off
+(the default), every ``obs.span(...)`` in ``DeepMapEncoder.encode``
+returns a shared no-op object.  This bench measures instrumented encode
+(obs disabled) against a baseline where the spans are monkeypatched to
+bare ``contextlib.nullcontext`` — i.e. the seed's uninstrumented code
+path — and asserts the median slowdown stays under 5%.
+
+Run with ``pytest benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import timeit
+
+from benchmarks._common import bench_dataset
+from repro import obs
+from repro.core import DeepMapEncoder
+from repro.features import WLVertexFeatures, extract_vertex_feature_matrices
+
+#: Allowed relative overhead of disabled instrumentation.
+MAX_OVERHEAD = 0.05
+#: Absolute slack (seconds) so micro-jitter on a fast encode can't flake
+#: the ratio check.
+ABS_SLACK_S = 2e-3
+
+_ROUNDS = 9
+
+
+def test_disabled_encode_overhead(benchmark, monkeypatch):
+    assert not obs.enabled(), "bench requires the default (disabled) state"
+
+    ds = bench_dataset("PTC_MR")
+    matrices, _ = extract_vertex_feature_matrices(ds.graphs, WLVertexFeatures(h=2))
+    encoder = DeepMapEncoder(r=5).fit(ds.graphs)
+
+    def encode():
+        encoder.encode(ds.graphs, matrices)
+
+    import repro.core.pipeline as pipeline
+
+    def run_baseline() -> float:
+        # Baseline: the spans compiled out entirely (seed code path).
+        with monkeypatch.context() as patch:
+            patch.setattr(pipeline, "obs", _FakeObs())
+            return timeit.timeit(encode, number=1)
+
+    def run_instrumented() -> float:
+        return timeit.timeit(encode, number=1)
+
+    # Interleave the two variants, alternating which goes first each
+    # round, so CPU-frequency drift and turbo/throttle phases hit both
+    # equally; compare medians (robust to stray outliers).
+    baseline_samples: list[float] = []
+    instrumented_samples: list[float] = []
+    encode()  # warmup
+    for i in range(_ROUNDS):
+        first, second = (
+            (run_baseline, run_instrumented)
+            if i % 2 == 0
+            else (run_instrumented, run_baseline)
+        )
+        a, b = first(), second()
+        if i % 2 == 0:
+            baseline_samples.append(a)
+            instrumented_samples.append(b)
+        else:
+            instrumented_samples.append(a)
+            baseline_samples.append(b)
+
+    benchmark.pedantic(encode, rounds=3, iterations=1, warmup_rounds=1)
+
+    def median(values: list[float]) -> float:
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    baseline = median(baseline_samples)
+    instrumented = median(instrumented_samples)
+    limit = baseline * (1.0 + MAX_OVERHEAD) + ABS_SLACK_S
+    assert instrumented <= limit, (
+        f"disabled-instrumentation encode took {instrumented:.4f}s vs "
+        f"baseline {baseline:.4f}s (limit {limit:.4f}s)"
+    )
+
+
+class _FakeObs:
+    """Stand-in for the obs module with spans/counters stripped out."""
+
+    @staticmethod
+    def span(name, **attrs):
+        return contextlib.nullcontext()
+
+    class _NullCounter:
+        @staticmethod
+        def inc(amount=1.0):
+            pass
+
+    @staticmethod
+    def counter(name):
+        return _FakeObs._NullCounter
+
+
+def test_null_span_is_cheap():
+    """A disabled span costs well under a microsecond per use."""
+    assert not obs.enabled()
+    n = 100_000
+
+    def spin():
+        for _ in range(n):
+            with obs.span("x"):
+                pass
+
+    seconds = min(timeit.repeat(spin, number=1, repeat=3))
+    per_span = seconds / n
+    assert per_span < 5e-6, f"null span costs {per_span * 1e6:.2f}us"

@@ -10,6 +10,8 @@ Commands
     Cross-validate a model on a benchmark and print the accuracy.
 ``export --dataset NAME --out DIR [--scale S]``
     Write a generated dataset to TU format for use with other tools.
+``report RUN.jsonl``
+    Summarise a ``--log-json`` run file: stage timings + telemetry.
 """
 
 from __future__ import annotations
@@ -18,6 +20,19 @@ import argparse
 import sys
 
 __all__ = ["main", "build_parser"]
+
+EPILOG = """\
+observability:
+  repro train --profile            print an aggregated stage-timing tree
+                                   (feature_map / alignment / receptive_field
+                                   / encode / train spans) after the run
+  repro train --log-json RUN.jsonl stream structured spans, per-epoch
+                                   telemetry and metrics to a JSONL file
+  repro report RUN.jsonl           rebuild the same summary offline
+
+Instrumentation is off unless one of these flags is given (zero overhead
+by default).  Schema and metric names: docs/OBSERVABILITY.md.
+"""
 
 MODEL_CHOICES = (
     "deepmap-wl",
@@ -40,6 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DeepMap reproduction: datasets, models, evaluation.",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -57,6 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--folds", type=int, default=3)
     train.add_argument("--epochs", type=int, default=15)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="stream structured run events (spans, telemetry, metrics) to PATH",
+    )
+    train.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the aggregated stage-timing tree after the run",
+    )
+
+    report = sub.add_parser(
+        "report", help="summarise a --log-json run file (stage timings, telemetry)"
+    )
+    report.add_argument("run_file", metavar="RUN.jsonl")
 
     export = sub.add_parser("export", help="write a dataset in TU format")
     export.add_argument("--dataset", required=True)
@@ -135,25 +168,76 @@ def _make_kernel(model: str):
     return kernels.get(model)
 
 
+def _print_extras(result) -> None:
+    """Print the per-fold diagnostics carried in ``CVResult.extra``."""
+    seconds = result.extra.get("fold_seconds")
+    if seconds:
+        per_fold = ", ".join(f"{s:.2f}s" for s in seconds)
+        print(f"fold times: {per_fold}  (total {sum(seconds):.2f}s)")
+    curves = result.extra.get("fold_val_curves")
+    if curves and result.best_epoch is not None:
+        at_best = ", ".join(f"{c[result.best_epoch]:.3f}" for c in curves)
+        print(f"fold val acc @ best epoch: {at_best}")
+    selected_c = result.extra.get("selected_c")
+    if selected_c:
+        print(f"selected C per fold: {', '.join(f'{c:g}' for c in selected_c)}")
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.datasets import make_dataset
     from repro.eval import evaluate_kernel_svm, evaluate_neural_model
 
-    ds = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    print(
-        f"{args.model} on {ds.name} ({len(ds)} graphs, {args.folds}-fold CV)..."
-    )
-    factory = _make_model_factory(args.model, args.epochs)
-    if factory is not None:
-        result = evaluate_neural_model(
-            factory, ds, n_splits=args.folds, seed=args.seed, name=args.model
+    observing = args.profile or args.log_json is not None
+    if observing:
+        obs.reset()  # each run profiles from a clean slate
+        obs.enable(jsonl_path=args.log_json)
+        obs.meta(
+            "run",
+            command="train",
+            dataset=args.dataset,
+            model=args.model,
+            scale=args.scale,
+            folds=args.folds,
+            epochs=args.epochs,
+            seed=args.seed,
         )
-        print(f"accuracy: {result.formatted()}  (best epoch {result.best_epoch})")
-    else:
-        kernel = _make_kernel(args.model)
-        assert kernel is not None  # argparse choices guarantee it
-        result = evaluate_kernel_svm(kernel, ds, n_splits=args.folds, seed=args.seed)
-        print(f"accuracy: {result.formatted()}")
+    try:
+        ds = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        print(
+            f"{args.model} on {ds.name} ({len(ds)} graphs, {args.folds}-fold CV)..."
+        )
+        factory = _make_model_factory(args.model, args.epochs)
+        if factory is not None:
+            result = evaluate_neural_model(
+                factory, ds, n_splits=args.folds, seed=args.seed, name=args.model
+            )
+            print(f"accuracy: {result.formatted()}  (best epoch {result.best_epoch})")
+        else:
+            kernel = _make_kernel(args.model)
+            assert kernel is not None  # argparse choices guarantee it
+            result = evaluate_kernel_svm(
+                kernel, ds, n_splits=args.folds, seed=args.seed
+            )
+            print(f"accuracy: {result.formatted()}")
+        _print_extras(result)
+        if observing:
+            obs.flush_metrics()
+            if args.profile:
+                print()
+                print(obs.render_profile())
+            if args.log_json is not None:
+                print(f"run events written to {args.log_json}")
+    finally:
+        if observing:
+            obs.disable()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import build_report, format_report, load_events
+
+    print(format_report(build_report(load_events(args.run_file))))
     return 0
 
 
@@ -176,6 +260,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "export":
         return _cmd_export(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.architecture import build_deepmap_cnn
 from repro.core.pipeline import DeepMapEncoder
 from repro.features.vertex_maps import (
@@ -98,7 +99,16 @@ class DeepMapClassifier:
     def _feature_matrices(
         self, graphs: list[Graph], fit_vocabulary: bool
     ) -> list[np.ndarray]:
-        counts = self.extractor.extract(graphs)
+        with obs.span(
+            "feature_map", extractor=self.extractor.name, graphs=len(graphs)
+        ):
+            return self._feature_matrices_inner(graphs, fit_vocabulary)
+
+    def _feature_matrices_inner(
+        self, graphs: list[Graph], fit_vocabulary: bool
+    ) -> list[np.ndarray]:
+        with obs.span("extract"):
+            counts = self.extractor.extract(graphs)
         if fit_vocabulary:
             totals: dict = {}
             for vertex_counts in counts:
@@ -115,7 +125,8 @@ class DeepMapClassifier:
             vocab.add_all(keys)
             self.vocabulary_ = vocab.freeze()
         assert self.vocabulary_ is not None
-        return [self.vocabulary_.vectorize_rows(vc) for vc in counts]
+        with obs.span("vectorize", m=self.vocabulary_.size):
+            return [self.vocabulary_.vectorize_rows(vc) for vc in counts]
 
     def encode(self, graphs: list[Graph], fit: bool = False):
         """Vertex feature maps -> Algorithm 1 tensors for ``graphs``."""
@@ -142,39 +153,43 @@ class DeepMapClassifier:
         y = check_labels(y)
         if len(graphs) != y.size:
             raise ValueError(f"{len(graphs)} graphs but {y.size} labels")
-        self.classes_ = np.unique(y)
-        class_index = {int(c): i for i, c in enumerate(self.classes_)}
-        targets = np.array([class_index[int(v)] for v in y])
+        with obs.span(
+            "fit", model=f"deepmap-{self.extractor.name}", graphs=len(graphs)
+        ):
+            self.classes_ = np.unique(y)
+            class_index = {int(c): i for i, c in enumerate(self.classes_)}
+            targets = np.array([class_index[int(v)] for v in y])
 
-        encoded = self.encode(graphs, fit=True)
-        rng = as_rng(self.seed)
-        self.network_ = build_deepmap_cnn(
-            m=encoded.m,
-            r=self.r,
-            num_classes=self.classes_.size,
-            readout=self.readout,
-            w=encoded.w,
-            rng=rng,
-        )
-        trainer = Trainer(
-            batch_size=self.batch_size,
-            epochs=self.epochs,
-            seed=rng.integers(0, 2**31 - 1),
-        )
-        val_data = None
-        if validation is not None:
-            val_graphs, val_y = validation
-            val_y = check_labels(val_y)
-            val_targets = np.array([class_index[int(v)] for v in val_y])
-            val_encoded = self.encode(val_graphs, fit=False)
-            val_data = (val_encoded.tensors, val_targets)
-        self.history_ = trainer.fit(
-            self.network_,
-            encoded.tensors,
-            targets,
-            validation=val_data,
-            epoch_callback=epoch_callback,
-        )
+            encoded = self.encode(graphs, fit=True)
+            rng = as_rng(self.seed)
+            self.network_ = build_deepmap_cnn(
+                m=encoded.m,
+                r=self.r,
+                num_classes=self.classes_.size,
+                readout=self.readout,
+                w=encoded.w,
+                rng=rng,
+            )
+            trainer = Trainer(
+                batch_size=self.batch_size,
+                epochs=self.epochs,
+                seed=rng.integers(0, 2**31 - 1),
+            )
+            val_data = None
+            if validation is not None:
+                val_graphs, val_y = validation
+                val_y = check_labels(val_y)
+                val_targets = np.array([class_index[int(v)] for v in val_y])
+                val_encoded = self.encode(val_graphs, fit=False)
+                val_data = (val_encoded.tensors, val_targets)
+            with obs.span("train", epochs=self.epochs, batch_size=self.batch_size):
+                self.history_ = trainer.fit(
+                    self.network_,
+                    encoded.tensors,
+                    targets,
+                    validation=val_data,
+                    epoch_callback=epoch_callback,
+                )
         return self
 
     # ------------------------------------------------------------------

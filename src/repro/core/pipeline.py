@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.alignment import centrality_scores, vertex_sequence
 from repro.core.receptive_field import DUMMY, all_receptive_fields
 from repro.graph.graph import Graph
@@ -96,21 +97,38 @@ class DeepMapEncoder:
         m = feature_matrices[0].shape[1]
         n = len(graphs)
         w, r = self.w, self.r
-        tensors = np.zeros((n, w * r, m), dtype=np.float64)
-        vertex_mask = np.zeros((n, w), dtype=np.float64)
         for gi, (g, feats) in enumerate(zip(graphs, feature_matrices)):
             if feats.shape != (g.n, m):
                 raise ValueError(
                     f"feature matrix {gi} has shape {feats.shape}, expected {(g.n, m)}"
                 )
-            scores = centrality_scores(g, self.ordering)
-            sequence = vertex_sequence(g, scores, self.ordering)[:w]
-            fields = all_receptive_fields(g, r, scores)
-            for slot, v in enumerate(sequence):
-                vertex_mask[gi, slot] = 1.0
-                field = fields[v]
-                real = field != DUMMY
-                rows = np.zeros((r, m), dtype=np.float64)
-                rows[real] = feats[field[real]]
-                tensors[gi, slot * r : (slot + 1) * r] = rows
+        with obs.span("encode", graphs=n, w=w, r=r, m=m):
+            # Stage 1: centrality-based vertex alignment (Section 4.2).
+            with obs.span("alignment", ordering=self.ordering):
+                all_scores = [centrality_scores(g, self.ordering) for g in graphs]
+                sequences = [
+                    vertex_sequence(g, scores, self.ordering)[:w]
+                    for g, scores in zip(graphs, all_scores)
+                ]
+            # Stage 2: BFS receptive fields around every vertex.
+            with obs.span("receptive_field", r=r):
+                all_fields = [
+                    all_receptive_fields(g, r, scores)
+                    for g, scores in zip(graphs, all_scores)
+                ]
+            # Stage 3: assemble the (n, w*r, m) CNN input tensor.
+            with obs.span("assemble"):
+                tensors = np.zeros((n, w * r, m), dtype=np.float64)
+                vertex_mask = np.zeros((n, w), dtype=np.float64)
+                for gi, (feats, sequence, fields) in enumerate(
+                    zip(feature_matrices, sequences, all_fields)
+                ):
+                    for slot, v in enumerate(sequence):
+                        vertex_mask[gi, slot] = 1.0
+                        field = fields[v]
+                        real = field != DUMMY
+                        rows = np.zeros((r, m), dtype=np.float64)
+                        rows[real] = feats[field[real]]
+                        tensors[gi, slot * r : (slot + 1) * r] = rows
+            obs.counter("graphs_encoded_total").inc(n)
         return EncodedDataset(tensors=tensors, vertex_mask=vertex_mask, w=w, r=r, m=m)

@@ -17,12 +17,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.datasets.base import GraphDataset
 from repro.eval.metrics import mean_std
 from repro.eval.splits import stratified_kfold
 from repro.kernels.base import GraphKernel, normalize_gram
 from repro.svm.svc import DEFAULT_C_GRID, KernelSVC, select_c
 from repro.utils.rng import as_rng
+from repro.utils.timing import Timer
 
 __all__ = ["CVResult", "evaluate_kernel_svm", "evaluate_neural_model"]
 
@@ -61,24 +63,29 @@ def evaluate_kernel_svm(
     normalize: bool = True,
 ) -> CVResult:
     """Kernel + C-SVM cross-validation (the paper's kernel protocol)."""
-    gram = kernel.gram(dataset.graphs)
-    if normalize:
-        gram = normalize_gram(gram)
-    rng = as_rng(seed)
-    splits = stratified_kfold(dataset.y, n_splits=n_splits, seed=rng)
-    accuracies: list[float] = []
-    chosen_cs: list[float] = []
-    for train_idx, test_idx in splits:
-        k_tr = gram[np.ix_(train_idx, train_idx)]
-        c = select_c(k_tr, dataset.y[train_idx], grid=c_grid, seed=rng)
-        chosen_cs.append(c)
-        model = KernelSVC(c=c).fit(k_tr, dataset.y[train_idx])
-        k_te = gram[np.ix_(test_idx, train_idx)]
-        accuracies.append(model.score(k_te, dataset.y[test_idx]))
+    with obs.span("cv", protocol="kernel-svm", model=kernel.name, folds=n_splits):
+        with obs.span("gram", kernel=kernel.name, graphs=len(dataset)):
+            gram = kernel.gram(dataset.graphs)
+        if normalize:
+            gram = normalize_gram(gram)
+        rng = as_rng(seed)
+        splits = stratified_kfold(dataset.y, n_splits=n_splits, seed=rng)
+        accuracies: list[float] = []
+        chosen_cs: list[float] = []
+        fold_seconds: list[float] = []
+        for fold, (train_idx, test_idx) in enumerate(splits):
+            with obs.span("fold", fold=fold), Timer() as timer:
+                k_tr = gram[np.ix_(train_idx, train_idx)]
+                c = select_c(k_tr, dataset.y[train_idx], grid=c_grid, seed=rng)
+                chosen_cs.append(c)
+                model = KernelSVC(c=c).fit(k_tr, dataset.y[train_idx])
+                k_te = gram[np.ix_(test_idx, train_idx)]
+                accuracies.append(model.score(k_te, dataset.y[test_idx]))
+            fold_seconds.append(timer.elapsed)
     return CVResult(
         name=kernel.name,
         fold_accuracies=accuracies,
-        extra={"selected_c": chosen_cs},
+        extra={"selected_c": chosen_cs, "fold_seconds": fold_seconds},
     )
 
 
@@ -98,16 +105,20 @@ def evaluate_neural_model(
     rng = as_rng(seed)
     splits = stratified_kfold(dataset.y, n_splits=n_splits, seed=rng)
     val_curves: list[np.ndarray] = []
-    for fold, (train_idx, test_idx) in enumerate(splits):
-        model = model_factory(fold)
-        train_graphs = [dataset.graphs[i] for i in train_idx]
-        test_graphs = [dataset.graphs[i] for i in test_idx]
-        model.fit(
-            train_graphs,
-            dataset.y[train_idx],
-            validation=(test_graphs, dataset.y[test_idx]),
-        )
-        val_curves.append(np.asarray(model.history_.val_accuracy))
+    fold_seconds: list[float] = []
+    with obs.span("cv", protocol="neural", model=name or "?", folds=n_splits):
+        for fold, (train_idx, test_idx) in enumerate(splits):
+            with obs.span("fold", fold=fold), Timer() as timer:
+                model = model_factory(fold)
+                train_graphs = [dataset.graphs[i] for i in train_idx]
+                test_graphs = [dataset.graphs[i] for i in test_idx]
+                model.fit(
+                    train_graphs,
+                    dataset.y[train_idx],
+                    validation=(test_graphs, dataset.y[test_idx]),
+                )
+                val_curves.append(np.asarray(model.history_.val_accuracy))
+            fold_seconds.append(timer.elapsed)
     curves = np.stack(val_curves)  # (folds, epochs)
     best_epoch = int(np.argmax(curves.mean(axis=0)))
     accuracies = curves[:, best_epoch].tolist()
@@ -115,5 +126,9 @@ def evaluate_neural_model(
         name=name or type(model).__name__,
         fold_accuracies=accuracies,
         best_epoch=best_epoch,
-        extra={"mean_curve": curves.mean(axis=0).tolist()},
+        extra={
+            "mean_curve": curves.mean(axis=0).tolist(),
+            "fold_val_curves": curves.tolist(),
+            "fold_seconds": fold_seconds,
+        },
     )

@@ -29,6 +29,7 @@ from collections import Counter
 
 import numpy as np
 
+from repro import obs
 from repro.features.vocabulary import FeatureVocabulary
 from repro.graph.graph import Graph
 from repro.graph.graphlets import count_graphlets_per_vertex
@@ -241,13 +242,17 @@ def extract_vertex_feature_matrices(
     Returns ``(matrices, vocabulary)`` where ``matrices[i]`` has shape
     ``(graphs[i].n, m)`` and ``m = len(vocabulary)``.
     """
-    per_graph_counts = extractor.extract(graphs)
-    vocab = FeatureVocabulary()
-    for vertex_counts in per_graph_counts:
-        for counter in vertex_counts:
-            vocab.add_all(counter.keys())
-    vocab.freeze()
-    matrices = [vocab.vectorize_rows(vc) for vc in per_graph_counts]
+    with obs.span("feature_map", extractor=extractor.name, graphs=len(graphs)):
+        with obs.span("extract"):
+            per_graph_counts = extractor.extract(graphs)
+        with obs.span("vocabulary"):
+            vocab = FeatureVocabulary()
+            for vertex_counts in per_graph_counts:
+                for counter in vertex_counts:
+                    vocab.add_all(counter.keys())
+            vocab.freeze()
+        with obs.span("vectorize", m=vocab.size):
+            matrices = [vocab.vectorize_rows(vc) for vc in per_graph_counts]
     return matrices, vocab
 
 

@@ -7,7 +7,7 @@ Layers cache activations on ``forward`` and implement exact gradients on
 
 from repro.nn.activations import ReLU, Sigmoid, Tanh
 from repro.nn.batchnorm import BatchNorm
-from repro.nn.callbacks import EarlyStopping, clip_gradients
+from repro.nn.callbacks import EarlyStopping, clip_gradients, global_grad_norm
 from repro.nn.conv1d import Conv1D
 from repro.nn.dense import Dense
 from repro.nn.dropout import Dropout
@@ -46,6 +46,7 @@ __all__ = [
     "BatchNorm",
     "EarlyStopping",
     "clip_gradients",
+    "global_grad_norm",
     "SumPool1D",
     "MeanPool1D",
     "MaxPool1D",

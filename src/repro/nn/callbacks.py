@@ -7,7 +7,7 @@ import numpy as np
 from repro.nn.module import Parameter
 from repro.utils.validation import check_positive
 
-__all__ = ["EarlyStopping", "clip_gradients"]
+__all__ = ["EarlyStopping", "clip_gradients", "global_grad_norm"]
 
 
 class EarlyStopping:
@@ -52,13 +52,20 @@ class EarlyStopping:
         return self._bad >= self.patience
 
 
+def global_grad_norm(params: list[Parameter]) -> float:
+    """Global L2 norm of all parameter gradients."""
+    return float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+
+
 def clip_gradients(params: list[Parameter], max_norm: float) -> float:
     """Scale all gradients so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clip norm (useful for logging / tests).
+    Returns the pre-clip norm; the :class:`~repro.nn.model.Trainer`
+    records it per epoch in ``History.grad_norm`` so exploding-gradient
+    runs are diagnosable.
     """
     check_positive("max_norm", max_norm)
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    total = global_grad_norm(params)
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:

@@ -13,7 +13,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.nn.callbacks import clip_gradients, global_grad_norm
 from repro.nn.losses import SoftmaxCrossEntropy, softmax
+from repro.obs.telemetry import TelemetryCallback
 from repro.nn.module import Network
 from repro.nn.optimizers import Optimizer, RMSprop
 from repro.nn.schedulers import ReduceLROnPlateau
@@ -27,12 +29,19 @@ Inputs = np.ndarray | tuple[np.ndarray, ...]
 
 @dataclass
 class History:
-    """Per-epoch training record."""
+    """Per-epoch training record.
+
+    ``grad_norm`` holds the *pre-clip* global gradient norm — the mean
+    over the epoch's batches when clipping is enabled, otherwise the norm
+    of the epoch's final batch — so exploding-gradient runs are visible
+    even though clipping keeps the applied updates bounded.
+    """
 
     loss: list[float] = field(default_factory=list)
     train_accuracy: list[float] = field(default_factory=list)
     val_accuracy: list[float] = field(default_factory=list)
     lr: list[float] = field(default_factory=list)
+    grad_norm: list[float] = field(default_factory=list)
 
     def best_epoch(self, by: str = "val_accuracy") -> int:
         """Index of the best epoch under the chosen metric."""
@@ -130,11 +139,13 @@ class Trainer:
         )
         loss_fn = SoftmaxCrossEntropy()
         history = History()
+        telemetry = TelemetryCallback()
 
         for epoch in range(self.epochs):
             order = rng.permutation(n)
             epoch_loss = 0.0
             correct = 0
+            batch_norms: list[float] = []
             for start in range(0, n, self.batch_size):
                 idx = order[start : start + self.batch_size]
                 batch_x = _take(inputs, idx)
@@ -144,9 +155,9 @@ class Trainer:
                 network.zero_grad()
                 network.backward(loss_fn.backward())
                 if self.max_grad_norm is not None:
-                    from repro.nn.callbacks import clip_gradients
-
-                    clip_gradients(network.parameters(), self.max_grad_norm)
+                    batch_norms.append(
+                        clip_gradients(network.parameters(), self.max_grad_norm)
+                    )
                 optimizer.step()
                 epoch_loss += loss * idx.size
                 correct += int((logits.argmax(axis=1) == batch_y).sum())
@@ -154,6 +165,12 @@ class Trainer:
             history.loss.append(epoch_loss)
             history.train_accuracy.append(correct / n)
             history.lr.append(optimizer.lr)
+            # Pre-clip gradient norm: batch mean under clipping, else the
+            # final batch's norm (the gradients are still in place).
+            if batch_norms:
+                history.grad_norm.append(float(np.mean(batch_norms)))
+            else:
+                history.grad_norm.append(global_grad_norm(network.parameters()))
             if validation is not None:
                 val_x, val_y = validation
                 val_pred = predict_labels(network, val_x, self.batch_size)
@@ -161,6 +178,9 @@ class Trainer:
                     float(np.mean(val_pred == check_labels(val_y)))
                 )
             scheduler.step(epoch_loss)
+            # lr is passed explicitly: the telemetry event reports the
+            # rate *after* any ReduceLROnPlateau decay.
+            telemetry(epoch, history, lr=optimizer.lr)
             if epoch_callback is not None:
                 epoch_callback(epoch, history)
             if self.early_stopping is not None and self.early_stopping.should_stop(

@@ -1,0 +1,251 @@
+"""`repro.obs` — structured tracing, metrics, and run telemetry.
+
+One process-global observability context, **disabled by default**: every
+entry point (``span``, ``event``, ``counter`` …) first checks a single
+module flag, and while disabled returns shared no-op objects, so
+instrumented library code pays essentially nothing (see
+``benchmarks/bench_obs_overhead.py``).
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable(jsonl_path="run.jsonl")      # or obs.enable() for in-memory
+    with obs.span("encode", graphs=128):
+        ...
+    obs.event("epoch", epoch=0, loss=0.71)
+    obs.counter("graphs_encoded_total").inc(128)
+    print(obs.render_profile())             # aggregated stage-timing tree
+    obs.disable()                           # flushes + closes the sink
+
+``repro train --profile --log-json run.jsonl`` drives exactly this, and
+``repro report run.jsonl`` rebuilds the same summary offline
+(:mod:`repro.obs.report`).  The event schema and metric names are
+documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs.events import EventLog, LoggingBridge, jsonable
+from repro.obs.instruments import count_calls, timed
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import TelemetryCallback
+from repro.obs.trace import NULL_SPAN, Span, Tracer, format_span_tree, span_rows
+from repro.utils.timing import Timer
+
+__all__ = [
+    # lifecycle
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    # tracing
+    "span",
+    "current_path",
+    "current_attr",
+    "render_profile",
+    "get_tracer",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "format_span_tree",
+    "span_rows",
+    # events
+    "event",
+    "meta",
+    "get_event_log",
+    "bridge_logging",
+    "EventLog",
+    "LoggingBridge",
+    "jsonable",
+    # metrics
+    "counter",
+    "gauge",
+    "histogram",
+    "get_metrics",
+    "flush_metrics",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_METRIC",
+    "DEFAULT_BUCKETS",
+    # helpers
+    "timed",
+    "count_calls",
+    "TelemetryCallback",
+    "Timer",
+]
+
+_enabled = False
+_log = EventLog()
+_metrics = MetricsRegistry(enabled=False)
+
+
+def _on_span_close(sp: Span) -> None:
+    _log.emit(
+        "span",
+        sp.name,
+        path=sp.path,
+        duration_s=sp.duration,
+        attrs=dict(sp.attrs, **({"error": sp.error} if sp.error else {})),
+    )
+    _metrics.histogram("span_seconds").observe(sp.duration)
+
+
+_tracer = Tracer(on_close=_on_span_close)
+_bridge: LoggingBridge | None = None
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+
+def enable(jsonl_path=None, capacity: int | None = None) -> None:
+    """Turn observability on (idempotent).
+
+    Parameters
+    ----------
+    jsonl_path:
+        Optional path; when given, every record is also streamed to this
+        file as JSON lines (truncating it first).
+    capacity:
+        Optional new ring-buffer capacity for the in-memory event log.
+    """
+    global _enabled, _log
+    if capacity is not None and capacity != _log.capacity:
+        _log = EventLog(capacity=capacity)
+    if jsonl_path is not None:
+        _log.open_jsonl(jsonl_path)
+    _metrics.enabled = True
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn observability off and close any JSONL sink (idempotent).
+
+    Recorded spans, events and metric values are kept for inspection
+    until :func:`reset`.
+    """
+    global _enabled
+    _enabled = False
+    _metrics.enabled = False
+    _log.close()
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return _enabled
+
+
+def reset() -> None:
+    """Drop all recorded spans, events, and metrics (state flag unchanged)."""
+    _tracer.reset()
+    _log.clear()
+    _metrics.clear()
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+
+def span(name: str, **attrs):
+    """Context manager timing one pipeline stage; no-op while disabled."""
+    if not _enabled:
+        return NULL_SPAN
+    return _tracer.span(name, **attrs)
+
+
+def current_path() -> str:
+    """Slash-joined path of the innermost open span ("" outside spans)."""
+    if not _enabled:
+        return ""
+    return _tracer.current_path()
+
+
+def current_attr(key: str):
+    """Innermost open-span attribute value for ``key`` (None if unset)."""
+    if not _enabled:
+        return None
+    return _tracer.current_attr(key)
+
+
+def render_profile() -> str:
+    """Aggregated stage-timing tree of every span recorded so far."""
+    return _tracer.render()
+
+
+def get_tracer() -> Tracer:
+    return _tracer
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+
+def event(name: str, **attrs) -> dict | None:
+    """Record a structured event (tagged with the current span path)."""
+    if not _enabled:
+        return None
+    return _log.emit("event", name, path=_tracer.current_path(), attrs=attrs)
+
+
+def meta(name: str, **attrs) -> dict | None:
+    """Record a ``kind="meta"`` record (run headers, snapshots)."""
+    if not _enabled:
+        return None
+    return _log.emit("meta", name, attrs=attrs)
+
+
+def get_event_log() -> EventLog:
+    return _log
+
+
+def bridge_logging(logger: str = "repro", level: int = logging.INFO) -> LoggingBridge:
+    """Forward stdlib-logging records on ``logger`` into the event log.
+
+    Returns the installed handler (repeated calls reinstall it once).
+    """
+    global _bridge
+    target = logging.getLogger(logger)
+    if _bridge is not None:
+        target.removeHandler(_bridge)
+    _bridge = LoggingBridge(_log, level=level)
+    target.addHandler(_bridge)
+    return _bridge
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def counter(name: str) -> Counter:
+    return _metrics.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _metrics.gauge(name)
+
+
+def histogram(name: str, edges: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+    return _metrics.histogram(name, edges)
+
+
+def get_metrics() -> MetricsRegistry:
+    return _metrics
+
+
+def flush_metrics() -> dict | None:
+    """Emit the current metrics snapshot as a ``meta`` record."""
+    if not _enabled:
+        return None
+    return _log.emit("meta", "metrics", attrs=_metrics.snapshot())

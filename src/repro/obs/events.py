@@ -1,0 +1,139 @@
+"""Structured event log: in-memory ring buffer + optional JSONL sink.
+
+Every observable occurrence in a run — a closed trace span, a training
+epoch, a stdlib ``logging`` record — is one flat JSON-serialisable
+*record*::
+
+    {"ts": <unix seconds>, "kind": "event"|"span"|"log"|"meta",
+     "name": <str>, "path": <slash-joined span path or "">,
+     "attrs": {...}, ...}
+
+Span records additionally carry ``duration_s``.  Records are appended to
+a bounded in-memory ring (for tests and interactive inspection) and, when
+a sink is attached, written as one JSON object per line — the format
+``repro report`` consumes.  The schema is documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = ["EventLog", "LoggingBridge", "jsonable"]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def jsonable(value):
+    """Best-effort conversion of ``value`` to a JSON-serialisable object.
+
+    Numpy scalars/arrays are converted via ``.item()``/``.tolist()``;
+    mappings and sequences recurse; anything else falls back to ``repr``.
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if hasattr(value, "item") and getattr(value, "ndim", None) == 0:
+        return value.item()  # numpy scalar
+    if hasattr(value, "tolist"):
+        return value.tolist()  # numpy array
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
+class EventLog:
+    """Bounded ring buffer of records with an optional JSONL sink.
+
+    Thread-safe: ``emit`` may be called from any thread.  The ring keeps
+    the most recent ``capacity`` records regardless of whether a sink is
+    attached, so short runs are fully inspectable in memory.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._sink = None
+        self.sink_path: Path | None = None
+
+    # -- sink management ------------------------------------------------
+    def open_jsonl(self, path) -> "EventLog":
+        """Attach a JSONL file sink (truncates ``path``)."""
+        if not str(path):
+            raise ValueError("JSONL sink path must be a non-empty file path")
+        self.close()
+        self.sink_path = Path(path)
+        self._sink = self.sink_path.open("w", encoding="utf-8")
+        return self
+
+    def close(self) -> None:
+        """Flush and detach the sink (ring content is kept)."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+                self.sink_path = None
+
+    # -- recording ------------------------------------------------------
+    def emit(self, kind: str, name: str, path: str = "", **fields) -> dict:
+        """Record one event; returns the stored record."""
+        record = {"ts": time.time(), "kind": kind, "name": name, "path": path}
+        for key, value in fields.items():
+            record[key] = jsonable(value)
+        with self._lock:
+            self._ring.append(record)
+            if self._sink is not None:
+                self._sink.write(json.dumps(record) + "\n")
+                self._sink.flush()
+        return record
+
+    # -- inspection -----------------------------------------------------
+    def records(self, kind: str | None = None, name: str | None = None) -> list[dict]:
+        """Snapshot of the ring, optionally filtered by kind and name."""
+        with self._lock:
+            out = list(self._ring)
+        if kind is not None:
+            out = [r for r in out if r["kind"] == kind]
+        if name is not None:
+            out = [r for r in out if r["name"] == name]
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class LoggingBridge(logging.Handler):
+    """stdlib ``logging`` handler forwarding records into an :class:`EventLog`.
+
+    Install with :func:`repro.obs.bridge_logging`; every record on the
+    bridged logger becomes a ``kind="log"`` event, so warnings raised deep
+    inside the pipeline land in the same JSONL stream as spans and
+    telemetry.
+    """
+
+    def __init__(self, log: EventLog, level: int = logging.INFO) -> None:
+        super().__init__(level=level)
+        self._log = log
+
+    def emit(self, record: logging.LogRecord) -> None:  # pragma: no branch
+        try:
+            self._log.emit(
+                "log",
+                record.name,
+                attrs={"level": record.levelname, "message": record.getMessage()},
+            )
+        except Exception:  # pragma: no cover - never break the host app
+            self.handleError(record)

@@ -1,0 +1,58 @@
+"""Decorator helpers for instrumenting hot paths.
+
+``@timed`` wraps a callable in a trace span; ``@count_calls`` bumps a
+registry counter per invocation.  Both consult the process-global
+observability switch *at call time*, so decorating a function costs one
+flag check per call while observability is disabled.
+"""
+
+from __future__ import annotations
+
+import functools
+
+__all__ = ["timed", "count_calls"]
+
+
+def timed(name: str | None = None, **attrs):
+    """Decorator: run the function inside a span (default: its ``__qualname__``).
+
+    Usable bare (``@timed``) or configured (``@timed("stage", k=3)``).
+    """
+    if callable(name):  # bare @timed
+        return timed()(name)
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro import obs
+
+            if not obs.enabled():
+                return fn(*args, **kwargs)
+            with obs.span(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def count_calls(name: str | None = None):
+    """Decorator: increment counter ``<name>_calls_total`` per invocation."""
+    if callable(name):  # bare @count_calls
+        return count_calls()(name)
+
+    def decorate(fn):
+        counter_name = f"{name or fn.__qualname__}_calls_total"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro import obs
+
+            obs.counter(counter_name).inc()
+            return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

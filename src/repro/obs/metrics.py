@@ -1,0 +1,215 @@
+"""Process-global metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named collection of instruments with a
+deterministic :meth:`~MetricsRegistry.snapshot`, a :meth:`~MetricsRegistry.reset`
+and a plain-text Prometheus-style dump (:meth:`~MetricsRegistry.to_promtext`).
+A disabled registry hands out a shared null instrument whose operations
+are no-ops, so instrumented code pays only a dict lookup when
+observability is off.
+
+Metric names use ``snake_case`` with a unit suffix where meaningful
+(``_total`` for counters, ``_seconds`` for durations); the names emitted
+by the built-in instrumentation are listed in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram edges (seconds-flavoured, log-spaced).  ``observe``
+#: places a value in the first bucket whose upper edge is >= the value
+#: (``le`` semantics); values above the last edge go to the overflow.
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``le`` (value <= edge) semantics.
+
+    ``counts`` has ``len(edges) + 1`` entries; the last is the overflow
+    bucket for values above every edge.
+    """
+
+    __slots__ = ("edges", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, edges: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges or list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"bucket edges must be strictly increasing, got {edges}")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class _NullMetric:
+    """Shared no-op instrument returned by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Named, get-or-create collection of metric instruments.
+
+    The snapshot is a plain dict keyed by metric name in sorted order, so
+    two registries that saw the same observations — in any order — produce
+    identical snapshots (counters and gauges compare exactly for integer
+    observations; histograms always compare exactly on bucket counts).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- get-or-create --------------------------------------------------
+    def _get(self, name: str, factory, cls):
+        if not self.enabled:
+            return NULL_METRIC
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(
+        self, name: str, edges: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(edges), Histogram)
+
+    # -- lifecycle ------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Deterministic (name-sorted) state of every registered metric."""
+        with self._lock:
+            return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def reset(self) -> None:
+        """Zero every registered metric (registrations are kept)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    def clear(self) -> None:
+        """Drop every registration."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- text exposition ------------------------------------------------
+    def to_promtext(self) -> str:
+        """Prometheus text-exposition-style dump of the current state."""
+        lines: list[str] = []
+        for name, snap in self.snapshot().items():
+            lines.append(f"# TYPE {name} {snap['type']}")
+            if snap["type"] == "histogram":
+                cumulative = 0
+                for edge, count in zip(snap["edges"], snap["counts"]):
+                    cumulative += count
+                    lines.append(f'{name}_bucket{{le="{edge:g}"}} {cumulative}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
+                lines.append(f"{name}_sum {snap['sum']:g}")
+                lines.append(f"{name}_count {snap['count']}")
+            else:
+                lines.append(f"{name} {snap['value']:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,145 @@
+"""Offline run reports: rebuild a run summary from a JSONL event file.
+
+``repro train --log-json run.jsonl`` streams every record to disk;
+:func:`build_report` turns those records back into the stage-timing tree
+(via the same :func:`repro.obs.trace.format_span_tree` renderer that
+``--profile`` uses, so both print identical summaries) plus a per-fold
+training-telemetry digest, the final metrics snapshot, and a count of
+bridged log records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.trace import format_span_tree
+
+__all__ = ["RunReport", "load_events", "build_report", "format_report"]
+
+
+def load_events(path) -> list[dict]:
+    """Parse a JSONL event file into a list of record dicts."""
+    records: list[dict] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: invalid JSON record: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{lineno}: expected a JSON object")
+        records.append(record)
+    return records
+
+
+@dataclass
+class RunReport:
+    """Everything :func:`format_report` needs, derived from raw records."""
+
+    meta: dict = field(default_factory=dict)
+    span_rows: list[tuple[str, float]] = field(default_factory=list)
+    #: path -> ordered list of epoch-event attr dicts
+    epochs: dict[str, list[dict]] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    log_counts: dict[str, int] = field(default_factory=dict)
+    n_records: int = 0
+
+
+def build_report(records: list[dict]) -> RunReport:
+    """Aggregate raw JSONL records into a :class:`RunReport`."""
+    report = RunReport(n_records=len(records))
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span":
+            report.span_rows.append(
+                (record.get("path") or record.get("name", "?"),
+                 float(record.get("duration_s", 0.0)))
+            )
+        elif kind == "event" and record.get("name") == "epoch":
+            attrs = record.get("attrs", {})
+            key = record.get("path", "")
+            if "fold" in attrs:
+                key = f"{key} [fold {attrs['fold']}]"
+            report.epochs.setdefault(key, []).append(attrs)
+        elif kind == "meta" and record.get("name") == "run":
+            report.meta = record.get("attrs", {})
+        elif kind == "meta" and record.get("name") == "metrics":
+            report.metrics = record.get("attrs", {})
+        elif kind == "log":
+            level = record.get("attrs", {}).get("level", "INFO")
+            report.log_counts[level] = report.log_counts.get(level, 0) + 1
+    return report
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _epoch_digest(events: list[dict]) -> str:
+    losses = [e["loss"] for e in events if "loss" in e]
+    vals = [e["val_accuracy"] for e in events if "val_accuracy" in e]
+    norms = [e["grad_norm"] for e in events if "grad_norm" in e]
+    parts = [f"epochs {len(events)}"]
+    if losses:
+        parts.append(f"final loss {_fmt(losses[-1])}")
+    if vals:
+        best = max(range(len(vals)), key=vals.__getitem__)
+        parts.append(f"best val acc {_fmt(vals[best])} @ epoch {best}")
+    if norms:
+        parts.append(f"max grad norm {_fmt(max(norms), 3)}")
+    lrs = [e["lr"] for e in events if "lr" in e]
+    if lrs and lrs[-1] != lrs[0]:
+        parts.append(f"lr {_fmt(lrs[0], 4)} -> {_fmt(lrs[-1], 4)}")
+    return " | ".join(parts)
+
+
+def format_report(report: RunReport) -> str:
+    """Human-readable run summary (stage timings + telemetry + metrics)."""
+    lines: list[str] = []
+    if report.meta:
+        described = ", ".join(
+            f"{k}={report.meta[k]}" for k in sorted(report.meta)
+        )
+        lines.append(f"run: {described}")
+        lines.append("")
+
+    lines.append("== stage timings ==")
+    lines.append(format_span_tree(report.span_rows))
+    lines.append("")
+
+    if report.epochs:
+        lines.append("== training telemetry ==")
+        for path in sorted(report.epochs):
+            lines.append(path or "(no span context)")
+            lines.append(f"  {_epoch_digest(report.epochs[path])}")
+        lines.append("")
+
+    if report.metrics:
+        lines.append("== metrics ==")
+        for name in sorted(report.metrics):
+            snap = report.metrics[name]
+            if snap.get("type") == "histogram":
+                lines.append(
+                    f"{name}: count {snap['count']}, mean "
+                    f"{_fmt(snap['sum'] / snap['count'] if snap['count'] else 0.0, 4)}"
+                )
+            else:
+                lines.append(f"{name}: {_fmt(snap.get('value', 0.0), 4)}")
+        lines.append("")
+
+    if report.log_counts:
+        described = ", ".join(
+            f"{level}: {report.log_counts[level]}" for level in sorted(report.log_counts)
+        )
+        lines.append(f"log records: {described}")
+        lines.append("")
+
+    lines.append(f"({report.n_records} records)")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Per-epoch training telemetry.
+
+:class:`TelemetryCallback` is invoked by :class:`repro.nn.model.Trainer`
+after every epoch (and usable as a standalone ``epoch_callback``).  When
+observability is enabled it emits one ``kind="event", name="epoch"``
+record carrying the epoch's loss, accuracies, post-plateau learning rate
+and pre-clip gradient norm, and mirrors the same quantities into the
+metrics registry (gauges + a gradient-norm histogram).  Disabled, it is
+a no-op.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TelemetryCallback", "GRAD_NORM_BUCKETS"]
+
+#: Histogram edges for pre-clip gradient norms — wide, log-spaced, so
+#: exploding-gradient runs show up as mass in the top buckets.
+GRAD_NORM_BUCKETS = (0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+#: History series mirrored into the epoch event (last entry of each).
+_SERIES = ("loss", "train_accuracy", "val_accuracy", "lr", "grad_norm")
+
+
+class TelemetryCallback:
+    """Emit one structured ``epoch`` event per training epoch.
+
+    Parameters
+    ----------
+    name:
+        Event name (default ``"epoch"``).
+    """
+
+    def __init__(self, name: str = "epoch") -> None:
+        self.name = name
+        self.emitted = 0
+
+    def __call__(self, epoch: int, history, **extra) -> None:
+        """Record epoch ``epoch`` from ``history``'s latest entries.
+
+        ``extra`` overrides/extends the history-derived fields — the
+        Trainer passes ``lr`` explicitly so the event reflects the rate
+        *after* the ReduceLROnPlateau step, not the one the epoch ran at.
+        """
+        from repro import obs
+
+        if not obs.enabled():
+            return
+        fields: dict = {"epoch": epoch}
+        fold = obs.current_attr("fold")
+        if fold is not None:
+            fields["fold"] = fold
+        for key in _SERIES:
+            series = getattr(history, key, None)
+            if series:
+                fields[key] = series[-1]
+        fields.update(extra)
+        obs.event(self.name, **fields)
+
+        if "loss" in fields:
+            obs.gauge("train_loss").set(fields["loss"])
+        if "val_accuracy" in fields:
+            obs.gauge("val_accuracy").set(fields["val_accuracy"])
+        if "lr" in fields:
+            obs.gauge("learning_rate").set(fields["lr"])
+        if "grad_norm" in fields:
+            obs.histogram("grad_norm", GRAD_NORM_BUCKETS).observe(fields["grad_norm"])
+        obs.counter("epochs_total").inc()
+        self.emitted += 1

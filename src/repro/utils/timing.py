@@ -1,4 +1,8 @@
-"""Wall-clock timing helper used by the runtime benchmarks (Table 5)."""
+"""Wall-clock timing helper used by the runtime benchmarks (Table 5).
+
+Re-exported from :mod:`repro.obs` so the observability subsystem and the
+benches share one canonical timing API.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +14,9 @@ __all__ = ["Timer"]
 class Timer:
     """Context manager measuring elapsed wall-clock seconds.
 
+    ``elapsed`` is readable *while the timer is still running* (it is a
+    monotonic reading from ``perf_counter``) and freezes at exit.
+
     Example
     -------
     >>> with Timer() as t:
@@ -20,12 +27,23 @@ class Timer:
 
     def __init__(self) -> None:
         self.start: float | None = None
-        self.elapsed: float = 0.0
+        self._elapsed: float = 0.0
+        self._running = False
 
     def __enter__(self) -> "Timer":
         self.start = time.perf_counter()
+        self._running = True
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         assert self.start is not None
-        self.elapsed = time.perf_counter() - self.start
+        self._elapsed = time.perf_counter() - self.start
+        self._running = False
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since ``__enter__`` — live while running, frozen after."""
+        if self._running:
+            assert self.start is not None
+            return time.perf_counter() - self.start
+        return self._elapsed

@@ -112,3 +112,48 @@ class TestValidation:
     def test_rejects_bad_r(self):
         with pytest.raises(ValueError):
             DeepMapEncoder(r=0)
+
+
+class TestInstrumentation:
+    """Encoding under observability: same tensors, stage spans recorded."""
+
+    def test_output_identical_enabled_vs_disabled(self):
+        from repro import obs
+
+        graphs = [cycle_graph(5), star_graph(6)]
+        enc_off, _ = _encode(graphs, r=3)
+        obs.reset()
+        obs.enable()
+        try:
+            enc_on, _ = _encode(graphs, r=3)
+        finally:
+            obs.disable()
+            obs.reset()
+        np.testing.assert_array_equal(enc_off.tensors, enc_on.tensors)
+        np.testing.assert_array_equal(enc_off.vertex_mask, enc_on.vertex_mask)
+
+    def test_stage_spans_recorded(self):
+        from repro import obs
+
+        graphs = [cycle_graph(5), path_graph(4)]
+        obs.reset()
+        obs.enable()
+        try:
+            _encode(graphs, r=2)
+            paths = [p for p, _ in obs.get_tracer().rows()]
+            encoded_total = obs.get_metrics().snapshot()[
+                "graphs_encoded_total"
+            ]["value"]
+        finally:
+            obs.disable()
+            obs.reset()
+        for expected in (
+            "feature_map",
+            "feature_map/extract",
+            "encode",
+            "encode/alignment",
+            "encode/receptive_field",
+            "encode/assemble",
+        ):
+            assert expected in paths, f"missing span {expected!r}"
+        assert encoded_total == 2

@@ -76,3 +76,51 @@ class TestNeuralProtocol:
             seed=0,
         )
         assert res.mean > 0.7
+
+
+class TestResultExtras:
+    """CVResult.extra carries per-fold wall time and epoch curves."""
+
+    def test_kernel_fold_seconds(self, toy_dataset):
+        res = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), toy_dataset, n_splits=3, seed=0
+        )
+        seconds = res.extra["fold_seconds"]
+        assert len(seconds) == 3
+        assert all(s >= 0.0 for s in seconds)
+
+    def test_neural_fold_seconds_and_curves(self, toy_dataset):
+        res = evaluate_neural_model(
+            lambda fold: deepmap_wl(h=1, r=2, epochs=4, seed=fold),
+            toy_dataset,
+            n_splits=3,
+            seed=0,
+            name="deepmap-wl",
+        )
+        assert len(res.extra["fold_seconds"]) == 3
+        assert all(s > 0.0 for s in res.extra["fold_seconds"])
+        curves = res.extra["fold_val_curves"]
+        assert len(curves) == 3
+        assert all(len(c) == 4 for c in curves)
+        # The reported fold accuracies are the curves read at best_epoch.
+        assert [c[res.best_epoch] for c in curves] == res.fold_accuracies
+
+
+class TestProtocolSpans:
+    """Per-fold spans are recorded when observability is on."""
+
+    def test_fold_spans_recorded(self, toy_dataset):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            evaluate_kernel_svm(
+                WeisfeilerLehmanKernel(2), toy_dataset, n_splits=3, seed=0
+            )
+            paths = [p for p, _ in obs.get_tracer().rows()]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert paths.count("cv/fold") == 3
+        assert "cv/gram" in paths

@@ -1,0 +1,90 @@
+"""Tests for the event log: ring buffer, JSONL sink, logging bridge."""
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.events import EventLog, jsonable
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        assert jsonable("x") == "x"
+        assert jsonable(3) == 3
+        assert jsonable(None) is None
+
+    def test_numpy_scalar_and_array(self):
+        assert jsonable(np.float64(1.5)) == 1.5
+        assert jsonable(np.int64(7)) == 7
+        assert jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested_containers(self):
+        out = jsonable({"a": (np.int32(1), [np.float32(0.5)])})
+        assert out == {"a": [1, [0.5]]}
+        json.dumps(out)  # round-trippable
+
+    def test_fallback_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert jsonable(Weird()) == "<weird>"
+
+
+class TestEventLog:
+    def test_ring_capacity(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("event", f"e{i}")
+        names = [r["name"] for r in log.records()]
+        assert names == ["e2", "e3", "e4"]
+        assert len(log) == 3
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_filtering(self):
+        log = EventLog()
+        log.emit("event", "a")
+        log.emit("span", "b")
+        assert [r["name"] for r in log.records(kind="span")] == ["b"]
+        assert [r["kind"] for r in log.records(name="a")] == ["event"]
+
+    def test_jsonl_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = EventLog()
+        log.open_jsonl(path)
+        log.emit("event", "epoch", path="fit/train", attrs={"loss": np.float64(0.5)})
+        log.emit("span", "fit", duration_s=1.25)
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "event"
+        assert first["attrs"]["loss"] == 0.5
+        assert json.loads(lines[1])["duration_s"] == 1.25
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit("event", "a")
+        log.clear()
+        assert log.records() == []
+
+
+class TestLoggingBridge:
+    def test_stdlib_records_become_events(self):
+        obs.enable()
+        obs.bridge_logging("repro.test_bridge", level=logging.WARNING)
+        logger = logging.getLogger("repro.test_bridge")
+        logger.warning("something %s", "odd")
+        logger.debug("below level")  # filtered out
+        records = obs.get_event_log().records(kind="log")
+        assert len(records) == 1
+        assert records[0]["attrs"]["message"] == "something odd"
+        assert records[0]["attrs"]["level"] == "WARNING"
+        # Cleanup the handler installed on the shared logger.
+        logger.handlers.clear()

@@ -1,0 +1,65 @@
+"""Tests for the @timed and @count_calls instrumentation decorators."""
+
+from repro import obs
+from repro.obs.instruments import count_calls, timed
+
+
+class TestTimed:
+    def test_disabled_is_passthrough(self):
+        @timed
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert obs.get_tracer().roots == []
+
+    def test_enabled_records_span(self):
+        @timed("my_stage", kind="test")
+        def f():
+            return 42
+
+        obs.enable()
+        assert f() == 42
+        roots = obs.get_tracer().roots
+        assert [s.name for s in roots] == ["my_stage"]
+        assert roots[0].attrs["kind"] == "test"
+
+    def test_default_name_is_qualname(self):
+        @timed
+        def named_thing():
+            pass
+
+        obs.enable()
+        named_thing()
+        assert "named_thing" in obs.get_tracer().roots[0].name
+
+    def test_nests_under_open_span(self):
+        @timed("leaf")
+        def f():
+            pass
+
+        obs.enable()
+        with obs.span("outer"):
+            f()
+        outer = obs.get_tracer().roots[0]
+        assert [c.name for c in outer.children] == ["leaf"]
+
+
+class TestCountCalls:
+    def test_counts_when_enabled(self):
+        @count_calls("work")
+        def f():
+            pass
+
+        obs.enable()
+        f()
+        f()
+        assert obs.get_metrics().snapshot()["work_calls_total"]["value"] == 2
+
+    def test_disabled_counts_nothing(self):
+        @count_calls("idle")
+        def f():
+            return "ok"
+
+        assert f() == "ok"
+        assert "idle_calls_total" not in obs.get_metrics().snapshot()

@@ -1,0 +1,175 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_reset(self):
+        c = Counter()
+        c.inc(4)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_inc(self):
+        g = Gauge()
+        g.inc(-2)
+        assert g.value == -2
+
+
+class TestHistogram:
+    def test_bucket_edges_le_semantics(self):
+        h = Histogram(edges=(1.0, 2.0))
+        h.observe(1.0)  # exactly on the first edge -> first bucket
+        h.observe(1.5)
+        h.observe(2.0)  # exactly on the last edge -> second bucket
+        h.observe(5.0)  # above every edge -> overflow
+        assert h.counts == [1, 2, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(9.5)
+
+    def test_mean(self):
+        h = Histogram(edges=(10.0,))
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(edges=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(edges=())
+
+    def test_snapshot_roundtrip_fields(self):
+        h = Histogram()
+        h.observe(0.05)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["edges"] == list(DEFAULT_BUCKETS)
+        assert sum(snap["counts"]) == 1
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        metric = reg.counter("a")
+        assert metric is NULL_METRIC
+        metric.inc()
+        metric.set(3)
+        metric.observe(1)
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+
+    def test_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zz").inc()
+        reg.counter("aa").inc()
+        assert list(reg.snapshot()) == ["aa", "zz"]
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.histogram("h").observe(2)
+        reg.reset()
+        assert reg.snapshot()["a"]["value"] == 0.0
+        assert reg.snapshot()["h"]["count"] == 0
+        assert len(reg) == 2
+
+    def test_clear_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1)
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_promtext_format(self):
+        reg = MetricsRegistry()
+        reg.counter("graphs_total").inc(3)
+        reg.histogram("lat", edges=(1.0, 2.0)).observe(0.5)
+        text = reg.to_promtext()
+        assert "# TYPE graphs_total counter" in text
+        assert "graphs_total 3" in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+
+_NAMES = st.sampled_from(["a", "b", "c", "d"])
+_OBSERVATIONS = st.lists(
+    st.tuples(_NAMES, st.integers(min_value=0, max_value=1000)), max_size=50
+)
+
+
+class TestOrderInsensitivity:
+    @given(obs_list=_OBSERVATIONS, seed=st.integers(min_value=0, max_value=2**16))
+    def test_counter_snapshot_order_insensitive(self, obs_list, seed):
+        """snapshot() is identical whatever order counter increments arrive in."""
+        import random
+
+        shuffled = list(obs_list)
+        random.Random(seed).shuffle(shuffled)
+
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        for name, amount in obs_list:
+            reg_a.counter(name).inc(amount)
+        for name, amount in shuffled:
+            reg_b.counter(name).inc(amount)
+        assert reg_a.snapshot() == reg_b.snapshot()
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=10**6), max_size=50),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_histogram_counts_order_insensitive(self, values, seed):
+        import random
+
+        shuffled = list(values)
+        random.Random(seed).shuffle(shuffled)
+        h1, h2 = Histogram(edges=(10.0, 100.0, 10_000.0)), Histogram(
+            edges=(10.0, 100.0, 10_000.0)
+        )
+        for v in values:
+            h1.observe(v)
+        for v in shuffled:
+            h2.observe(v)
+        assert h1.counts == h2.counts
+        assert h1.count == h2.count

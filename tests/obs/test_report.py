@@ -1,0 +1,92 @@
+"""JSONL round-trip: a live run's summary must be reconstructible offline."""
+
+import pytest
+
+from repro import obs
+from repro.obs.report import build_report, format_report, load_events
+from repro.obs.trace import format_span_tree
+
+
+def _tiny_run(path):
+    """Record a small synthetic run to ``path`` and return the live tree."""
+    obs.enable(jsonl_path=path)
+    obs.meta("run", dataset="TOY", model="deepmap-wl")
+    with obs.span("cv", folds=1):
+        with obs.span("fold", fold=0):
+            with obs.span("fit"):
+                with obs.span("feature_map"):
+                    pass
+                with obs.span("encode"):
+                    pass
+                with obs.span("train"):
+                    obs.event("epoch", epoch=0, fold=0, loss=0.9, val_accuracy=0.4,
+                              grad_norm=2.0, lr=0.01)
+                    obs.event("epoch", epoch=1, fold=0, loss=0.5, val_accuracy=0.7,
+                              grad_norm=1.0, lr=0.005)
+    obs.counter("graphs_encoded_total").inc(8)
+    obs.flush_metrics()
+    live_tree = obs.render_profile()
+    obs.disable()
+    return live_tree
+
+
+class TestRoundTrip:
+    def test_report_reconstructs_live_profile(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        live_tree = _tiny_run(path)
+        report = build_report(load_events(path))
+        assert format_span_tree(report.span_rows) == live_tree
+
+    def test_report_contents(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _tiny_run(path)
+        text = format_report(build_report(load_events(path)))
+        assert "dataset=TOY" in text
+        assert "stage timings" in text
+        for stage in ("cv", "fold", "fit", "feature_map", "encode", "train"):
+            assert stage in text
+        assert "epochs 2" in text
+        assert "best val acc 0.7000 @ epoch 1" in text
+        assert "max grad norm 2.000" in text
+        assert "lr 0.0100 -> 0.0050" in text
+        assert "graphs_encoded_total: 8.0000" in text
+
+    def test_epoch_groups_keyed_by_fold(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs.enable(jsonl_path=path)
+        with obs.span("cv"):
+            for fold in range(2):
+                with obs.span("fold", fold=fold), obs.span("train"):
+                    obs.event("epoch", epoch=0, fold=fold, loss=0.5)
+        obs.disable()
+        report = build_report(load_events(path))
+        assert sorted(report.epochs) == [
+            "cv/fold/train [fold 0]",
+            "cv/fold/train [fold 1]",
+        ]
+
+
+class TestLoadEvents:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "event", "name": "a"}\n\n')
+        assert len(load_events(path)) == 1
+
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_events(path)
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            load_events(path)
+
+
+class TestEmptyReport:
+    def test_no_spans(self):
+        text = format_report(build_report([]))
+        assert "no spans recorded" in text
+        assert "(0 records)" in text

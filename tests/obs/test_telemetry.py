@@ -1,0 +1,97 @@
+"""Trainer telemetry: one epoch event per epoch, gradient norms recorded."""
+
+import numpy as np
+
+from repro import obs
+from repro.nn import Dense, ReLU, Sequential, Trainer
+from repro.obs.telemetry import TelemetryCallback
+
+
+def _data(n=48, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] > 0).astype(int)
+    return x, y
+
+
+def _mlp(seed=0):
+    return Sequential([Dense(2, 8, rng=seed), ReLU(), Dense(8, 2, rng=seed + 1)])
+
+
+class TestTrainerTelemetry:
+    def test_one_epoch_event_per_epoch(self):
+        obs.enable()
+        x, y = _data()
+        Trainer(epochs=4, seed=0).fit(_mlp(), x, y, validation=(x, y))
+        events = obs.get_event_log().records(kind="event", name="epoch")
+        assert len(events) == 4
+        assert [e["attrs"]["epoch"] for e in events] == [0, 1, 2, 3]
+        first = events[0]["attrs"]
+        assert {"loss", "train_accuracy", "val_accuracy", "lr", "grad_norm"} <= set(first)
+
+    def test_disabled_emits_nothing(self):
+        x, y = _data()
+        Trainer(epochs=2, seed=0).fit(_mlp(), x, y)
+        assert obs.get_event_log().records() == []
+
+    def test_grad_norm_always_in_history(self):
+        x, y = _data()
+        hist = Trainer(epochs=3, seed=0).fit(_mlp(), x, y)
+        assert len(hist.grad_norm) == 3
+        assert all(g >= 0.0 for g in hist.grad_norm)
+
+    def test_grad_norm_preclip_with_clipping(self):
+        x, y = _data()
+        tight = 1e-6
+        hist = Trainer(epochs=2, seed=0, max_grad_norm=tight).fit(_mlp(), x, y)
+        # The recorded norm is the PRE-clip norm: far above the clip bound.
+        assert all(g > tight for g in hist.grad_norm)
+
+    def test_metrics_mirrored(self):
+        obs.enable()
+        x, y = _data()
+        Trainer(epochs=2, seed=0).fit(_mlp(), x, y)
+        snap = obs.get_metrics().snapshot()
+        assert snap["epochs_total"]["value"] == 2
+        assert snap["grad_norm"]["count"] == 2
+        assert "train_loss" in snap
+
+
+class TestTelemetryCallback:
+    def test_counts_emissions(self):
+        obs.enable()
+
+        class H:
+            loss = [0.5]
+            lr = [0.01]
+
+        cb = TelemetryCallback()
+        cb(0, H())
+        cb(1, H())
+        assert cb.emitted == 2
+
+    def test_extra_overrides_history(self):
+        obs.enable()
+
+        class H:
+            lr = [0.01]
+
+        TelemetryCallback()(0, H(), lr=0.005)
+        event = obs.get_event_log().records(kind="event", name="epoch")[0]
+        assert event["attrs"]["lr"] == 0.005
+
+    def test_noop_when_disabled(self):
+        cb = TelemetryCallback()
+        cb(0, object())
+        assert cb.emitted == 0
+
+    def test_tags_enclosing_fold(self):
+        obs.enable()
+
+        class H:
+            loss = [0.1]
+
+        with obs.span("fold", fold=7):
+            TelemetryCallback()(0, H())
+        event = obs.get_event_log().records(kind="event", name="epoch")[0]
+        assert event["attrs"]["fold"] == 7

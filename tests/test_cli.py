@@ -53,6 +53,17 @@ class TestCommands:
         assert code == 0
         assert "accuracy:" in capsys.readouterr().out
 
+    def test_train_prints_fold_times(self, capsys):
+        main(
+            [
+                "train", "--dataset", "PTC_MR", "--model", "wl-svm",
+                "--scale", "0.05", "--folds", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "fold times:" in out
+        assert "selected C per fold:" in out
+
     def test_export_roundtrip(self, tmp_path, capsys):
         code = main(
             ["export", "--dataset", "PTC_MR", "--out", str(tmp_path / "PTC_MR"),
@@ -63,3 +74,75 @@ class TestCommands:
 
         loaded = load_tu_dataset(tmp_path / "PTC_MR")
         assert len(loaded) == 40
+
+
+class TestObservability:
+    """Smoke coverage for --profile / --log-json / report."""
+
+    def test_help_epilog_documents_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "--profile" in out
+        assert "--log-json" in out
+        assert "repro report" in out
+
+    def test_train_profile_smoke(self, capsys):
+        code = main(
+            [
+                "train", "--dataset", "PTC_MR", "--model", "deepmap-wl",
+                "--scale", "0.05", "--folds", "2", "--epochs", "2",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for stage in ("cv", "fold", "fit", "feature_map", "encode",
+                      "alignment", "receptive_field", "train"):
+            assert stage in out, f"missing stage {stage!r} in profile tree"
+        from repro import obs
+
+        assert not obs.enabled()  # CLI turns observability back off
+
+    def test_train_log_json_then_report(self, tmp_path, capsys):
+        run_file = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "train", "--dataset", "MUTAG", "--model", "deepmap-wl",
+                "--epochs", "2", "--folds", "2", "--scale", "0.05",
+                "--profile", "--log-json", str(run_file),
+            ]
+        )
+        assert code == 0
+        train_out = capsys.readouterr().out
+        assert run_file.exists()
+
+        code = main(["report", str(run_file)])
+        assert code == 0
+        report_out = capsys.readouterr().out
+        assert "stage timings" in report_out
+        assert "training telemetry" in report_out
+        assert "[fold 0]" in report_out and "[fold 1]" in report_out
+        # The offline reconstruction prints the exact same stage tree the
+        # live --profile run did.
+        tree_lines = [l for l in train_out.splitlines() if l.startswith("cv")]
+        assert tree_lines and all(l in report_out for l in tree_lines)
+
+    def test_report_missing_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["report", str(tmp_path / "nope.jsonl")])
+
+    def test_train_kernel_with_log_json(self, tmp_path, capsys):
+        run_file = tmp_path / "kernel.jsonl"
+        code = main(
+            [
+                "train", "--dataset", "PTC_MR", "--model", "wl-svm",
+                "--scale", "0.05", "--folds", "2",
+                "--log-json", str(run_file),
+            ]
+        )
+        assert code == 0
+        code = main(["report", str(run_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gram" in out

@@ -104,3 +104,25 @@ class TestTimer:
         with t:
             time.sleep(0.01)
         assert t.elapsed >= first
+
+    def test_elapsed_readable_while_running(self):
+        t = Timer()
+        with t:
+            mid = t.elapsed
+            time.sleep(0.01)
+            later = t.elapsed
+        assert mid >= 0.0
+        assert later > mid
+        assert t.elapsed >= later  # frozen at exit
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as t:
+            pass
+        first = t.elapsed
+        time.sleep(0.005)
+        assert t.elapsed == first
+
+    def test_reexported_from_obs(self):
+        from repro import obs
+
+        assert obs.Timer is Timer
