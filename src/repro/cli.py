@@ -12,6 +12,8 @@ Commands
     Write a generated dataset to TU format for use with other tools.
 ``report RUN.jsonl``
     Summarise a ``--log-json`` run file: stage timings + telemetry.
+``cache stats|clear [--cache-dir DIR]``
+    Inspect or empty the content-addressed feature-map cache.
 """
 
 from __future__ import annotations
@@ -30,8 +32,20 @@ observability:
                                    telemetry and metrics to a JSONL file
   repro report RUN.jsonl           rebuild the same summary offline
 
+parallelism and caching:
+  repro train --workers N          run CV folds concurrently in a fork pool
+                                   (N=0 uses every CPU; results are bitwise
+                                   identical to --workers 1); defaults to
+                                   $REPRO_WORKERS, else 1
+  repro train --cache-dir DIR      memoize vertex feature maps and encoded
+                                   tensors on disk, keyed by dataset content
+                                   + extractor/encoder parameters; defaults
+                                   to $REPRO_CACHE_DIR, else off
+  repro cache stats|clear          inspect or empty that cache
+
 Instrumentation is off unless one of these flags is given (zero overhead
-by default).  Schema and metric names: docs/OBSERVABILITY.md.
+by default).  Schema and metric names: docs/OBSERVABILITY.md; worker
+model and cache layout: docs/PARALLEL.md.
 """
 
 MODEL_CHOICES = (
@@ -84,6 +98,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print the aggregated stage-timing tree after the run",
+    )
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="CV-fold worker processes (0 = all CPUs; default $REPRO_WORKERS or 1)",
+    )
+    train.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed feature-map cache directory "
+        "(default $REPRO_CACHE_DIR or no caching)",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the feature-map cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default $REPRO_CACHE_DIR)",
     )
 
     report = sub.add_parser(
@@ -203,6 +242,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     try:
+        if args.cache_dir is not None:
+            from repro.cache import configure
+
+            configure(cache_dir=args.cache_dir)
         ds = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
         print(
             f"{args.model} on {ds.name} ({len(ds)} graphs, {args.folds}-fold CV)..."
@@ -210,17 +253,31 @@ def _cmd_train(args: argparse.Namespace) -> int:
         factory = _make_model_factory(args.model, args.epochs)
         if factory is not None:
             result = evaluate_neural_model(
-                factory, ds, n_splits=args.folds, seed=args.seed, name=args.model
+                factory,
+                ds,
+                n_splits=args.folds,
+                seed=args.seed,
+                name=args.model,
+                workers=args.workers,
             )
             print(f"accuracy: {result.formatted()}  (best epoch {result.best_epoch})")
         else:
             kernel = _make_kernel(args.model)
             assert kernel is not None  # argparse choices guarantee it
             result = evaluate_kernel_svm(
-                kernel, ds, n_splits=args.folds, seed=args.seed
+                kernel, ds, n_splits=args.folds, seed=args.seed, workers=args.workers
             )
             print(f"accuracy: {result.formatted()}")
         _print_extras(result)
+        from repro.cache import get_cache
+
+        cache = get_cache()
+        if cache is not None:
+            s = cache.stats
+            print(
+                f"cache: {s.hits} hits / {s.misses} misses "
+                f"({s.memory_hits} memory, {s.disk_hits} disk)"
+            )
         if observing:
             obs.flush_metrics()
             if args.profile:
@@ -231,6 +288,30 @@ def _cmd_train(args: argparse.Namespace) -> int:
     finally:
         if observing:
             obs.disable()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.cache import CACHE_DIR_ENV, FeatureMapCache
+
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not cache_dir:
+        print(
+            "no cache directory: pass --cache-dir or set "
+            f"{CACHE_DIR_ENV} (caching is off by default)"
+        )
+        return 2
+    cache = FeatureMapCache(cache_dir=cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached entries from {cache_dir}")
+        return 0
+    entries, total_bytes = cache.disk_usage()
+    print(f"cache dir: {cache_dir}")
+    print(f"entries:   {entries}")
+    print(f"size:      {total_bytes / 1024:.1f} KiB")
     return 0
 
 
@@ -262,6 +343,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_train(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "export":
         return _cmd_export(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -18,6 +18,7 @@ from repro.features.vertex_maps import (
     ShortestPathVertexFeatures,
     VertexFeatureExtractor,
     WLVertexFeatures,
+    cached_vertex_counts,
 )
 from repro.features.vocabulary import FeatureVocabulary
 from repro.graph.graph import Graph
@@ -59,6 +60,10 @@ class DeepMapClassifier:
         everything (the paper's setting).
     seed:
         Controls initialisation, dropout and shuffling.
+    cache:
+        Optional :class:`repro.cache.FeatureMapCache` memoizing vertex
+        counts and encoded tensors; ``None`` (default) uses the
+        process-wide cache when one is configured.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class DeepMapClassifier:
         batch_size: int = 32,
         max_features: int | None = None,
         seed: int | None = 0,
+        cache=None,
     ) -> None:
         if isinstance(feature_map, str):
             if feature_map not in _EXTRACTORS:
@@ -88,6 +94,7 @@ class DeepMapClassifier:
         self.batch_size = batch_size
         self.max_features = max_features
         self.seed = seed
+        self.cache = cache
 
         self.vocabulary_: FeatureVocabulary | None = None
         self.encoder_: DeepMapEncoder | None = None
@@ -108,7 +115,7 @@ class DeepMapClassifier:
         self, graphs: list[Graph], fit_vocabulary: bool
     ) -> list[np.ndarray]:
         with obs.span("extract"):
-            counts = self.extractor.extract(graphs)
+            counts = cached_vertex_counts(self.extractor, graphs, cache=self.cache)
         if fit_vocabulary:
             totals: dict = {}
             for vertex_counts in counts:
@@ -135,7 +142,7 @@ class DeepMapClassifier:
             self.encoder_ = DeepMapEncoder(r=self.r, ordering=self.ordering).fit(graphs)
         check_fitted(self, "encoder_")
         assert self.encoder_ is not None
-        return self.encoder_.encode(graphs, matrices)
+        return self.encoder_.encode(graphs, matrices, cache=self.cache)
 
     # ------------------------------------------------------------------
     def fit(

@@ -78,7 +78,10 @@ class DeepMapEncoder:
         return self
 
     def encode(
-        self, graphs: list[Graph], feature_matrices: list[np.ndarray]
+        self,
+        graphs: list[Graph],
+        feature_matrices: list[np.ndarray],
+        cache=None,
     ) -> EncodedDataset:
         """Build the ``(n, w*r, m)`` tensor for ``graphs``.
 
@@ -86,6 +89,12 @@ class DeepMapEncoder:
         feature-map matrix from
         :func:`repro.features.extract_vertex_feature_matrices` (or the
         vocabulary-aligned equivalent for held-out graphs).
+
+        When a feature-map cache is available (``cache`` argument or the
+        process default), the assembled tensor is memoized by graph
+        content, feature-matrix content, and the encoder parameters
+        ``(r, ordering, w)``; a warm hit returns bitwise-identical
+        arrays without recomputing alignment or receptive fields.
         """
         if self.w is None:
             self.fit(graphs)
@@ -101,6 +110,28 @@ class DeepMapEncoder:
             if feats.shape != (g.n, m):
                 raise ValueError(
                     f"feature matrix {gi} has shape {feats.shape}, expected {(g.n, m)}"
+                )
+        from repro import cache as cache_mod
+
+        cache = cache if cache is not None else cache_mod.get_cache()
+        key = None
+        if cache is not None:
+            key = cache_mod.cache_key(
+                "enc",
+                cache_mod.dataset_fingerprint(graphs),
+                cache_mod.stable_hash(list(feature_matrices)),
+                r,
+                self.ordering,
+                w,
+            )
+            payload = cache.get(key, namespace="enc")
+            if payload is not None:
+                return EncodedDataset(
+                    tensors=payload["tensors"],
+                    vertex_mask=payload["vertex_mask"],
+                    w=w,
+                    r=r,
+                    m=m,
                 )
         with obs.span("encode", graphs=n, w=w, r=r, m=m):
             # Stage 1: centrality-based vertex alignment (Section 4.2).
@@ -131,4 +162,10 @@ class DeepMapEncoder:
                         rows[real] = feats[field[real]]
                         tensors[gi, slot * r : (slot + 1) * r] = rows
             obs.counter("graphs_encoded_total").inc(n)
+        if cache is not None and key is not None:
+            cache.put(
+                key,
+                {"tensors": tensors, "vertex_mask": vertex_mask},
+                namespace="enc",
+            )
         return EncodedDataset(tensors=tensors, vertex_mask=vertex_mask, w=w, r=r, m=m)

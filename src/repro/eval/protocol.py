@@ -9,6 +9,13 @@
   records a per-epoch held-out accuracy curve, curves are averaged, the
   best epoch is selected once, and the reported score is mean +- std of
   the fold accuracies at that epoch.
+
+Both protocols run their folds through :func:`repro.parallel.run_folds`:
+``workers=1`` (the default) is a plain sequential loop, ``workers=N``
+fans the folds out over a fork pool, and ``workers=None`` defers to the
+``REPRO_WORKERS`` environment variable.  Every fold draws from its own
+seed spawned up front, so serial and parallel runs are bitwise
+identical (``tests/parallel/test_parity.py``).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.datasets.base import GraphDataset
 from repro.eval.metrics import mean_std
 from repro.eval.splits import stratified_kfold
 from repro.kernels.base import GraphKernel, normalize_gram
+from repro.parallel import run_folds
 from repro.svm.svc import DEFAULT_C_GRID, KernelSVC, select_c
 from repro.utils.rng import as_rng
 from repro.utils.timing import Timer
@@ -54,6 +62,20 @@ class CVResult:
         return f"CVResult({self.name}: {self.formatted()})"
 
 
+def _kernel_fold(context, payload):
+    """One kernel-SVM fold; top-level so the fork pool can address it."""
+    gram, y, c_grid = context
+    fold, train_idx, test_idx, fold_seed = payload
+    with obs.span("fold", fold=fold), Timer() as timer:
+        rng = as_rng(fold_seed)
+        k_tr = gram[np.ix_(train_idx, train_idx)]
+        c = select_c(k_tr, y[train_idx], grid=c_grid, seed=rng)
+        model = KernelSVC(c=c).fit(k_tr, y[train_idx])
+        k_te = gram[np.ix_(test_idx, train_idx)]
+        accuracy = model.score(k_te, y[test_idx])
+    return {"accuracy": accuracy, "selected_c": c, "seconds": timer.elapsed}
+
+
 def evaluate_kernel_svm(
     kernel: GraphKernel,
     dataset: GraphDataset,
@@ -61,8 +83,13 @@ def evaluate_kernel_svm(
     seed: int | None = 0,
     c_grid: tuple[float, ...] = DEFAULT_C_GRID,
     normalize: bool = True,
+    workers: int | None = None,
 ) -> CVResult:
-    """Kernel + C-SVM cross-validation (the paper's kernel protocol)."""
+    """Kernel + C-SVM cross-validation (the paper's kernel protocol).
+
+    ``workers`` > 1 runs the folds concurrently (fork pool); ``None``
+    defers to ``$REPRO_WORKERS``.  Results are identical either way.
+    """
     with obs.span("cv", protocol="kernel-svm", model=kernel.name, folds=n_splits):
         with obs.span("gram", kernel=kernel.name, graphs=len(dataset)):
             gram = kernel.gram(dataset.graphs)
@@ -70,23 +97,46 @@ def evaluate_kernel_svm(
             gram = normalize_gram(gram)
         rng = as_rng(seed)
         splits = stratified_kfold(dataset.y, n_splits=n_splits, seed=rng)
-        accuracies: list[float] = []
-        chosen_cs: list[float] = []
-        fold_seconds: list[float] = []
-        for fold, (train_idx, test_idx) in enumerate(splits):
-            with obs.span("fold", fold=fold), Timer() as timer:
-                k_tr = gram[np.ix_(train_idx, train_idx)]
-                c = select_c(k_tr, dataset.y[train_idx], grid=c_grid, seed=rng)
-                chosen_cs.append(c)
-                model = KernelSVC(c=c).fit(k_tr, dataset.y[train_idx])
-                k_te = gram[np.ix_(test_idx, train_idx)]
-                accuracies.append(model.score(k_te, dataset.y[test_idx]))
-            fold_seconds.append(timer.elapsed)
+        fold_seeds = rng.integers(0, 2**31 - 1, size=n_splits)
+        payloads = [
+            (fold, train_idx, test_idx, int(fold_seeds[fold]))
+            for fold, (train_idx, test_idx) in enumerate(splits)
+        ]
+        outcomes = run_folds(
+            _kernel_fold,
+            payloads,
+            context=(gram, dataset.y, c_grid),
+            workers=workers,
+        )
     return CVResult(
         name=kernel.name,
-        fold_accuracies=accuracies,
-        extra={"selected_c": chosen_cs, "fold_seconds": fold_seconds},
+        fold_accuracies=[o["accuracy"] for o in outcomes],
+        extra={
+            "selected_c": [o["selected_c"] for o in outcomes],
+            "fold_seconds": [o["seconds"] for o in outcomes],
+        },
     )
+
+
+def _neural_fold(context, payload):
+    """One neural-CV fold; top-level so the fork pool can address it.
+
+    The factory and graph list arrive via the fork-inherited context, so
+    ``model_factory`` may be any callable (lambdas included).
+    """
+    model_factory, graphs, y = context
+    fold, train_idx, test_idx = payload
+    with obs.span("fold", fold=fold), Timer() as timer:
+        model = model_factory(fold)
+        train_graphs = [graphs[i] for i in train_idx]
+        test_graphs = [graphs[i] for i in test_idx]
+        model.fit(
+            train_graphs,
+            y[train_idx],
+            validation=(test_graphs, y[test_idx]),
+        )
+        curve = np.asarray(model.history_.val_accuracy)
+    return {"curve": curve, "seconds": timer.elapsed}
 
 
 def evaluate_neural_model(
@@ -95,40 +145,38 @@ def evaluate_neural_model(
     n_splits: int = 10,
     seed: int | None = 0,
     name: str | None = None,
+    workers: int | None = None,
 ) -> CVResult:
     """Neural-model cross-validation with GIN-style epoch selection.
 
     ``model_factory(fold_seed)`` must return a fresh estimator exposing
     ``fit(graphs, y, validation=(graphs, y))`` and a ``history_`` with
-    ``val_accuracy`` per epoch.
+    ``val_accuracy`` per epoch.  ``workers`` > 1 trains the folds
+    concurrently (fork pool); ``None`` defers to ``$REPRO_WORKERS``.
     """
     rng = as_rng(seed)
     splits = stratified_kfold(dataset.y, n_splits=n_splits, seed=rng)
-    val_curves: list[np.ndarray] = []
-    fold_seconds: list[float] = []
     with obs.span("cv", protocol="neural", model=name or "?", folds=n_splits):
-        for fold, (train_idx, test_idx) in enumerate(splits):
-            with obs.span("fold", fold=fold), Timer() as timer:
-                model = model_factory(fold)
-                train_graphs = [dataset.graphs[i] for i in train_idx]
-                test_graphs = [dataset.graphs[i] for i in test_idx]
-                model.fit(
-                    train_graphs,
-                    dataset.y[train_idx],
-                    validation=(test_graphs, dataset.y[test_idx]),
-                )
-                val_curves.append(np.asarray(model.history_.val_accuracy))
-            fold_seconds.append(timer.elapsed)
-    curves = np.stack(val_curves)  # (folds, epochs)
+        payloads = [
+            (fold, train_idx, test_idx)
+            for fold, (train_idx, test_idx) in enumerate(splits)
+        ]
+        outcomes = run_folds(
+            _neural_fold,
+            payloads,
+            context=(model_factory, dataset.graphs, dataset.y),
+            workers=workers,
+        )
+    curves = np.stack([o["curve"] for o in outcomes])  # (folds, epochs)
     best_epoch = int(np.argmax(curves.mean(axis=0)))
     accuracies = curves[:, best_epoch].tolist()
     return CVResult(
-        name=name or type(model).__name__,
+        name=name or "neural",
         fold_accuracies=accuracies,
         best_epoch=best_epoch,
         extra={
             "mean_curve": curves.mean(axis=0).tolist(),
             "fold_val_curves": curves.tolist(),
-            "fold_seconds": fold_seconds,
+            "fold_seconds": [o["seconds"] for o in outcomes],
         },
     )

@@ -11,6 +11,7 @@ from repro.features.vertex_maps import (
     ShortestPathVertexFeatures,
     VertexFeatureExtractor,
     WLVertexFeatures,
+    cached_vertex_counts,
     extract_vertex_feature_matrices,
     graph_feature_maps,
     wl_joint_refinement,
@@ -28,6 +29,7 @@ __all__ = [
     "ReturnProbabilityVertexFeatures",
     "ShortestPathVertexFeatures",
     "WLVertexFeatures",
+    "cached_vertex_counts",
     "extract_vertex_feature_matrices",
     "graph_feature_maps",
     "wl_joint_refinement",

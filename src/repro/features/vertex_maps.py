@@ -34,7 +34,7 @@ from repro.features.vocabulary import FeatureVocabulary
 from repro.graph.graph import Graph
 from repro.graph.graphlets import count_graphlets_per_vertex
 from repro.graph.shortest_paths import apsp_bfs
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "WLVertexFeatures",
     "OneHotLabelFeatures",
     "wl_stable_colors",
+    "cached_vertex_counts",
     "extract_vertex_feature_matrices",
     "graph_feature_maps",
 ]
@@ -61,6 +62,20 @@ class VertexFeatureExtractor(ABC):
     def extract(self, graphs: list[Graph]) -> list[VertexCounts]:
         """Per-graph list of per-vertex ``Counter`` feature dictionaries."""
 
+    def cache_params(self) -> dict:
+        """Hyperparameters identifying this extractor for cache keys.
+
+        The default exposes every public instance attribute, which is
+        exactly the constructor surface for the built-in extractors;
+        custom extractors with derived state should override this to
+        return only what determines their output.
+        """
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and not key.endswith("_")
+        }
+
 
 class GraphletVertexFeatures(VertexFeatureExtractor):
     """Rooted-graphlet sampling features (DeepMap-GK).
@@ -72,8 +87,11 @@ class GraphletVertexFeatures(VertexFeatureExtractor):
     samples:
         Rooted samples per vertex (paper: 20).
     seed:
-        Seed for the sampling streams; each graph gets an independent
-        stream so results do not depend on dataset order.
+        Seed for the sampling streams.  Each graph's stream is derived
+        from ``seed`` plus the graph's *content* (structure + labels),
+        so a graph samples identically wherever it appears — first or
+        last in the dataset, in a CV-fold subset, or alone.  This is
+        what keeps cache keys stable across fold slicing.
     """
 
     name = "gk"
@@ -87,9 +105,14 @@ class GraphletVertexFeatures(VertexFeatureExtractor):
         self.seed = seed
 
     def extract(self, graphs: list[Graph]) -> list[VertexCounts]:
-        rngs = spawn_rngs(self.seed, len(graphs))
         out: list[VertexCounts] = []
-        for g, rng in zip(graphs, rngs):
+        for g in graphs:
+            rng = derive_rng(
+                self.seed,
+                str(g.n).encode(),
+                g.edges.tobytes(),
+                g.labels.tobytes(),
+            )
             hists = count_graphlets_per_vertex(g, self.k, self.samples, rng)
             out.append([Counter({("glet",) + key: c for key, c in h.items()}) for h in hists])
         return out
@@ -233,15 +256,71 @@ def wl_joint_refinement(graphs: list[Graph], h: int) -> list[list[np.ndarray]]:
     return colorings
 
 
+def cached_vertex_counts(
+    extractor: VertexFeatureExtractor,
+    graphs: list[Graph],
+    cache=None,
+) -> list[VertexCounts]:
+    """``extractor.extract(graphs)`` memoized through the feature-map cache.
+
+    The key combines the dataset fingerprint (graph structure + labels,
+    in order) with the extractor's class and hyperparameters, so any
+    change to either recomputes.  ``cache=None`` uses the process-wide
+    default (:func:`repro.cache.get_cache`); with no cache configured
+    this is exactly ``extractor.extract(graphs)``.
+    """
+    from repro import cache as cache_mod
+
+    cache = cache if cache is not None else cache_mod.get_cache()
+    if cache is None:
+        return extractor.extract(graphs)
+    key = cache_mod.cache_key(
+        "counts",
+        cache_mod.dataset_fingerprint(graphs),
+        cache_mod.extractor_fingerprint(extractor),
+    )
+    payload = cache.get(key, namespace="counts")
+    if payload is not None:
+        return list(payload["counts"][0])
+    counts = extractor.extract(graphs)
+    boxed = np.empty(1, dtype=object)
+    boxed[0] = counts
+    cache.put(key, {"counts": boxed}, namespace="counts")
+    return counts
+
+
 def extract_vertex_feature_matrices(
     graphs: list[Graph],
     extractor: VertexFeatureExtractor,
+    cache=None,
 ) -> tuple[list[np.ndarray], FeatureVocabulary]:
     """Run ``extractor`` and embed every vertex in a shared dense space.
 
     Returns ``(matrices, vocabulary)`` where ``matrices[i]`` has shape
-    ``(graphs[i].n, m)`` and ``m = len(vocabulary)``.
+    ``(graphs[i].n, m)`` and ``m = len(vocabulary)``.  When a feature-map
+    cache is configured (``cache`` argument or the process default) the
+    dense matrices and the vocabulary are memoized by dataset content +
+    extractor configuration; a warm hit skips extraction entirely and
+    returns bitwise-identical arrays.
     """
+    from repro import cache as cache_mod
+
+    cache = cache if cache is not None else cache_mod.get_cache()
+    key = None
+    if cache is not None:
+        key = cache_mod.cache_key(
+            "vfm",
+            cache_mod.dataset_fingerprint(graphs),
+            cache_mod.extractor_fingerprint(extractor),
+        )
+        payload = cache.get(key, namespace="vfm")
+        if payload is not None:
+            matrices = [
+                payload[f"matrix_{i:05d}"] for i in range(len(graphs))
+            ]
+            vocab = FeatureVocabulary()
+            vocab.add_all(payload["vocab"][0])
+            return matrices, vocab.freeze()
     with obs.span("feature_map", extractor=extractor.name, graphs=len(graphs)):
         with obs.span("extract"):
             per_graph_counts = extractor.extract(graphs)
@@ -253,6 +332,12 @@ def extract_vertex_feature_matrices(
             vocab.freeze()
         with obs.span("vectorize", m=vocab.size):
             matrices = [vocab.vectorize_rows(vc) for vc in per_graph_counts]
+    if cache is not None and key is not None:
+        boxed = np.empty(1, dtype=object)
+        boxed[0] = vocab.keys()
+        payload = {f"matrix_{i:05d}": m for i, m in enumerate(matrices)}
+        payload["vocab"] = boxed
+        cache.put(key, payload, namespace="vfm")
     return matrices, vocab
 
 

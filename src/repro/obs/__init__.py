@@ -79,6 +79,9 @@ __all__ = [
     "Histogram",
     "NULL_METRIC",
     "DEFAULT_BUCKETS",
+    # worker-process merging
+    "capture_worker",
+    "merge_worker",
     # helpers
     "timed",
     "count_calls",
@@ -222,6 +225,50 @@ def bridge_logging(logger: str = "repro", level: int = logging.INFO) -> LoggingB
     _bridge = LoggingBridge(_log, level=level)
     target.addHandler(_bridge)
     return _bridge
+
+
+# ----------------------------------------------------------------------
+# Worker-process observability merging
+# ----------------------------------------------------------------------
+
+def capture_worker() -> dict:
+    """Snapshot everything this (worker) process recorded, for shipping.
+
+    Returns a picklable payload of finished span trees, the metrics
+    snapshot, and non-span events (per-epoch telemetry etc.); the parent
+    process folds it back in with :func:`merge_worker`.
+    """
+    return {
+        "spans": [root.to_dict() for root in _tracer.roots],
+        "metrics": _metrics.snapshot(),
+        "events": [
+            {"name": r["name"], "path": r["path"], "attrs": r.get("attrs", {})}
+            for r in _log.records(kind="event")
+        ],
+    }
+
+
+def merge_worker(payload: dict | None) -> None:
+    """Merge a :func:`capture_worker` payload from a worker process.
+
+    Span trees are grafted under the currently open span (re-emitting
+    span records and ``span_seconds`` observations exactly as a local
+    run would), metrics are folded in additively, and events are
+    re-emitted with their paths re-rooted.  No-op while disabled.
+    """
+    if not _enabled or not payload:
+        return
+    for tree in payload.get("spans", ()):
+        _tracer.graft(tree)
+    metrics = dict(payload.get("metrics") or {})
+    # Grafted spans already re-observed their durations via on_close.
+    metrics.pop("span_seconds", None)
+    _metrics.merge(metrics)
+    prefix = _tracer.current_path()
+    for record in payload.get("events", ()):
+        path = record.get("path", "")
+        full = f"{prefix}/{path}" if prefix and path else (path or prefix)
+        _log.emit("event", record["name"], path=full, attrs=record.get("attrs", {}))
 
 
 # ----------------------------------------------------------------------

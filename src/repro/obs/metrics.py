@@ -182,6 +182,39 @@ class MetricsRegistry:
         with self._lock:
             return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
 
+    def merge(self, snapshot: dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last write wins, matching their local semantics).  Used
+        to merge metrics recorded in worker processes back into the
+        parent.  A histogram with different bucket edges is rejected —
+        silently mixing bucket layouts would corrupt both.
+        """
+        if not self.enabled:
+            return
+        for name, snap in snapshot.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                self.counter(name).inc(snap["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(snap["value"])
+            elif kind == "histogram":
+                edges = tuple(snap["edges"])
+                hist = self.histogram(name, edges)
+                if hist.edges != edges:
+                    raise ValueError(
+                        f"histogram {name!r} bucket edges differ: "
+                        f"{hist.edges} vs {edges}"
+                    )
+                hist.counts = [
+                    a + b for a, b in zip(hist.counts, snap["counts"])
+                ]
+                hist.sum += snap["sum"]
+                hist.count += snap["count"]
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
     def reset(self) -> None:
         """Zero every registered metric (registrations are kept)."""
         with self._lock:

@@ -61,6 +61,21 @@ class Span:
     def set_attr(self, key: str, value) -> None:
         self.attrs[key] = value
 
+    def to_dict(self) -> dict:
+        """Serializable snapshot of this span's subtree.
+
+        The inverse of :meth:`Tracer.graft`: worker processes ship their
+        finished span trees across the process boundary as plain dicts
+        and the parent re-roots them under its own open span.
+        """
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "duration": self.duration,
+            "error": self.error,
+            "children": [child.to_dict() for child in self.children],
+        }
+
     # -- context manager ------------------------------------------------
     def __enter__(self) -> "Span":
         self.parent = self._tracer.current()
@@ -156,6 +171,35 @@ class Tracer:
                 self.roots.append(span)
         if self.on_close is not None:
             self.on_close(span)
+
+    def graft(self, tree: dict, parent: Span | None = None) -> Span:
+        """Attach a serialized span tree (:meth:`Span.to_dict`) to this tracer.
+
+        ``parent`` defaults to the innermost open span, so a tree
+        recorded in a worker process with a ``fold/...`` path re-roots as
+        ``cv/fold/...`` when merged while the parent's ``cv`` span is
+        still open.  Durations are taken from the tree (the worker's
+        wall clock); children close before their parent, mirroring live
+        execution, so ``on_close`` fires in the same order a local run
+        would produce.
+        """
+        if parent is None:
+            parent = self.current()
+        sp = Span(str(tree["name"]), self, dict(tree.get("attrs") or {}))
+        sp.parent = parent
+        sp.start = 0.0
+        sp.end = float(tree.get("duration") or 0.0)
+        sp.error = tree.get("error")
+        for child in tree.get("children", ()):
+            self.graft(child, parent=sp)
+        if parent is not None:
+            parent.children.append(sp)
+        else:
+            with self._lock:
+                self.roots.append(sp)
+        if self.on_close is not None:
+            self.on_close(sp)
+        return sp
 
     def reset(self) -> None:
         self.roots = []

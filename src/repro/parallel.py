@@ -1,0 +1,166 @@
+"""Fold-parallel execution for the cross-validation protocols.
+
+The paper's whole evaluation surface is 10-fold CV repeated over 15
+datasets x 3 feature maps; the folds are embarrassingly parallel once
+the shared preprocessing (gram matrix / feature maps) is done.
+:func:`run_folds` maps a *top-level* function over per-fold payloads
+with a ``fork`` process pool and falls back to a plain loop whenever
+parallelism is unavailable or pointless, guaranteeing the two paths
+produce bitwise-identical results (``tests/parallel/`` locks this
+down).
+
+Design rules that make the parallel path deterministic:
+
+* **Explicit seeding.**  Workers never draw from inherited RNG state:
+  every payload carries its own seed, spawned up front in the parent,
+  so fold *k* sees the same stream whether it runs first, last, serial,
+  or concurrent.
+* **Inherited context, pickled payloads.**  Large shared inputs (gram
+  matrix, graph lists) and non-picklable factories travel to workers by
+  ``fork`` inheritance through a module global; only the small per-fold
+  payloads and results cross the pipe.
+* **Observability survives the boundary.**  When instrumentation is on,
+  each worker records into a fresh in-process ``repro.obs`` context and
+  ships its finished span trees / metric snapshots / events back with
+  the result; the parent grafts them under its open ``cv`` span
+  (:func:`repro.obs.merge_worker`), so ``--profile`` trees and cache
+  hit/miss counters look the same as a serial run.
+
+``REPRO_WORKERS`` sets the default worker count for every protocol
+entry point that is not given an explicit ``workers=`` argument (the
+CLI flag ``--workers`` wins over the environment).  ``workers <= 0``
+means "all CPUs".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro import obs
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "fork_available",
+    "parallelism_available",
+    "run_folds",
+]
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: (fn, context, capture_obs) inherited by forked workers; only ever set
+#: around a Pool invocation in :func:`run_folds`.
+_FORK_CONTEXT: tuple | None = None
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Normalise a worker count: ``None`` -> ``$REPRO_WORKERS`` -> 1.
+
+    ``workers <= 0`` requests one worker per CPU.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = 1
+    workers = int(workers)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallelism_available() -> bool:
+    """True when a process pool can actually be created here.
+
+    Requires ``fork`` (context inheritance) and a non-daemonic current
+    process (pool workers are daemonic and may not spawn children).
+    """
+    return fork_available() and not multiprocessing.current_process().daemon
+
+
+def _fold_entry(task):
+    """Pool worker body: run one fold under an isolated obs context."""
+    from repro import cache as cache_mod
+
+    index, payload = task
+    assert _FORK_CONTEXT is not None, "worker forked outside run_folds"
+    fn, context, capture = _FORK_CONTEXT
+    # The default cache object (if any) was inherited by fork along with
+    # its stats at fork time; snapshot so only this fold's delta ships
+    # back.  Disk entries written by workers land in the shared dir, but
+    # their hit/miss counts would otherwise die with the process.
+    cache = cache_mod.get_cache()
+    stats_before = cache.stats.as_dict() if cache is not None else None
+    if not capture:
+        result = fn(context, payload)
+        delta = cache.stats.diff(stats_before) if cache is not None else None
+        return index, result, {"cache_stats": delta}
+    # The fork inherited the parent's enabled obs context — including an
+    # open span stack and possibly a JSONL sink.  Detach the sink (the
+    # parent's copy of the file stays open; emit() flushes after every
+    # write, so there is nothing buffered to duplicate) and start a
+    # fresh, in-memory-only recording for this fold.
+    obs.get_event_log().close()
+    obs.disable()
+    obs.reset()
+    obs.enable()
+    try:
+        result = fn(context, payload)
+        worker_obs = obs.capture_worker()
+    finally:
+        obs.disable()
+        obs.reset()
+    delta = cache.stats.diff(stats_before) if cache is not None else None
+    worker_obs["cache_stats"] = delta
+    return index, result, worker_obs
+
+
+def run_folds(fn, payloads, *, context=None, workers: int | None = None) -> list:
+    """Run ``fn(context, payload)`` for every payload; results in order.
+
+    ``fn`` must be a module-level function (pickled by reference).
+    ``context`` holds the shared read-only inputs; it reaches workers by
+    fork inheritance, so it may contain non-picklable objects such as
+    closures.  Falls back to a sequential loop when ``workers`` resolves
+    to 1, there are fewer than two payloads, or the platform cannot
+    fork — the fallback calls ``fn`` identically, so results match the
+    pool bitwise.
+    """
+    payloads = list(payloads)
+    workers = min(resolve_workers(workers), len(payloads) or 1)
+    if workers <= 1 or not parallelism_available():
+        return [fn(context, payload) for payload in payloads]
+
+    global _FORK_CONTEXT
+    capture = obs.enabled()
+    previous = _FORK_CONTEXT
+    _FORK_CONTEXT = (fn, context, capture)
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            outputs = pool.map(_fold_entry, list(enumerate(payloads)))
+    finally:
+        _FORK_CONTEXT = previous
+    outputs.sort(key=lambda item: item[0])
+    from repro import cache as cache_mod
+
+    cache = cache_mod.get_cache()
+    for _, _, worker_obs in outputs:
+        if cache is not None and worker_obs:
+            cache.stats.merge(worker_obs.get("cache_stats"))
+        if capture:
+            obs.merge_worker(worker_obs)
+    return [result for _, result, _ in outputs]

@@ -1,0 +1,35 @@
+"""Fixtures for the parallel-execution and cache test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import cache as cache_mod
+from repro.datasets import GraphDataset
+from repro.graph import ensure_connected, erdos_renyi
+from repro.parallel import WORKERS_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runtime(monkeypatch):
+    """Each test starts with no default cache and no env overrides."""
+    monkeypatch.delenv(cache_mod.CACHE_DIR_ENV, raising=False)
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    cache_mod.reset_default_cache()
+    yield
+    cache_mod.reset_default_cache()
+
+
+@pytest.fixture(scope="module")
+def cv_dataset() -> GraphDataset:
+    """16 connected labeled graphs in two structural classes."""
+    rng = np.random.default_rng(7)
+    graphs, labels = [], []
+    for i in range(16):
+        p = 0.25 if i % 2 == 0 else 0.6
+        g = ensure_connected(erdos_renyi(8, p, rng), rng)
+        g = g.with_labels((np.arange(8) % 3).tolist())
+        graphs.append(g)
+        labels.append(i % 2)
+    return GraphDataset(name="cvtoy", graphs=graphs, y=np.array(labels))

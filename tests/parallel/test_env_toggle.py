@@ -1,0 +1,61 @@
+"""The ``REPRO_WORKERS`` env toggle: the whole protocol layer obeys it.
+
+CI runs the tier-1 suite under ``REPRO_WORKERS=2`` to prove the fork
+path is exercised by the same tests that pin the serial numbers; these
+tests prove the toggle actually reroutes ``workers=None`` callers and
+keeps the results bitwise identical.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import deepmap_wl
+from repro.eval import evaluate_kernel_svm, evaluate_neural_model
+from repro.kernels import WeisfeilerLehmanKernel
+from repro.parallel import WORKERS_ENV, parallelism_available, run_folds
+
+needs_fork = pytest.mark.skipif(
+    not parallelism_available(), reason="fork pool unavailable on this platform"
+)
+
+
+def _pid(context, payload):
+    return os.getpid()
+
+
+@needs_fork
+class TestEnvToggle:
+    def test_env_reroutes_default_callers(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        pids = run_folds(_pid, [0, 1], workers=None)
+        assert os.getpid() not in pids
+
+    def test_explicit_workers_override_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        pids = run_folds(_pid, [0, 1], workers=1)
+        assert pids == [os.getpid()] * 2
+
+    def test_kernel_protocol_identical_under_env(self, cv_dataset, monkeypatch):
+        serial = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), cv_dataset, n_splits=4, seed=5, workers=1
+        )
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        toggled = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), cv_dataset, n_splits=4, seed=5
+        )
+        assert toggled.fold_accuracies == serial.fold_accuracies
+        assert toggled.extra["selected_c"] == serial.extra["selected_c"]
+
+    def test_neural_protocol_identical_under_env(self, cv_dataset, monkeypatch):
+        factory = lambda fold: deepmap_wl(h=1, r=2, epochs=3, seed=fold)
+        serial = evaluate_neural_model(
+            factory, cv_dataset, n_splits=3, seed=5, workers=1
+        )
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        toggled = evaluate_neural_model(factory, cv_dataset, n_splits=3, seed=5)
+        assert toggled.fold_accuracies == serial.fold_accuracies
+        assert toggled.best_epoch == serial.best_epoch
+        assert toggled.extra["fold_val_curves"] == serial.extra["fold_val_curves"]

@@ -1,0 +1,184 @@
+"""The fold executor: worker resolution, ordering, fallback, merging."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro import cache as cache_mod
+from repro import obs
+from repro.parallel import (
+    WORKERS_ENV,
+    parallelism_available,
+    resolve_workers,
+    run_folds,
+)
+
+needs_fork = pytest.mark.skipif(
+    not parallelism_available(), reason="fork pool unavailable on this platform"
+)
+
+
+# Pool targets must be module-level so fork workers can address them.
+def _identify(context, payload):
+    return {"payload": payload, "context": context, "pid": os.getpid()}
+
+
+def _call_context(context, payload):
+    return context() + payload
+
+
+def _observe(context, payload):
+    with obs.span("fold", fold=payload):
+        obs.counter("widgets_total").inc(payload)
+    return payload
+
+
+def _use_cache(context, payload):
+    cache = cache_mod.get_cache()
+    assert cache is not None, "workers must inherit the configured cache"
+    key = f"{'k' * 30}{payload:02d}"
+    if cache.get(key, namespace="t") is None:
+        import numpy as np
+
+        cache.put(key, {"x": np.full(3, payload)}, namespace="t")
+    return payload
+
+
+def _nested(context, payload):
+    # Two inner payloads + workers=4 would fork a pool, were it allowed.
+    inner = run_folds(_identify, [payload, payload + 1], context=None, workers=4)
+    return {
+        "daemon": multiprocessing.current_process().daemon,
+        "inner_pids": [r["pid"] for r in inner],
+    }
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_explicit_value(self):
+        assert resolve_workers(3) == 3
+
+    def test_env_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(2) == 2
+
+    @pytest.mark.parametrize("requested", [0, -1])
+    def test_nonpositive_means_all_cpus(self, requested):
+        assert resolve_workers(requested) == (os.cpu_count() or 1)
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers(None)
+
+    def test_blank_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "  ")
+        assert resolve_workers(None) == 1
+
+
+class TestRunFolds:
+    def test_serial_runs_in_process(self):
+        results = run_folds(_identify, [1, 2], context="ctx", workers=1)
+        assert [r["payload"] for r in results] == [1, 2]
+        assert {r["pid"] for r in results} == {os.getpid()}
+        assert all(r["context"] == "ctx" for r in results)
+
+    def test_empty_payloads(self):
+        assert run_folds(_identify, [], workers=4) == []
+
+    @needs_fork
+    def test_parallel_results_in_payload_order(self):
+        results = run_folds(_identify, list(range(8)), context="ctx", workers=4)
+        assert [r["payload"] for r in results] == list(range(8))
+        assert all(r["context"] == "ctx" for r in results)
+
+    @needs_fork
+    def test_parallel_runs_in_child_processes(self):
+        results = run_folds(_identify, list(range(4)), workers=4)
+        assert os.getpid() not in {r["pid"] for r in results}
+
+    @needs_fork
+    def test_unpicklable_context_is_inherited(self):
+        """Closures travel by fork inheritance, not through the pipe."""
+        bound = {"offset": 40}
+        results = run_folds(
+            _call_context, [1, 2], context=lambda: bound["offset"], workers=2
+        )
+        assert results == [41, 42]
+
+    @needs_fork
+    def test_nested_run_folds_degrades_to_serial(self):
+        """Daemonic pool workers cannot fork; inner calls must not crash."""
+        results = run_folds(_nested, [1, 3], workers=2)
+        assert all(r["daemon"] for r in results)
+        # The inner run_folds ran serially inside the (child) worker:
+        # both inner payloads report the worker's own pid.
+        for r in results:
+            assert len(set(r["inner_pids"])) == 1
+            assert os.getpid() not in r["inner_pids"]
+
+
+@needs_fork
+class TestObsMerging:
+    def test_spans_and_counters_match_serial(self):
+        def record(workers):
+            obs.reset()
+            obs.enable()
+            try:
+                with obs.span("cv"):
+                    run_folds(_observe, [1, 2, 3, 4], workers=workers)
+                paths = [
+                    f"{root.name}/{child.name}"
+                    for root in obs.get_tracer().roots
+                    for child in root.children
+                ]
+                value = obs.get_metrics().snapshot()["widgets_total"]["value"]
+            finally:
+                obs.disable()
+                obs.reset()
+            return paths, value
+
+        serial_paths, serial_value = record(workers=1)
+        parallel_paths, parallel_value = record(workers=4)
+        assert sorted(parallel_paths) == sorted(serial_paths) == ["cv/fold"] * 4
+        assert parallel_value == serial_value == 10.0
+
+    def test_disabled_obs_stays_disabled(self):
+        assert not obs.enabled()
+        run_folds(_observe, [1, 2], workers=2)
+        assert obs.get_tracer().roots == []
+
+
+@needs_fork
+class TestCacheStatsMerging:
+    def test_worker_misses_and_stores_reach_parent(self, tmp_path):
+        cache = cache_mod.configure(cache_dir=tmp_path)
+        run_folds(_use_cache, [0, 1, 2, 3], workers=2)
+        assert cache.stats.misses == 4
+        assert cache.stats.stores == 4
+        assert cache.stats.hits == 0
+        assert cache.disk_usage()[0] == 4
+
+    def test_warm_run_reports_disk_hits(self, tmp_path):
+        cache = cache_mod.configure(cache_dir=tmp_path)
+        run_folds(_use_cache, [0, 1, 2, 3], workers=2)
+        before = cache.stats.as_dict()
+        run_folds(_use_cache, [0, 1, 2, 3], workers=2)
+        delta = cache.stats.diff(before)
+        assert delta["hits"] == 4
+        assert delta["disk_hits"] == 4
+        assert delta["misses"] == 0
+
+    def test_no_cache_configured_is_fine(self):
+        assert cache_mod.get_cache() is None
+        results = run_folds(_identify, [1, 2], workers=2)
+        assert [r["payload"] for r in results] == [1, 2]

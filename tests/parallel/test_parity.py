@@ -1,0 +1,85 @@
+"""Serial vs parallel CV must be bitwise identical (the PR's contract).
+
+Every comparison below is exact equality — no tolerances.  The fold
+seeds are spawned up front in the parent, so fold *k* sees the same
+RNG stream whether it runs in-process or in a forked worker, and the
+executor returns results in payload order regardless of completion
+order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import deepmap_wl
+from repro.eval import evaluate_kernel_svm, evaluate_neural_model
+from repro.kernels import WeisfeilerLehmanKernel
+from repro.parallel import parallelism_available
+
+pytestmark = pytest.mark.skipif(
+    not parallelism_available(), reason="fork pool unavailable on this platform"
+)
+
+
+def _strip_timings(result):
+    """CVResult.extra minus wall-clock noise (the only legitimate delta)."""
+    return {k: v for k, v in result.extra.items() if k != "fold_seconds"}
+
+
+class TestKernelParity:
+    def test_bitwise_identical_results(self, cv_dataset):
+        kwargs = dict(n_splits=4, seed=3)
+        serial = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), cv_dataset, workers=1, **kwargs
+        )
+        parallel = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), cv_dataset, workers=4, **kwargs
+        )
+        assert parallel.fold_accuracies == serial.fold_accuracies
+        assert parallel.best_epoch == serial.best_epoch
+        assert _strip_timings(parallel) == _strip_timings(serial)
+        assert parallel.name == serial.name
+
+    def test_fold_order_preserved(self, cv_dataset):
+        """selected_c[k] belongs to fold k, not to whichever finished first."""
+        serial = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), cv_dataset, n_splits=4, seed=9, workers=1
+        )
+        parallel = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), cv_dataset, n_splits=4, seed=9, workers=2
+        )
+        assert parallel.extra["selected_c"] == serial.extra["selected_c"]
+
+    def test_different_seeds_still_differ(self, cv_dataset):
+        """Parity is not degeneracy: changing the seed changes the folds."""
+        a = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), cv_dataset, n_splits=4, seed=0, workers=2
+        )
+        b = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(2), cv_dataset, n_splits=4, seed=123, workers=2
+        )
+        assert a.fold_accuracies != b.fold_accuracies
+
+
+class TestNeuralParity:
+    @pytest.fixture(scope="class")
+    def factory(self):
+        return lambda fold: deepmap_wl(h=1, r=2, epochs=4, seed=fold)
+
+    def test_bitwise_identical_results(self, cv_dataset, factory):
+        kwargs = dict(n_splits=3, seed=1, name="deepmap-wl")
+        serial = evaluate_neural_model(factory, cv_dataset, workers=1, **kwargs)
+        parallel = evaluate_neural_model(factory, cv_dataset, workers=3, **kwargs)
+        assert parallel.fold_accuracies == serial.fold_accuracies
+        assert parallel.best_epoch == serial.best_epoch
+        assert _strip_timings(parallel) == _strip_timings(serial)
+
+    def test_val_curves_identical_per_fold(self, cv_dataset, factory):
+        serial = evaluate_neural_model(
+            factory, cv_dataset, n_splits=3, seed=2, workers=1
+        )
+        parallel = evaluate_neural_model(
+            factory, cv_dataset, n_splits=3, seed=2, workers=3
+        )
+        assert parallel.extra["fold_val_curves"] == serial.extra["fold_val_curves"]
+        assert parallel.extra["mean_curve"] == serial.extra["mean_curve"]
