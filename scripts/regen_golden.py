@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Regenerate the golden end-to-end regression fixture.
+
+Runs the full DeepMap path — vertex features (GK / SP / WL) -> aligned
+receptive-field encoding -> CNN training -> GIN-style epoch selection —
+on a tiny pinned-seed dataset and records the exact fold accuracies in
+``tests/golden/expected.json``.
+
+``tests/golden/test_golden.py`` recomputes the same runs and compares
+against this file *exactly* (JSON float round-trips are lossless for
+IEEE doubles, so equality is bitwise).  Any drift in kernels, encoding,
+initialisation, optimisation, shuffling, or epoch selection fails the
+test; rerun this script only when such a change is intentional:
+
+    PYTHONPATH=src python scripts/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import deepmap_gk, deepmap_sp, deepmap_wl  # noqa: E402
+from repro.datasets import make_dataset  # noqa: E402
+from repro.eval import evaluate_neural_model  # noqa: E402
+
+EXPECTED_PATH = ROOT / "tests" / "golden" / "expected.json"
+
+# Keep these in lockstep with tests/golden/test_golden.py.
+DATASET = {"name": "MUTAG", "scale": 0.05, "seed": 0}
+N_SPLITS = 3
+SEED = 0
+EPOCHS = 4
+VARIANTS = {
+    "deepmap-gk": lambda fold: deepmap_gk(
+        k=4, samples=10, r=3, epochs=EPOCHS, batch_size=16, seed=fold
+    ),
+    "deepmap-sp": lambda fold: deepmap_sp(
+        r=3, epochs=EPOCHS, batch_size=16, seed=fold
+    ),
+    "deepmap-wl": lambda fold: deepmap_wl(
+        h=2, r=3, epochs=EPOCHS, batch_size=16, seed=fold
+    ),
+}
+
+
+def compute_results() -> dict:
+    dataset = make_dataset(**DATASET)
+    results = {}
+    for name, factory in VARIANTS.items():
+        cv = evaluate_neural_model(
+            factory, dataset, n_splits=N_SPLITS, seed=SEED, name=name
+        )
+        results[name] = {
+            "fold_accuracies": cv.fold_accuracies,
+            "best_epoch": cv.best_epoch,
+            "mean_curve": cv.extra["mean_curve"],
+        }
+    return results
+
+
+def main() -> None:
+    results = compute_results()
+    payload = {
+        "dataset": DATASET,
+        "n_splits": N_SPLITS,
+        "seed": SEED,
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    EXPECTED_PATH.parent.mkdir(parents=True, exist_ok=True)
+    EXPECTED_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, entry in results.items():
+        accs = ", ".join(f"{a:.4f}" for a in entry["fold_accuracies"])
+        print(f"{name}: folds [{accs}] best_epoch={entry['best_epoch']}")
+    print(f"wrote {EXPECTED_PATH.relative_to(ROOT)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Test tiers for CI and local runs.
+#
+#   ./scripts/test-tiers.sh fast    tier 1: the whole suite minus -m slow
+#                                   (slow = subprocess e2e + hypothesis
+#                                   resume property tests)
+#   ./scripts/test-tiers.sh faults  the crash-recovery fault matrix only
+#                                   (tests/resilience, slow cases included)
+#   ./scripts/test-tiers.sh full    tier 1 + slow, then tier 1 again with
+#                                   REPRO_WORKERS=2 so every fold-parallel
+#                                   code path runs through the fork pool
+#
+# Run from the repository root.  Extra arguments pass through to pytest.
+set -eu
+
+tier="${1:-fast}"
+[ $# -gt 0 ] && shift
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+case "$tier" in
+    fast)
+        python -m pytest tests/ -m "not slow" "$@"
+        ;;
+    faults)
+        python -m pytest tests/resilience/ "$@"
+        ;;
+    full)
+        python -m pytest tests/ "$@"
+        REPRO_WORKERS=2 python -m pytest tests/ -m "not slow" "$@"
+        ;;
+    *)
+        echo "usage: $0 {fast|faults|full} [pytest args...]" >&2
+        exit 2
+        ;;
+esac

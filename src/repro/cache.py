@@ -41,6 +41,7 @@ import numpy as np
 
 from repro import obs
 from repro.graph.graph import Graph
+from repro.resilience import faults
 
 __all__ = [
     "stable_hash",
@@ -257,6 +258,14 @@ class FeatureMapCache:
         self.stats = CacheStats()
         self._memory: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
         self._lock = threading.RLock()
+        self._writes = 0
+
+    def _next_write_index(self) -> int:
+        """0-based index of this disk-write attempt (fault-plan matching)."""
+        with self._lock:
+            index = self._writes
+            self._writes += 1
+        return index
 
     # -- paths ----------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -299,6 +308,11 @@ class FeatureMapCache:
         """Store ``payload`` under ``key`` in both tiers (best effort)."""
         self._memory_store(key, payload)
         if self.cache_dir is not None:
+            # Fault-injection point: InjectedFault is a BaseException, so
+            # the best-effort ``except Exception`` below cannot swallow a
+            # deliberately injected crash (tests/resilience relies on
+            # this); "corrupt" mode tears the file post-rename instead.
+            mode = faults.check("cache_write", self._next_write_index())
             try:
                 path = self._path(key)
                 path.parent.mkdir(parents=True, exist_ok=True)
@@ -315,6 +329,9 @@ class FeatureMapCache:
                     except OSError:
                         pass
                     raise
+                if mode == "corrupt":
+                    with open(path, "r+b") as fh:
+                        fh.truncate(max(1, path.stat().st_size // 2))
             except Exception:
                 self.stats.errors += 1  # a failed write must never crash a run
                 return

@@ -14,6 +14,8 @@ Commands
     Summarise a ``--log-json`` run file: stage timings + telemetry.
 ``cache stats|clear [--cache-dir DIR]``
     Inspect or empty the content-addressed feature-map cache.
+``checkpoints ls|prune --checkpoint-dir DIR [--keep N]``
+    Inspect or prune training checkpoints and fold journals.
 """
 
 from __future__ import annotations
@@ -43,9 +45,19 @@ parallelism and caching:
                                    to $REPRO_CACHE_DIR, else off
   repro cache stats|clear          inspect or empty that cache
 
+crash recovery:
+  repro train --checkpoint-dir DIR journal every finished CV fold; rerunning
+                                   the same command after a crash skips the
+                                   journaled folds and recomputes only the
+                                   missing ones (results are bitwise equal
+                                   to an uninterrupted run)
+  repro train --no-resume          discard any previous journal first
+  repro checkpoints ls|prune       inspect or prune checkpoints + journals
+
 Instrumentation is off unless one of these flags is given (zero overhead
 by default).  Schema and metric names: docs/OBSERVABILITY.md; worker
-model and cache layout: docs/PARALLEL.md.
+model and cache layout: docs/PARALLEL.md; checkpoint format, resume
+semantics and fault injection: docs/RESILIENCE.md.
 """
 
 MODEL_CHOICES = (
@@ -113,6 +125,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed feature-map cache directory "
         "(default $REPRO_CACHE_DIR or no caching)",
     )
+    train.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="journal finished CV folds under DIR so an interrupted run "
+        "can resume (skips already-completed folds on rerun)",
+    )
+    train.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="discard any existing fold journal instead of resuming from it",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the feature-map cache"
@@ -123,6 +147,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="cache directory (default $REPRO_CACHE_DIR)",
+    )
+
+    checkpoints = sub.add_parser(
+        "checkpoints", help="inspect or prune checkpoints and fold journals"
+    )
+    checkpoints.add_argument("action", choices=("ls", "prune"))
+    checkpoints.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        metavar="DIR",
+        help="directory holding ckpt-*.npz files and/or fold journals",
+    )
+    checkpoints.add_argument(
+        "--keep",
+        type=int,
+        default=3,
+        metavar="N",
+        help="checkpoints to retain per directory when pruning (default 3)",
     )
 
     report = sub.add_parser(
@@ -259,13 +301,21 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 name=args.model,
                 workers=args.workers,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=not args.no_resume,
             )
             print(f"accuracy: {result.formatted()}  (best epoch {result.best_epoch})")
         else:
             kernel = _make_kernel(args.model)
             assert kernel is not None  # argparse choices guarantee it
             result = evaluate_kernel_svm(
-                kernel, ds, n_splits=args.folds, seed=args.seed, workers=args.workers
+                kernel,
+                ds,
+                n_splits=args.folds,
+                seed=args.seed,
+                workers=args.workers,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=not args.no_resume,
             )
             print(f"accuracy: {result.formatted()}")
         _print_extras(result)
@@ -315,6 +365,42 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoints(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.resilience import CheckpointManager, FoldJournal
+
+    root = Path(args.checkpoint_dir)
+    if not root.exists():
+        print(f"no such directory: {root}")
+        return 2
+    # Checkpoints and journals may live in the root or one level down
+    # (protocol journals use per-run-key subdirectories).
+    directories = [root] + sorted(p for p in root.iterdir() if p.is_dir())
+    if args.action == "prune":
+        removed = 0
+        for directory in directories:
+            manager = CheckpointManager(directory, keep=None)
+            if manager.list():
+                removed += manager.prune(args.keep)
+        print(f"removed {removed} checkpoints (kept newest {args.keep} per dir)")
+        return 0
+    found = False
+    for directory in directories:
+        infos = CheckpointManager(directory, keep=None).list()
+        for info in infos:
+            found = True
+            print(f"{info.path}  step={info.step}  {info.bytes / 1024:.1f} KiB")
+        journal_path = directory / "folds.jsonl"
+        if journal_path.exists():
+            found = True
+            folds = sorted(FoldJournal(journal_path).load())
+            print(f"{journal_path}  folds={folds}")
+    if not found:
+        print(f"no checkpoints or fold journals under {root}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import build_report, format_report, load_events
 
@@ -345,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "checkpoints":
+        return _cmd_checkpoints(args)
     if args.command == "export":
         return _cmd_export(args)
     return 2  # pragma: no cover - argparse enforces the choices

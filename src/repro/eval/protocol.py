@@ -16,20 +16,32 @@ fans the folds out over a fork pool, and ``workers=None`` defers to the
 ``REPRO_WORKERS`` environment variable.  Every fold draws from its own
 seed spawned up front, so serial and parallel runs are bitwise
 identical (``tests/parallel/test_parity.py``).
+
+Crash recovery: passing ``checkpoint_dir`` journals every finished fold
+(as JSON, under a content-addressed run key covering the protocol
+configuration and the dataset) the moment it completes; re-running the
+same evaluation after a crash skips the journaled folds and recomputes
+only the missing ones.  JSON float round-trips are exact, so a resumed
+``CVResult`` is bitwise-equal to an uninterrupted one
+(``tests/resilience/test_protocol_resume.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro import obs
+from repro.cache import dataset_fingerprint, stable_hash
 from repro.datasets.base import GraphDataset
 from repro.eval.metrics import mean_std
 from repro.eval.splits import stratified_kfold
 from repro.kernels.base import GraphKernel, normalize_gram
 from repro.parallel import run_folds
+from repro.resilience import faults
+from repro.resilience.journal import FoldJournal
 from repro.svm.svc import DEFAULT_C_GRID, KernelSVC, select_c
 from repro.utils.rng import as_rng
 from repro.utils.timing import Timer
@@ -62,10 +74,79 @@ class CVResult:
         return f"CVResult({self.name}: {self.formatted()})"
 
 
+def _config_fingerprint(obj, _depth: int = 0):
+    """Content digest of an arbitrary configuration object.
+
+    Plain values hash directly; objects hash as class + public attributes
+    (recursively, so a kernel holding an extractor instance still changes
+    its digest when any nested hyperparameter changes).
+    """
+    try:
+        return stable_hash(obj)
+    except TypeError:
+        if _depth > 4:
+            return type(obj).__qualname__
+        params = {
+            key: _config_fingerprint(value, _depth + 1)
+            for key, value in getattr(obj, "__dict__", {}).items()
+            if not key.startswith("_") and not key.endswith("_")
+        }
+        return stable_hash({"class": type(obj).__qualname__, "params": params})
+
+
+def _journaled_folds(
+    fold_fn, payloads, *, context, workers, checkpoint_dir, resume, run_config
+):
+    """Run folds through :func:`run_folds`, journaling completions.
+
+    With ``checkpoint_dir`` set, finished folds are appended to
+    ``<checkpoint_dir>/<run_key>/folds.jsonl`` the moment they complete
+    (via the executor's ``on_result`` hook, so a later fold crashing the
+    process cannot lose them); journaled folds of a previous run are
+    skipped when ``resume`` is true, or discarded when false.  The run
+    key is a content hash of ``run_config``, so a changed kernel, seed,
+    grid, or dataset never resumes from a stale journal.
+    """
+    if checkpoint_dir is None:
+        return run_folds(fold_fn, payloads, context=context, workers=workers)
+    run_key = stable_hash(run_config)
+    journal = FoldJournal(Path(checkpoint_dir) / run_key / "folds.jsonl")
+    completed = {}
+    if resume:
+        completed = {
+            fold: result
+            for fold, result in journal.load().items()
+            if 0 <= fold < len(payloads)
+        }
+        if completed:
+            obs.event(
+                "protocol_resume", run_key=run_key, folds=sorted(completed)
+            )
+    else:
+        journal.reset()
+    pending = [
+        (fold, payload)
+        for fold, payload in enumerate(payloads)
+        if fold not in completed
+    ]
+    pending_folds = [fold for fold, _ in pending]
+    outcomes = run_folds(
+        fold_fn,
+        [payload for _, payload in pending],
+        context=context,
+        workers=workers,
+        on_result=lambda pos, result: journal.record(pending_folds[pos], result),
+    )
+    by_fold = dict(completed)
+    by_fold.update(zip(pending_folds, outcomes))
+    return [by_fold[fold] for fold in range(len(payloads))]
+
+
 def _kernel_fold(context, payload):
     """One kernel-SVM fold; top-level so the fork pool can address it."""
     gram, y, c_grid = context
     fold, train_idx, test_idx, fold_seed = payload
+    faults.check("fold", fold)
     with obs.span("fold", fold=fold), Timer() as timer:
         rng = as_rng(fold_seed)
         k_tr = gram[np.ix_(train_idx, train_idx)]
@@ -84,11 +165,15 @@ def evaluate_kernel_svm(
     c_grid: tuple[float, ...] = DEFAULT_C_GRID,
     normalize: bool = True,
     workers: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = True,
 ) -> CVResult:
     """Kernel + C-SVM cross-validation (the paper's kernel protocol).
 
     ``workers`` > 1 runs the folds concurrently (fork pool); ``None``
     defers to ``$REPRO_WORKERS``.  Results are identical either way.
+    ``checkpoint_dir`` journals finished folds so a crashed run resumes
+    where it stopped (``resume=False`` discards the journal instead).
     """
     with obs.span("cv", protocol="kernel-svm", model=kernel.name, folds=n_splits):
         with obs.span("gram", kernel=kernel.name, graphs=len(dataset)):
@@ -102,11 +187,23 @@ def evaluate_kernel_svm(
             (fold, train_idx, test_idx, int(fold_seeds[fold]))
             for fold, (train_idx, test_idx) in enumerate(splits)
         ]
-        outcomes = run_folds(
+        outcomes = _journaled_folds(
             _kernel_fold,
             payloads,
             context=(gram, dataset.y, c_grid),
             workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            run_config={
+                "protocol": "kernel-svm",
+                "kernel": [kernel.name, _config_fingerprint(kernel)],
+                "dataset": dataset_fingerprint(dataset.graphs),
+                "y": dataset.y,
+                "n_splits": n_splits,
+                "seed": seed,
+                "c_grid": list(c_grid),
+                "normalize": normalize,
+            },
         )
     return CVResult(
         name=kernel.name,
@@ -126,6 +223,7 @@ def _neural_fold(context, payload):
     """
     model_factory, graphs, y = context
     fold, train_idx, test_idx = payload
+    faults.check("fold", fold)
     with obs.span("fold", fold=fold), Timer() as timer:
         model = model_factory(fold)
         train_graphs = [graphs[i] for i in train_idx]
@@ -135,7 +233,9 @@ def _neural_fold(context, payload):
             y[train_idx],
             validation=(test_graphs, y[test_idx]),
         )
-        curve = np.asarray(model.history_.val_accuracy)
+        # Plain floats, not an ndarray: fold results must round-trip
+        # through the JSON crash journal bitwise.
+        curve = [float(v) for v in model.history_.val_accuracy]
     return {"curve": curve, "seconds": timer.elapsed}
 
 
@@ -146,6 +246,8 @@ def evaluate_neural_model(
     seed: int | None = 0,
     name: str | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = True,
 ) -> CVResult:
     """Neural-model cross-validation with GIN-style epoch selection.
 
@@ -153,6 +255,10 @@ def evaluate_neural_model(
     ``fit(graphs, y, validation=(graphs, y))`` and a ``history_`` with
     ``val_accuracy`` per epoch.  ``workers`` > 1 trains the folds
     concurrently (fork pool); ``None`` defers to ``$REPRO_WORKERS``.
+    ``checkpoint_dir`` journals each fold's validation curve as it
+    finishes so a crashed run resumes with only the missing folds; the
+    run key covers ``name`` — the factory itself cannot be hashed, so
+    distinct models sharing a checkpoint dir must use distinct names.
     """
     rng = as_rng(seed)
     splits = stratified_kfold(dataset.y, n_splits=n_splits, seed=rng)
@@ -161,11 +267,21 @@ def evaluate_neural_model(
             (fold, train_idx, test_idx)
             for fold, (train_idx, test_idx) in enumerate(splits)
         ]
-        outcomes = run_folds(
+        outcomes = _journaled_folds(
             _neural_fold,
             payloads,
             context=(model_factory, dataset.graphs, dataset.y),
             workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            run_config={
+                "protocol": "neural",
+                "model": name or "neural",
+                "dataset": dataset_fingerprint(dataset.graphs),
+                "y": dataset.y,
+                "n_splits": n_splits,
+                "seed": seed,
+            },
         )
     curves = np.stack([o["curve"] for o in outcomes])  # (folds, epochs)
     best_epoch = int(np.argmax(curves.mean(axis=0)))

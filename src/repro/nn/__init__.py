@@ -7,7 +7,12 @@ Layers cache activations on ``forward`` and implement exact gradients on
 
 from repro.nn.activations import ReLU, Sigmoid, Tanh
 from repro.nn.batchnorm import BatchNorm
-from repro.nn.callbacks import EarlyStopping, clip_gradients, global_grad_norm
+from repro.nn.callbacks import (
+    CheckpointCallback,
+    EarlyStopping,
+    clip_gradients,
+    global_grad_norm,
+)
 from repro.nn.conv1d import Conv1D
 from repro.nn.dense import Dense
 from repro.nn.dropout import Dropout
@@ -45,6 +50,7 @@ __all__ = [
     "Dropout",
     "BatchNorm",
     "EarlyStopping",
+    "CheckpointCallback",
     "clip_gradients",
     "global_grad_norm",
     "SumPool1D",

@@ -74,3 +74,15 @@ class BatchNorm(Layer):
 
     def parameters(self) -> list[Parameter]:
         return [self.gamma, self.beta]
+
+    def state(self) -> dict:
+        # Running statistics are buffers, not Parameters; inference after
+        # a resume is only identical if they travel with the checkpoint.
+        return {
+            "running_mean": self.running_mean.copy(),
+            "running_var": self.running_var.copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.running_mean = np.asarray(state["running_mean"], dtype=np.float64).copy()
+        self.running_var = np.asarray(state["running_var"], dtype=np.float64).copy()

@@ -1,4 +1,4 @@
-"""Training callbacks: early stopping and gradient clipping helpers."""
+"""Training callbacks: early stopping, checkpointing, gradient clipping."""
 
 from __future__ import annotations
 
@@ -7,7 +7,12 @@ import numpy as np
 from repro.nn.module import Parameter
 from repro.utils.validation import check_positive
 
-__all__ = ["EarlyStopping", "clip_gradients", "global_grad_norm"]
+__all__ = [
+    "EarlyStopping",
+    "CheckpointCallback",
+    "clip_gradients",
+    "global_grad_norm",
+]
 
 
 class EarlyStopping:
@@ -50,6 +55,44 @@ class EarlyStopping:
             return False
         self._bad += 1
         return self._bad >= self.patience
+
+    def state_dict(self) -> dict:
+        """Patience-tracking state for checkpoint/resume."""
+        return {
+            "best": None if self._best is None else float(self._best),
+            "bad": int(self._bad),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` export."""
+        best = state["best"]
+        self._best = None if best is None else float(best)
+        self._bad = int(state["bad"])
+
+
+class CheckpointCallback:
+    """Saves the trainer's full state every ``every`` epochs.
+
+    Used through ``Trainer(...).fit(..., checkpoint=CheckpointCallback(
+    manager))``; ``manager`` is any object with a ``save(step, state)``
+    method — normally a
+    :class:`repro.resilience.checkpoint.CheckpointManager`, whose
+    snapshots ``Trainer.fit(resume_from=...)`` can restart from with
+    bitwise-identical results.
+    """
+
+    def __init__(self, manager, every: int = 1) -> None:
+        check_positive("every", every)
+        if not hasattr(manager, "save"):
+            raise TypeError("manager must expose save(step, state)")
+        self.manager = manager
+        self.every = every
+
+    def __call__(self, epoch: int, state: dict):
+        """Invoked by the trainer at each epoch boundary with its state."""
+        if (epoch + 1) % self.every:
+            return None
+        return self.manager.save(epoch, state)
 
 
 def global_grad_norm(params: list[Parameter]) -> float:

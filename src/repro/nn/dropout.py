@@ -39,3 +39,12 @@ class Dropout(Layer):
         if self._mask is None:
             return grad
         return grad * self._mask
+
+    def state(self) -> dict:
+        # The generator's position in its stream: without it, a resumed
+        # run would draw different masks and diverge from the
+        # uninterrupted run.
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]

@@ -65,6 +65,18 @@ class Layer(ABC):
         """Trainable parameters of this layer (default: none)."""
         return []
 
+    def state(self) -> dict:
+        """Non-parameter state a bitwise resume needs (default: none).
+
+        Layers with internal buffers or RNG streams — BatchNorm running
+        statistics, Dropout's mask generator — override this so a
+        checkpointed training run can continue exactly where it stopped.
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore what :meth:`state` exported (default: nothing)."""
+
 
 class Network(ABC):
     """A trainable model: forward, backward, parameters."""
@@ -89,6 +101,32 @@ class Network(ABC):
         """Total scalar parameter count."""
         return int(sum(p.value.size for p in self.parameters()))
 
+    def state_dict(self) -> dict:
+        """Model state for checkpointing: parameter values (+ layer state).
+
+        The base implementation covers any network through
+        ``parameters()``; :class:`Sequential` extends it with per-layer
+        non-parameter state (running stats, dropout RNG streams).
+        """
+        return {"params": [p.value.copy() for p in self.parameters()]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` export in place."""
+        values = list(state["params"])
+        params = self.parameters()
+        if len(values) != len(params):
+            raise ValueError(
+                f"state has {len(values)} parameters, network has {len(params)}"
+            )
+        for p, v in zip(params, values):
+            v = np.asarray(v, dtype=p.value.dtype)
+            if v.shape != p.value.shape:
+                raise ValueError(
+                    f"parameter {p.name}: state shape {v.shape} does not "
+                    f"match {p.value.shape}"
+                )
+            p.value[...] = v
+
 
 class Sequential(Network):
     """A plain chain of layers operating on a single array."""
@@ -107,3 +145,21 @@ class Sequential(Network):
 
     def parameters(self) -> list[Parameter]:
         return [p for layer in self.layers for p in layer.parameters()]
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["layers"] = [layer.state() for layer in self.layers]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        layer_states = state.get("layers")
+        if layer_states is None:
+            return
+        if len(layer_states) != len(self.layers):
+            raise ValueError(
+                f"state has {len(layer_states)} layers, network has "
+                f"{len(self.layers)}"
+            )
+        for layer, layer_state in zip(self.layers, layer_states):
+            layer.load_state(layer_state)

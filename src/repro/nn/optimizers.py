@@ -49,6 +49,53 @@ class Optimizer(ABC):
         for p in self.params:
             p.zero_grad()
 
+    # -- checkpointing --------------------------------------------------
+    def _slot_state(self) -> dict:
+        """Subclass hook: per-parameter accumulator arrays and counters."""
+        return {}
+
+    def _load_slots(self, slots: dict) -> None:
+        """Subclass hook: restore what :meth:`_slot_state` exported."""
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume stepping bitwise-identically.
+
+        The parameter *values* are not included — they belong to the
+        network's own state — only the optimizer's hyperstate and slots.
+        """
+        return {
+            "kind": type(self).__name__,
+            "lr": float(self.lr),
+            "weight_decay": float(self.weight_decay),
+            "slots": self._slot_state(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` export into this optimizer."""
+        kind = state.get("kind")
+        if kind != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {kind!r}, not {type(self).__name__!r}"
+            )
+        self.lr = float(state["lr"])
+        self.weight_decay = float(state["weight_decay"])
+        self._load_slots(state.get("slots", {}))
+
+    def _restore_arrays(self, target: list[np.ndarray], source) -> None:
+        """Copy a list of exported slot arrays into ``target`` in place."""
+        source = list(source)
+        if len(source) != len(target):
+            raise ValueError(
+                f"{len(source)} slot arrays for {len(target)} parameters"
+            )
+        for dst, src in zip(target, source):
+            src = np.asarray(src, dtype=dst.dtype)
+            if src.shape != dst.shape:
+                raise ValueError(
+                    f"slot shape {src.shape} does not match parameter {dst.shape}"
+                )
+            dst[...] = src
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with classical momentum."""
@@ -71,6 +118,12 @@ class SGD(Optimizer):
             v *= self.momentum
             v -= self.lr * p.grad
             p.value += v
+
+    def _slot_state(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def _load_slots(self, slots: dict) -> None:
+        self._restore_arrays(self._velocity, slots["velocity"])
 
 
 class RMSprop(Optimizer):
@@ -97,6 +150,12 @@ class RMSprop(Optimizer):
             a *= self.rho
             a += (1.0 - self.rho) * p.grad**2
             p.value -= self.lr * p.grad / (np.sqrt(a) + self.eps)
+
+    def _slot_state(self) -> dict:
+        return {"accum": [a.copy() for a in self._accum]}
+
+    def _load_slots(self, slots: dict) -> None:
+        self._restore_arrays(self._accum, slots["accum"])
 
 
 class Adam(Optimizer):
@@ -135,3 +194,15 @@ class Adam(Optimizer):
             m_hat = m / correction1
             v_hat = v / correction2
             p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _slot_state(self) -> dict:
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": int(self._t),
+        }
+
+    def _load_slots(self, slots: dict) -> None:
+        self._restore_arrays(self._m, slots["m"])
+        self._restore_arrays(self._v, slots["v"])
+        self._t = int(slots["t"])

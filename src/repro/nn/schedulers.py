@@ -47,3 +47,12 @@ class ReduceLROnPlateau:
             self._bad_epochs = 0
             return reduced
         return False
+
+    def state_dict(self) -> dict:
+        """Plateau-tracking state (the lr itself lives in the optimizer)."""
+        return {"best": float(self._best), "bad_epochs": int(self._bad_epochs)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` export."""
+        self._best = float(state["best"])
+        self._bad_epochs = int(state["bad_epochs"])

@@ -1,0 +1,52 @@
+"""`repro.resilience` — checkpoint/resume and fault-injection robustness.
+
+Three pieces make interrupted runs cheap instead of fatal:
+
+* :mod:`repro.resilience.checkpoint` — atomic, versioned, checksummed
+  ``.npz`` snapshots with rollback-to-last-good
+  (:class:`CheckpointManager`), used by the trainer for epoch-level
+  resume (``Trainer.fit(resume_from=...)``).
+* :mod:`repro.resilience.journal` — the per-run fold journal that lets
+  the CV protocols skip already-completed folds on restart.
+* :mod:`repro.resilience.faults` — deterministic fault plans
+  (``raise``/``kill``/``corrupt`` at epoch N, fold K, nth cache or
+  checkpoint write) that the test suite uses to prove every recovery
+  path; see ``docs/RESILIENCE.md``.
+
+The determinism guarantee: because every stochastic component draws from
+explicitly captured streams (per-fold spawned seeds, checkpointed
+trainer/dropout RNG state), a run interrupted at any instrumented point
+and resumed produces **bitwise-identical** weights, per-epoch metric
+history, and fold accuracies to the same run left uninterrupted —
+``tests/resilience/`` locks this down point by point.
+"""
+
+from repro.resilience.checkpoint import (
+    FORMAT_VERSION,
+    CheckpointError,
+    CheckpointInfo,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    parse_plan,
+)
+from repro.resilience.journal import FoldJournal
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointManager",
+    "save_checkpoint",
+    "load_checkpoint",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "parse_plan",
+    "FoldJournal",
+]

@@ -1,0 +1,283 @@
+"""Atomic, versioned, self-verifying training checkpoints.
+
+A checkpoint is one ``.npz`` file holding an arbitrary nested *state*
+(dicts / lists / scalars / numpy arrays — e.g. model weights, optimizer
+slots, scheduler state, RNG streams, epoch cursor, metric history):
+
+* every numpy array in the state becomes one npz entry,
+* the remaining JSON-able skeleton is stored in a ``__manifest__`` entry
+  together with a format version and a content checksum over all arrays.
+
+Writes go through ``tempfile`` + ``os.replace`` so a reader never sees a
+partial file, and a death mid-write leaves the previous checkpoint
+untouched.  Reads verify the version and the checksum;
+:meth:`CheckpointManager.load_latest` treats a corrupt or truncated file
+as disposable — it deletes it and **rolls back to the newest good
+checkpoint** — so a torn write can delay a resume by one step but never
+poison it.
+
+The fault-injection point ``checkpoint_write`` (see
+:mod:`repro.resilience.faults`) fires once per save: ``raise``/``kill``
+simulate dying mid-write (before the atomic rename), ``corrupt``
+truncates the file after the rename so the rollback path is provable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.resilience import faults
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointManager",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+FORMAT_VERSION = 1
+
+_MANIFEST_KEY = "__manifest__"
+_FILE_RE = re.compile(r"^ckpt-(\d{8})\.npz$")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable, corrupt, or from another format."""
+
+
+# ----------------------------------------------------------------------
+# State <-> flat arrays + JSON skeleton
+# ----------------------------------------------------------------------
+
+def _flatten(value, arrays: dict[str, np.ndarray]):
+    """Replace every ndarray leaf with a reference into ``arrays``."""
+    if isinstance(value, np.ndarray):
+        ref = f"a{len(arrays)}"
+        arrays[ref] = value
+        return {"__array__": ref}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _flatten(v, arrays) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_flatten(v, arrays) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"checkpoint state cannot encode {type(value).__name__!r}"
+    )
+
+
+def _unflatten(value, arrays: dict[str, np.ndarray]):
+    if isinstance(value, dict):
+        if set(value) == {"__array__"}:
+            return arrays[value["__array__"]]
+        return {k: _unflatten(v, arrays) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_unflatten(v, arrays) for v in value]
+    return value
+
+
+def _checksum(arrays: dict[str, np.ndarray]) -> str:
+    """Digest over array names, dtypes, shapes, and raw bytes."""
+    h = hashlib.blake2b(digest_size=16)
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(arr.dtype.str.encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Single-file save / load
+# ----------------------------------------------------------------------
+
+def save_checkpoint(path: str | os.PathLike, step: int, state: dict) -> Path:
+    """Atomically write ``state`` to ``path`` (see module docstring)."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    skeleton = _flatten(state, arrays)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "step": int(step),
+        "state": skeleton,
+        "checksum": _checksum(arrays),
+    }
+    payload = dict(arrays)
+    payload[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-ckpt-", suffix=".npz")
+    try:
+        action = faults.check("checkpoint_write", _next_write_index())
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if action == "corrupt":
+        # Simulate a torn write that survived the rename: keep the first
+        # half of the file only.  load() must detect this and roll back.
+        size = path.stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+    obs.counter("checkpoints_saved_total").inc()
+    return path
+
+
+_write_index = 0
+
+
+def _next_write_index() -> int:
+    """Process-wide ordinal of checkpoint writes (fault-plan coordinate)."""
+    global _write_index
+    index = _write_index
+    _write_index += 1
+    return index
+
+
+def load_checkpoint(path: str | os.PathLike) -> tuple[int, dict]:
+    """Read, verify, and reconstruct ``(step, state)`` from ``path``.
+
+    Raises :class:`CheckpointError` on any defect: missing file, zip
+    corruption, missing manifest, foreign format version, or a checksum
+    mismatch between the manifest and the stored arrays.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            if _MANIFEST_KEY not in npz.files:
+                raise CheckpointError(f"{path} has no checkpoint manifest")
+            manifest = json.loads(bytes(npz[_MANIFEST_KEY]).decode())
+            arrays = {n: npz[n] for n in npz.files if n != _MANIFEST_KEY}
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path} has format version {version!r}, expected {FORMAT_VERSION}"
+        )
+    if _checksum(arrays) != manifest.get("checksum"):
+        raise CheckpointError(f"{path} failed its content checksum")
+    return int(manifest["step"]), _unflatten(manifest["state"], arrays)
+
+
+# ----------------------------------------------------------------------
+# Directory of checkpoints
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One checkpoint file as listed by :meth:`CheckpointManager.list`."""
+
+    path: Path
+    step: int
+    bytes: int
+
+
+class CheckpointManager:
+    """A directory of ``ckpt-<step>.npz`` files with bounded retention.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live (created on first save).
+    keep:
+        How many most-recent checkpoints to retain after each save
+        (older ones are pruned automatically); ``None`` keeps all.
+    """
+
+    def __init__(self, directory: str | os.PathLike, keep: int | None = 3) -> None:
+        if keep is not None and keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+
+    def _path_for(self, step: int) -> Path:
+        return self.directory / f"ckpt-{step:08d}.npz"
+
+    def list(self) -> list[CheckpointInfo]:
+        """All checkpoint files, oldest first."""
+        if not self.directory.exists():
+            return []
+        infos = []
+        for path in sorted(self.directory.iterdir()):
+            m = _FILE_RE.match(path.name)
+            if m:
+                infos.append(
+                    CheckpointInfo(path=path, step=int(m.group(1)), bytes=path.stat().st_size)
+                )
+        return infos
+
+    def save(self, step: int, state: dict) -> Path:
+        """Write the checkpoint for ``step`` and prune old ones."""
+        with obs.span("checkpoint_save", step=step):
+            path = save_checkpoint(self._path_for(step), step, state)
+        if self.keep is not None:
+            self.prune(self.keep)
+        return path
+
+    def load_latest(self) -> tuple[int, dict] | None:
+        """Newest *good* checkpoint, rolling back over corrupt files.
+
+        Corrupt or truncated files are deleted as they are discovered;
+        returns ``None`` when no loadable checkpoint exists.
+        """
+        for info in reversed(self.list()):
+            try:
+                with obs.span("checkpoint_load", step=info.step):
+                    return load_checkpoint(info.path)
+            except CheckpointError:
+                obs.counter("checkpoint_rollbacks_total").inc()
+                obs.event("checkpoint_rollback", path=str(info.path), step=info.step)
+                try:
+                    info.path.unlink()
+                except OSError:
+                    pass
+        return None
+
+    def prune(self, keep: int | None = None) -> int:
+        """Delete all but the ``keep`` newest checkpoints; returns count removed."""
+        keep = self.keep if keep is None else keep
+        if keep is None:
+            return 0
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        removed = 0
+        for info in self.list()[:-keep]:
+            try:
+                info.path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        # Stale temp files from interrupted writes are garbage, not state.
+        if self.directory.exists():
+            for tmp in self.directory.glob(".tmp-ckpt-*.npz"):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"CheckpointManager({self.directory}, keep={self.keep})"

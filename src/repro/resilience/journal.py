@@ -1,0 +1,85 @@
+"""Append-only journal of completed CV folds.
+
+The protocol entry points (:mod:`repro.eval.protocol`) journal every
+finished fold as one JSON line; on restart the journal tells them which
+folds are already done, so an interrupted 10-fold run re-computes only
+the missing folds.  Because every fold runs from its own up-front
+spawned seed, a journaled result is bitwise what a fresh run would have
+produced — resuming changes nothing but wall clock.
+
+Robustness properties:
+
+* Each ``record`` is a single ``write`` of one line followed by flush +
+  fsync, so a crash can tear at most the final line.
+* ``load`` ignores a torn / unparsable trailing line (and any line whose
+  fold index is malformed) instead of failing the resume.
+* The journal is keyed by a *run fingerprint* directory (see
+  ``protocol.py``): a journal can only ever be replayed into the exact
+  dataset/protocol configuration that wrote it.
+
+Float values survive the JSON round trip exactly (``repr`` ↔ parse is
+lossless for IEEE doubles), which is what keeps resumed accuracies
+bitwise-identical to uninterrupted runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro import obs
+from repro.obs.events import jsonable
+
+__all__ = ["FoldJournal"]
+
+
+class FoldJournal:
+    """One ``folds.jsonl`` file of ``{"fold": k, "result": {...}}`` lines."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def load(self) -> dict[int, dict]:
+        """Completed folds on disk: ``{fold_index: result_dict}``.
+
+        Later lines for the same fold win (a retried fold re-journals);
+        torn or malformed lines are skipped.
+        """
+        if not self.path.exists():
+            return {}
+        completed: dict[int, dict] = {}
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    fold = int(entry["fold"])
+                    result = entry["result"]
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn tail or foreign garbage: not fatal
+                if isinstance(result, dict):
+                    completed[fold] = result
+        return completed
+
+    def record(self, fold: int, result: dict) -> None:
+        """Append one completed fold (single write + flush + fsync)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"fold": int(fold), "result": jsonable(result)})
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        obs.counter("folds_journaled_total").inc()
+
+    def reset(self) -> None:
+        """Forget any previous run (non-resume starts)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:
+        return f"FoldJournal({self.path})"

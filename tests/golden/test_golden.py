@@ -1,0 +1,71 @@
+"""Golden end-to-end regression fixture.
+
+Recomputes the full DeepMap path (GK / SP / WL vertex features ->
+receptive-field encoding -> CNN training -> epoch selection) on a tiny
+pinned-seed dataset and compares against the committed expectations in
+``expected.json`` **exactly** — JSON floats round-trip bitwise, so any
+numeric drift anywhere in the pipeline fails here.
+
+Intentional changes: regenerate with
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+and commit the diff alongside the change that caused it.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+HERE = Path(__file__).resolve().parent
+EXPECTED_PATH = HERE / "expected.json"
+
+
+def _load_regen():
+    spec = importlib.util.spec_from_file_location(
+        "regen_golden", HERE.parents[1] / "scripts" / "regen_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def recomputed():
+    return _load_regen().compute_results()
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return json.loads(EXPECTED_PATH.read_text())
+
+
+@pytest.mark.parametrize("variant", ["deepmap-gk", "deepmap-sp", "deepmap-wl"])
+class TestGoldenAccuracies:
+    def test_fold_accuracies_exact(self, recomputed, expected, variant):
+        assert (
+            recomputed[variant]["fold_accuracies"]
+            == expected["results"][variant]["fold_accuracies"]
+        )
+
+    def test_epoch_selection_exact(self, recomputed, expected, variant):
+        assert (
+            recomputed[variant]["best_epoch"]
+            == expected["results"][variant]["best_epoch"]
+        )
+
+    def test_mean_curve_exact(self, recomputed, expected, variant):
+        assert (
+            recomputed[variant]["mean_curve"]
+            == expected["results"][variant]["mean_curve"]
+        )
+
+
+def test_fixture_covers_all_variants(expected):
+    assert sorted(expected["results"]) == [
+        "deepmap-gk",
+        "deepmap-sp",
+        "deepmap-wl",
+    ]

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.nn import (
+    BatchNorm,
     Conv1D,
     Dense,
     Dropout,
@@ -175,6 +176,101 @@ class TestPooling:
         grad = rng.normal(size=out.shape)
         dx = layer.backward(grad)
         assert np.allclose(dx[0, 2:], 0.0)
+
+
+def check_training_input_gradient(layer, x):
+    """Finite-difference check of backward() in *training* mode.
+
+    In training mode BatchNorm's output depends on the batch statistics
+    of ``x`` itself, so the Jacobian includes the mean/var terms; the
+    running-statistics updates it performs along the way do not affect
+    the training-mode output and are irrelevant to the check.
+    """
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, training=True)
+    out_grad = rng.normal(size=out.shape)
+    dx = layer.backward(out_grad)
+
+    def scalar(xv):
+        return float((layer.forward(xv, training=True) * out_grad).sum())
+
+    worst = 0.0
+    flat = x.ravel()
+    step = max(1, flat.size // 13)
+    for i in range(0, flat.size, step):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        up = scalar(x)
+        flat[i] = orig - EPS
+        down = scalar(x)
+        flat[i] = orig
+        worst = max(worst, abs((up - down) / (2 * EPS) - dx.ravel()[i]))
+    return worst
+
+
+class TestBatchNorm:
+    @staticmethod
+    def _with_nontrivial_stats(layer, rng):
+        # Non-default running stats so inference mode isn't an identity.
+        layer.running_mean = rng.normal(size=layer.running_mean.size)
+        layer.running_var = rng.uniform(0.5, 2.0, size=layer.running_var.size)
+        return layer
+
+    def test_param_gradients_running_stats_mode(self):
+        rng = np.random.default_rng(8)
+        net = Sequential(
+            [Dense(4, 5, rng=1), BatchNorm(5), ReLU(), Dense(5, 3, rng=2)]
+        )
+        self._with_nontrivial_stats(net.layers[1], rng)
+        x = rng.normal(size=(6, 4))
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert check_param_gradients(net, x, y) < TOL
+
+    def test_input_gradient_running_stats_mode(self):
+        rng = np.random.default_rng(9)
+        layer = self._with_nontrivial_stats(BatchNorm(3), rng)
+        assert check_input_gradient(layer, rng.normal(size=(5, 3))) < TOL
+
+    def test_input_gradient_batch_stats_mode(self):
+        """Training mode: the mean/var dependence on x is in the Jacobian."""
+        rng = np.random.default_rng(10)
+        layer = BatchNorm(3)
+        x = rng.normal(size=(6, 3))
+        assert check_training_input_gradient(layer, x) < 1e-6
+
+    def test_input_gradient_batch_stats_mode_3d(self):
+        rng = np.random.default_rng(11)
+        layer = BatchNorm(4)
+        x = rng.normal(size=(3, 5, 4))
+        assert check_training_input_gradient(layer, x) < 1e-6
+
+
+class TestMaskedSumPoolEdgeCases:
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(12)
+        layer = MaskedSumPool1D()
+        layer.set_mask(np.array([[1, 1, 0, 0], [1, 0, 1, 0]], dtype=float))
+        assert check_input_gradient(layer, rng.normal(size=(2, 4, 3))) < TOL
+
+    def test_fully_padded_graph(self):
+        """An all-zero mask row (empty graph) pools and backprops to zero."""
+        rng = np.random.default_rng(13)
+        layer = MaskedSumPool1D()
+        layer.set_mask(np.array([[0, 0, 0], [1, 1, 1]], dtype=float))
+        x = rng.normal(size=(2, 3, 2))
+        out = layer.forward(x)
+        assert np.array_equal(out[0], np.zeros(2))
+        dx = layer.backward(rng.normal(size=out.shape))
+        assert np.array_equal(dx[0], np.zeros((3, 2)))
+        assert check_input_gradient(layer, x) < TOL
+
+    def test_single_valid_position(self):
+        rng = np.random.default_rng(14)
+        layer = MaskedSumPool1D()
+        layer.set_mask(np.array([[0, 1, 0, 0]], dtype=float))
+        x = rng.normal(size=(1, 4, 3))
+        assert np.allclose(layer.forward(x)[0], x[0, 1])
+        assert check_input_gradient(layer, x) < TOL
 
 
 class TestEndToEndStack:

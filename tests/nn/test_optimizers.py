@@ -80,6 +80,82 @@ class TestAdam:
         assert abs(p.value[0]) < 0.05
 
 
+class TestStateRoundTrip:
+    """export -> import -> the restored optimizer takes an identical step."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+            lambda ps: RMSprop(ps, lr=0.01),
+            lambda ps: Adam(ps, lr=0.01),
+        ],
+        ids=["sgd-momentum", "rmsprop", "adam"],
+    )
+    def test_next_step_is_bitwise_identical(self, factory):
+        rng = np.random.default_rng(0)
+        grads = rng.normal(size=(6, 4))
+        p1 = _param(rng.normal(size=4))
+        opt1 = factory([p1])
+        for g in grads[:5]:
+            p1.grad[:] = g
+            opt1.step()
+        p2 = _param(p1.value.copy())
+        opt2 = factory([p2])
+        opt2.load_state_dict(opt1.state_dict())
+        p1.grad[:] = grads[5]
+        p2.grad[:] = grads[5]
+        opt1.step()
+        opt2.step()
+        assert np.array_equal(p1.value, p2.value)
+
+    def test_adam_timestep_survives_round_trip(self):
+        """Bias correction depends on t; a lost t would skew the step."""
+        p = _param([0.0])
+        opt = Adam([p], lr=0.01)
+        for _ in range(3):
+            p.grad[:] = [1.0]
+            opt.step()
+        assert opt.state_dict()["slots"]["t"] == 3
+
+    def test_kind_mismatch_rejected(self):
+        p = _param([0.0])
+        state = SGD([p], lr=0.1).state_dict()
+        with pytest.raises(ValueError):
+            Adam([_param([0.0])], lr=0.1).load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        p = _param([0.0, 0.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad[:] = [1.0, 1.0]
+        opt.step()
+        other = SGD([_param([0.0])], lr=0.1, momentum=0.9)
+        with pytest.raises(ValueError):
+            other.load_state_dict(opt.state_dict())
+
+    def test_scheduler_round_trip_reduces_in_lockstep(self):
+        opt1 = RMSprop([_param([0.0])], lr=0.01)
+        sched1 = ReduceLROnPlateau(opt1, factor=0.5, patience=2)
+        sched1.step(1.0)  # best = 1.0
+        sched1.step(1.0)  # bad = 1
+        opt2 = RMSprop([_param([0.0])], lr=opt1.lr)
+        sched2 = ReduceLROnPlateau(opt2, factor=0.5, patience=2)
+        sched2.load_state_dict(sched1.state_dict())
+        # One more bad epoch exhausts patience for both simultaneously.
+        assert sched1.step(1.0) and sched2.step(1.0)
+        assert opt1.lr == opt2.lr == 0.005
+
+    def test_scheduler_initial_state_round_trips(self):
+        """The pre-first-step sentinel (no best yet) must survive export."""
+        opt = RMSprop([_param([0.0])], lr=0.01)
+        sched = ReduceLROnPlateau(opt, patience=2)
+        restored = ReduceLROnPlateau(
+            RMSprop([_param([0.0])], lr=0.01), patience=2
+        )
+        restored.load_state_dict(sched.state_dict())
+        assert not restored.step(5.0)  # first value becomes the new best
+
+
 class TestReduceLROnPlateau:
     def test_no_reduction_while_improving(self):
         p = _param([0.0])

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 
 import pytest
@@ -11,6 +10,7 @@ from repro import cache as cache_mod
 from repro import obs
 from repro.parallel import (
     WORKERS_ENV,
+    FoldError,
     parallelism_available,
     resolve_workers,
     run_folds,
@@ -51,9 +51,37 @@ def _nested(context, payload):
     # Two inner payloads + workers=4 would fork a pool, were it allowed.
     inner = run_folds(_identify, [payload, payload + 1], context=None, workers=4)
     return {
-        "daemon": multiprocessing.current_process().daemon,
+        "parallel_ok": parallelism_available(),
         "inner_pids": [r["pid"] for r in inner],
     }
+
+
+def _fail_on(context, payload):
+    if payload == context:
+        raise ValueError(f"boom on {payload}")
+    return payload
+
+
+def _die_once(context, payload):
+    # Kills its worker the first time payload 3 is attempted; a marker
+    # file (context is a tmp dir) makes the retry succeed.
+    if payload == 3:
+        marker = os.path.join(context, "died-once")
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            os._exit(70)
+    return payload * 10
+
+
+def _die_in_worker_only(context, payload):
+    from repro import parallel
+
+    if payload == context:
+        if parallel._IN_FOLD_WORKER:
+            os._exit(70)
+        return payload * 100
+    return payload
 
 
 class TestResolveWorkers:
@@ -117,14 +145,60 @@ class TestRunFolds:
 
     @needs_fork
     def test_nested_run_folds_degrades_to_serial(self):
-        """Daemonic pool workers cannot fork; inner calls must not crash."""
+        """Pool workers must not fork pools; inner calls must not crash."""
         results = run_folds(_nested, [1, 3], workers=2)
-        assert all(r["daemon"] for r in results)
+        assert not any(r["parallel_ok"] for r in results)
         # The inner run_folds ran serially inside the (child) worker:
         # both inner payloads report the worker's own pid.
         for r in results:
             assert len(set(r["inner_pids"])) == 1
             assert os.getpid() not in r["inner_pids"]
+
+    def test_serial_on_result_fires_in_order(self):
+        seen = []
+        run_folds(
+            _identify,
+            [10, 11, 12],
+            workers=1,
+            on_result=lambda i, r: seen.append((i, r["payload"])),
+        )
+        assert seen == [(0, 10), (1, 11), (2, 12)]
+
+    @needs_fork
+    def test_parallel_on_result_sees_every_fold(self):
+        seen = []
+        run_folds(
+            _identify,
+            list(range(6)),
+            workers=3,
+            on_result=lambda i, r: seen.append((i, r["payload"])),
+        )
+        assert sorted(seen) == [(i, i) for i in range(6)]
+
+
+@needs_fork
+class TestCrashResilience:
+    def test_worker_exception_surfaces_traceback(self):
+        with pytest.raises(FoldError) as excinfo:
+            run_folds(_fail_on, [0, 1, 2, 3], context=2, workers=2)
+        message = str(excinfo.value)
+        assert "boom on 2" in message  # the original error text
+        assert "_fail_on" in message  # the worker's stack frame
+        assert excinfo.value.index == 2
+
+    def test_worker_death_requeues_on_fresh_pool(self, tmp_path):
+        """A fold that kills its worker only on the first try recovers."""
+        results = run_folds(_die_once, [0, 1, 2, 3], context=str(tmp_path), workers=2)
+        assert results == [0, 10, 20, 30]
+        assert (tmp_path / "died-once").exists()
+
+    def test_worker_death_every_time_degrades_to_serial(self):
+        """When the pool keeps breaking, the parent finishes serially."""
+        # _die_in_worker_only kills any *worker* handling payload 1, on
+        # every attempt — all pool retries break, so fold 1 must finish
+        # in the parent (where _IN_FOLD_WORKER is False → returns 100).
+        results = run_folds(_die_in_worker_only, [0, 1, 2], context=1, workers=2)
+        assert results == [0, 100, 2]
 
 
 @needs_fork

@@ -1,0 +1,47 @@
+"""Fixtures for the checkpoint/resume + fault-injection test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import cache as cache_mod
+from repro.datasets import GraphDataset
+from repro.graph import ensure_connected, erdos_renyi
+from repro.parallel import WORKERS_ENV
+from repro.resilience import checkpoint as checkpoint_mod
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults(monkeypatch):
+    """No inherited fault plan, cache, or worker env leaks between tests.
+
+    The ``checkpoint_write`` fault coordinate is a process-wide write
+    ordinal; reset it so each test's plan addresses write 0 onward.
+    """
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_STATE_ENV, raising=False)
+    monkeypatch.delenv(cache_mod.CACHE_DIR_ENV, raising=False)
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    faults.clear()
+    cache_mod.reset_default_cache()
+    checkpoint_mod._write_index = 0
+    yield
+    faults.clear()
+    cache_mod.reset_default_cache()
+    checkpoint_mod._write_index = 0
+
+
+@pytest.fixture(scope="module")
+def cv_dataset() -> GraphDataset:
+    """16 connected labeled graphs in two structural classes."""
+    rng = np.random.default_rng(7)
+    graphs, labels = [], []
+    for i in range(16):
+        p = 0.25 if i % 2 == 0 else 0.6
+        g = ensure_connected(erdos_renyi(8, p, rng), rng)
+        g = g.with_labels((np.arange(8) % 3).tolist())
+        graphs.append(g)
+        labels.append(i % 2)
+    return GraphDataset(name="cvtoy", graphs=graphs, y=np.array(labels))

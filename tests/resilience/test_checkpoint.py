@@ -1,0 +1,183 @@
+"""Checkpoint format: round-trips, atomicity, corruption rollback, prune."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CheckpointError,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience import checkpoint as checkpoint_mod
+from repro.resilience import faults
+
+pytestmark = pytest.mark.faults
+
+
+def _state(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "epoch": 4,
+        "network": {"params": [rng.normal(size=(3, 2)), rng.normal(size=2)]},
+        "optimizer": {"kind": "RMSprop", "lr": 0.01, "slots": {"t": 7}},
+        "rng": {"state": rng.integers(0, 2**32, size=4), "pos": 11},
+        "flags": [True, None, "text", 2.5],
+    }
+
+
+def _tree_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and np.array_equal(a, b)
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and set(a) == set(b)
+            and all(_tree_equal(a[k], b[k]) for k in a)
+        )
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            _tree_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+class TestSingleFile:
+    def test_round_trip_is_bitwise(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, 4, _state())
+        step, loaded = load_checkpoint(path)
+        assert step == 4
+        # Tuples come back as lists (JSON skeleton) — the values match.
+        assert _tree_equal(loaded, json_roundtrip_free(_state()))
+
+    def test_unencodable_state_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_checkpoint(tmp_path / "x.npz", 0, {"bad": object()})
+
+    def test_missing_file_is_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_truncated_file_is_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, 0, _state())
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_flipped_array_byte_fails_checksum(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, 0, {"w": np.zeros(64)})
+        # Rebuild the npz with one tampered array but the old manifest.
+        with np.load(path, allow_pickle=False) as npz:
+            payload = {n: npz[n] for n in npz.files}
+        tampered = [n for n in payload if n != "__manifest__"][0]
+        payload[tampered] = payload[tampered] + 1.0
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_foreign_format_version_rejected(self, tmp_path, monkeypatch):
+        path = tmp_path / "ckpt.npz"
+        monkeypatch.setattr(checkpoint_mod, "FORMAT_VERSION", 99)
+        save_checkpoint(path, 0, _state())
+        monkeypatch.undo()
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(path)
+
+    def test_interrupted_write_leaves_no_partial_file(self, tmp_path):
+        """raise@checkpoint_write dies before the atomic rename."""
+        faults.install("raise@checkpoint_write:0")
+        path = tmp_path / "ckpt.npz"
+        with pytest.raises(faults.InjectedFault):
+            save_checkpoint(path, 0, _state())
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # temp file cleaned up too
+
+
+def json_roundtrip_free(state):
+    """The expected load() shape: tuples become lists, arrays survive."""
+    if isinstance(state, np.ndarray):
+        return state
+    if isinstance(state, dict):
+        return {k: json_roundtrip_free(v) for k, v in state.items()}
+    if isinstance(state, (list, tuple)):
+        return [json_roundtrip_free(v) for v in state]
+    return state
+
+
+class TestManager:
+    def test_save_list_load_latest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=None)
+        for step in range(3):
+            mgr.save(step, {"w": np.full(4, float(step))})
+        assert [i.step for i in mgr.list()] == [0, 1, 2]
+        step, state = mgr.load_latest()
+        assert step == 2 and state["w"][0] == 2.0
+
+    def test_load_latest_empty_dir(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None
+
+    def test_rollback_skips_and_deletes_corrupt_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=None)
+        mgr.save(0, {"w": np.zeros(4)})
+        newest = mgr.save(1, {"w": np.ones(4)})
+        newest.write_bytes(b"not a checkpoint")
+        step, state = mgr.load_latest()
+        assert step == 0 and not newest.exists()
+
+    def test_corrupt_fault_forces_rollback(self, tmp_path):
+        """corrupt@checkpoint_write tears the newest file post-rename."""
+        mgr = CheckpointManager(tmp_path, keep=None)
+        mgr.save(0, {"w": np.zeros(32)})
+        faults.install("corrupt@checkpoint_write:1")
+        mgr.save(1, {"w": np.ones(32)})
+        step, _ = mgr.load_latest()
+        assert step == 0  # torn step-1 file detected, rolled back
+
+    def test_prune_keeps_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=None)
+        for step in range(5):
+            mgr.save(step, {"w": np.zeros(2)})
+        assert mgr.prune(2) == 3
+        assert [i.step for i in mgr.list()] == [3, 4]
+
+    def test_keep_is_enforced_on_save(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=2)
+        for step in range(4):
+            mgr.save(step, {"w": np.zeros(2)})
+        assert [i.step for i in mgr.list()] == [2, 3]
+
+    def test_prune_removes_stale_temp_files(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=None)
+        mgr.save(0, {"w": np.zeros(2)})
+        stale = tmp_path / ".tmp-ckpt-dead.npz"
+        stale.write_bytes(b"partial")
+        mgr.prune(1)
+        assert not stale.exists()
+
+    def test_rejects_bad_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+
+
+class TestManifest:
+    def test_manifest_is_inspectable_json(self, tmp_path):
+        """The manifest entry is plain JSON — debuggable without us."""
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, 3, {"w": np.zeros(2)})
+        with np.load(path, allow_pickle=False) as npz:
+            manifest = json.loads(bytes(npz["__manifest__"]).decode())
+        assert manifest["format_version"] == checkpoint_mod.FORMAT_VERSION
+        assert manifest["step"] == 3
+        assert "checksum" in manifest

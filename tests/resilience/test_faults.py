@@ -1,0 +1,140 @@
+"""The fault-injection DSL: parsing, fire accounting, modes."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import faults
+
+pytestmark = pytest.mark.faults
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestParsing:
+    def test_single_clause(self):
+        plan = faults.parse_plan("raise@epoch:3")
+        (spec,) = plan.specs
+        assert (spec.mode, spec.point, spec.match, spec.fires) == (
+            "raise",
+            "epoch",
+            3,
+            1,
+        )
+
+    def test_multi_clause_with_fires(self):
+        plan = faults.parse_plan("kill@fold:2x3, corrupt@cache_write:0")
+        assert [s.spec_id for s in plan.specs] == [
+            "kill@fold:2x3",
+            "corrupt@cache_write:0x1",
+        ]
+        assert set(plan.by_point) == {"fold", "cache_write"}
+
+    def test_empty_clauses_ignored(self):
+        assert faults.parse_plan(" , raise@epoch:0 , ").specs != []
+
+    @pytest.mark.parametrize(
+        "text",
+        ["explode@epoch:1", "raise@epoch", "raise@epoch:x2", "raise@epoch:1x0"],
+    )
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            faults.parse_plan(text)
+
+
+class TestFiring:
+    def test_no_plan_is_noop(self):
+        assert faults.check("epoch", 0) is None
+
+    def test_nonmatching_point_and_index(self):
+        faults.install("raise@epoch:3")
+        assert faults.check("fold", 3) is None
+        assert faults.check("epoch", 2) is None
+
+    def test_raise_mode_raises_injected_fault(self):
+        faults.install("raise@epoch:1")
+        with pytest.raises(faults.InjectedFault):
+            faults.check("epoch", 1)
+
+    def test_one_shot_by_default(self):
+        """A spent fault is dormant, so resumed runs do not die twice."""
+        faults.install("raise@epoch:1")
+        with pytest.raises(faults.InjectedFault):
+            faults.check("epoch", 1)
+        assert faults.check("epoch", 1) is None
+
+    def test_fires_count_honoured(self):
+        faults.install("raise@fold:0x2")
+        for _ in range(2):
+            with pytest.raises(faults.InjectedFault):
+                faults.check("fold", 0)
+        assert faults.check("fold", 0) is None
+
+    def test_corrupt_mode_returns_action(self):
+        faults.install("corrupt@cache_write:1")
+        assert faults.check("cache_write", 0) is None
+        assert faults.check("cache_write", 1) == "corrupt"
+        assert faults.check("cache_write", 1) is None  # spent
+
+    def test_injected_fault_evades_except_exception(self):
+        """The whole point of BaseException: recovery code can't eat it."""
+        faults.install("raise@epoch:0")
+        with pytest.raises(faults.InjectedFault):
+            try:
+                faults.check("epoch", 0)
+            except Exception:  # noqa: BLE001 - deliberately broad
+                pytest.fail("InjectedFault must not be caught by except Exception")
+
+
+class TestStateDir:
+    def test_fire_counts_shared_via_marker_files(self, tmp_path):
+        """Two plan objects (= two processes) share spent accounting."""
+        first = faults.parse_plan("raise@fold:1x2", state_dir=tmp_path)
+        with pytest.raises(faults.InjectedFault):
+            first.trigger("fold", 1)
+        second = faults.parse_plan("raise@fold:1x2", state_dir=tmp_path)
+        assert second.fired(second.specs[0]) == 1
+        with pytest.raises(faults.InjectedFault):
+            second.trigger("fold", 1)
+        assert first.trigger("fold", 1) is None  # 2 fires spent everywhere
+
+    def test_env_install(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(faults.FAULTS_ENV, "raise@epoch:5")
+        monkeypatch.setenv(faults.FAULTS_STATE_ENV, str(tmp_path))
+        faults.clear()
+        plan = faults.active_plan()  # lazily loads the environment
+        assert plan is not None and plan.state_dir == tmp_path
+        with pytest.raises(faults.InjectedFault):
+            faults.check("epoch", 5)
+        assert (tmp_path / "raise@epoch:5x1.fired").stat().st_size == 1
+
+    def test_explicit_install_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "raise@epoch:0")
+        faults.install("raise@epoch:9")
+        assert faults.check("epoch", 0) is None
+        with pytest.raises(faults.InjectedFault):
+            faults.check("epoch", 9)
+
+
+class TestKillMode:
+    def test_kill_exits_with_known_code(self):
+        """``kill`` must die abruptly — run it in a scratch process."""
+        code = (
+            "from repro.resilience import faults\n"
+            "faults.install('kill@fold:0')\n"
+            "faults.check('fold', 0)\n"
+            "print('survived')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": SRC},
+        )
+        assert proc.returncode == faults.KILL_EXIT_CODE
+        assert "survived" not in proc.stdout

@@ -1,0 +1,246 @@
+"""The fault matrix: every injection point, interrupted run resumes bitwise.
+
+Covers the four instrumented points — ``fold`` (serial and in pool
+workers), ``cache_write``, ``checkpoint_write`` (exercised in
+test_checkpoint.py / test_trainer_resume.py), and ``epoch`` (exercised
+in test_trainer_resume.py) — plus the end-to-end subprocess kill where
+the whole interpreter dies mid-protocol and a rerun completes the CV.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro import cache as cache_mod
+from repro.eval import evaluate_kernel_svm, evaluate_neural_model
+from repro.kernels import WeisfeilerLehmanKernel
+from repro.parallel import parallelism_available
+from repro.resilience import FoldJournal, faults
+
+pytestmark = pytest.mark.faults
+
+needs_fork = pytest.mark.skipif(
+    not parallelism_available(), reason="fork pool unavailable on this platform"
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _kernel_cv(cv_dataset, **kwargs):
+    return evaluate_kernel_svm(
+        WeisfeilerLehmanKernel(2), cv_dataset, n_splits=4, seed=0, **kwargs
+    )
+
+
+class _ToyModel:
+    """Deterministic stand-in estimator: seed-derived validation curve."""
+
+    def __init__(self, fold: int) -> None:
+        self.fold = fold
+
+    def fit(self, graphs, y, validation=None):
+        rng = np.random.default_rng(100 + self.fold)
+        self.history_ = SimpleNamespace(
+            val_accuracy=list(rng.random(5) * 0.5 + 0.25)
+        )
+        return self
+
+
+def _neural_cv(cv_dataset, **kwargs):
+    return evaluate_neural_model(
+        _ToyModel, cv_dataset, n_splits=4, seed=0, name="toy", **kwargs
+    )
+
+
+class TestKernelJournalResume:
+    def test_crash_midway_then_resume_is_bitwise(self, tmp_path, cv_dataset):
+        baseline = _kernel_cv(cv_dataset)
+        faults.install("raise@fold:2")
+        with pytest.raises(faults.InjectedFault):
+            _kernel_cv(cv_dataset, checkpoint_dir=tmp_path)
+        faults.clear()
+        # Folds 0 and 1 are journaled; the rerun recomputes only 2 and 3.
+        journaled = sorted(_find_journal(tmp_path).load())
+        assert journaled == [0, 1]
+        resumed = _kernel_cv(cv_dataset, checkpoint_dir=tmp_path)
+        assert resumed.fold_accuracies == baseline.fold_accuracies
+        assert resumed.extra["selected_c"] == baseline.extra["selected_c"]
+
+    def test_completed_run_skips_every_fold(self, tmp_path, cv_dataset):
+        first = _kernel_cv(cv_dataset, checkpoint_dir=tmp_path)
+        # Poison the fold function: any recomputation would now explode.
+        faults.install("raise@fold:0x99,raise@fold:1x99,raise@fold:2x99,raise@fold:3x99")
+        again = _kernel_cv(cv_dataset, checkpoint_dir=tmp_path)
+        assert again.fold_accuracies == first.fold_accuracies
+
+    def test_no_resume_discards_journal(self, tmp_path, cv_dataset):
+        first = _kernel_cv(cv_dataset, checkpoint_dir=tmp_path)
+        journal = _find_journal(tmp_path)
+        journal.record(0, {"accuracy": -1.0, "selected_c": 1, "seconds": 0.0})
+        # resume=True replays the (poisoned) journal entry verbatim...
+        replayed = _kernel_cv(cv_dataset, checkpoint_dir=tmp_path)
+        assert replayed.fold_accuracies[0] == -1.0
+        # ...while resume=False wipes it and recomputes from scratch.
+        fresh = _kernel_cv(cv_dataset, checkpoint_dir=tmp_path, resume=False)
+        assert fresh.fold_accuracies == first.fold_accuracies
+
+    def test_config_change_never_reuses_journal(self, tmp_path, cv_dataset):
+        _kernel_cv(cv_dataset, checkpoint_dir=tmp_path)
+        other = evaluate_kernel_svm(
+            WeisfeilerLehmanKernel(1),  # different kernel -> different run key
+            cv_dataset,
+            n_splits=4,
+            seed=0,
+            checkpoint_dir=tmp_path,
+        )
+        run_dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(run_dirs) == 2
+        assert other.fold_accuracies  # computed, not replayed
+
+    def test_torn_journal_line_is_skipped(self, tmp_path, cv_dataset):
+        baseline = _kernel_cv(cv_dataset)
+        _kernel_cv(cv_dataset, checkpoint_dir=tmp_path)
+        journal = _find_journal(tmp_path)
+        with open(journal.path, "a") as fh:
+            fh.write('{"fold": 3, "result": {"accuracy"')  # torn write
+        resumed = _kernel_cv(cv_dataset, checkpoint_dir=tmp_path)
+        assert resumed.fold_accuracies == baseline.fold_accuracies
+
+
+class TestNeuralJournalResume:
+    def test_crash_midway_then_resume_is_bitwise(self, tmp_path, cv_dataset):
+        baseline = _neural_cv(cv_dataset)
+        faults.install("raise@fold:1")
+        with pytest.raises(faults.InjectedFault):
+            _neural_cv(cv_dataset, checkpoint_dir=tmp_path)
+        faults.clear()
+        resumed = _neural_cv(cv_dataset, checkpoint_dir=tmp_path)
+        assert resumed.fold_accuracies == baseline.fold_accuracies
+        assert resumed.best_epoch == baseline.best_epoch
+        assert resumed.extra["mean_curve"] == baseline.extra["mean_curve"]
+
+
+@needs_fork
+class TestParallelCrashRecovery:
+    def test_worker_kill_retries_then_matches_serial(self, tmp_path, cv_dataset):
+        """kill@fold once: the pool breaks, the requeue succeeds."""
+        baseline = _kernel_cv(cv_dataset)
+        state = tmp_path / "fault-state"
+        faults.install("kill@fold:2", state_dir=state)
+        survived = _kernel_cv(cv_dataset, workers=2)
+        assert survived.fold_accuracies == baseline.fold_accuracies
+
+    def test_repeated_worker_kill_degrades_to_serial(self, tmp_path, cv_dataset):
+        """kill@fold on every pool attempt: serial fallback completes."""
+        baseline = _kernel_cv(cv_dataset)
+        state = tmp_path / "fault-state"
+        # 3 pool attempts (initial + max_retries=2) all die; the fires
+        # budget is then spent, so the parent's serial pass survives.
+        faults.install("kill@fold:1x3", state_dir=state)
+        survived = _kernel_cv(cv_dataset, workers=2)
+        assert survived.fold_accuracies == baseline.fold_accuracies
+
+    def test_parallel_resume_composes_with_journal(self, tmp_path, cv_dataset):
+        baseline = _kernel_cv(cv_dataset)
+        state = tmp_path / "fault-state"
+        faults.install("kill@fold:3", state_dir=state)
+        resumed = _kernel_cv(
+            cv_dataset, workers=2, checkpoint_dir=tmp_path / "journal"
+        )
+        assert resumed.fold_accuracies == baseline.fold_accuracies
+        journaled = sorted(_find_journal(tmp_path / "journal").load())
+        assert journaled == [0, 1, 2, 3]
+
+
+class TestCacheWriteFaults:
+    def test_injected_raise_is_not_swallowed(self, tmp_path):
+        """put()'s best-effort except Exception must not eat the fault."""
+        cache = cache_mod.FeatureMapCache(cache_dir=tmp_path)
+        faults.install("raise@cache_write:0")
+        with pytest.raises(faults.InjectedFault):
+            cache.put("k" * 32, {"x": np.arange(3)}, namespace="t")
+
+    def test_corrupt_write_is_a_miss_on_read(self, tmp_path):
+        cache = cache_mod.FeatureMapCache(cache_dir=tmp_path)
+        faults.install("corrupt@cache_write:0")
+        key = "k" * 32
+        cache.put(key, {"x": np.arange(8)}, namespace="t")
+        fresh = cache_mod.FeatureMapCache(cache_dir=tmp_path)  # no memory tier hit
+        assert fresh.get(key, namespace="t") is None
+        assert fresh.stats.errors == 1  # detected, dropped, recomputable
+
+    def test_interrupted_write_leaves_no_file(self, tmp_path):
+        cache = cache_mod.FeatureMapCache(cache_dir=tmp_path)
+        faults.install("raise@cache_write:0")
+        key = "k" * 32
+        with pytest.raises(faults.InjectedFault):
+            cache.put(key, {"x": np.arange(3)}, namespace="t")
+        fresh = cache_mod.FeatureMapCache(cache_dir=tmp_path)
+        assert fresh.disk_usage()[0] == 0
+
+
+@pytest.mark.slow
+class TestSubprocessKill:
+    """The whole interpreter dies mid-CV; a rerun finishes the job."""
+
+    def _run_cli(self, checkpoint_dir, env_extra=None):
+        env = {**os.environ, "PYTHONPATH": SRC}
+        env.pop(faults.FAULTS_ENV, None)
+        env.pop(faults.FAULTS_STATE_ENV, None)
+        env.update(env_extra or {})
+        return subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "train",
+                "--dataset",
+                "MUTAG",
+                "--model",
+                "wl-svm",
+                "--scale",
+                "0.05",
+                "--folds",
+                "3",
+                "--checkpoint-dir",
+                str(checkpoint_dir),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+
+    def test_kill_mid_protocol_then_rerun_matches_clean(self, tmp_path):
+        clean = self._run_cli(tmp_path / "clean")
+        assert clean.returncode == 0, clean.stderr
+        killed = self._run_cli(
+            tmp_path / "crashed",
+            env_extra={
+                faults.FAULTS_ENV: "kill@fold:1",
+                faults.FAULTS_STATE_ENV: str(tmp_path / "state"),
+            },
+        )
+        assert killed.returncode == faults.KILL_EXIT_CODE
+        journaled = sorted(_find_journal(tmp_path / "crashed").load())
+        assert journaled == [0]  # fold 0 survived the crash
+        resumed = self._run_cli(tmp_path / "crashed")
+        assert resumed.returncode == 0, resumed.stderr
+        accuracy = [l for l in clean.stdout.splitlines() if "accuracy" in l]
+        resumed_accuracy = [
+            l for l in resumed.stdout.splitlines() if "accuracy" in l
+        ]
+        assert accuracy == resumed_accuracy != []
+
+
+def _find_journal(checkpoint_dir) -> FoldJournal:
+    paths = list(Path(checkpoint_dir).glob("*/folds.jsonl"))
+    assert len(paths) == 1, f"expected one journal, found {paths}"
+    return FoldJournal(paths[0])

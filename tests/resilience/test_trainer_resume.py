@@ -1,0 +1,190 @@
+"""Interrupt-at-any-epoch + resume == uninterrupted run, bitwise."""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    SGD,
+    Adam,
+    BatchNorm,
+    CheckpointCallback,
+    Dense,
+    Dropout,
+    EarlyStopping,
+    ReLU,
+    Sequential,
+    Trainer,
+)
+from repro.resilience import CheckpointManager, faults
+
+pytestmark = pytest.mark.faults
+
+EPOCHS = 6
+
+
+def _make_data(n=24, features=6, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, features))
+    y = rng.integers(0, classes, size=n)
+    return x, y
+
+
+def _make_net():
+    # Every stateful layer kind in one stack: weights (Dense), buffers
+    # (BatchNorm running stats), and an RNG stream (Dropout).
+    return Sequential(
+        [
+            Dense(6, 8, rng=1),
+            BatchNorm(8),
+            ReLU(),
+            Dropout(0.3, rng=2),
+            Dense(8, 3, rng=3),
+        ]
+    )
+
+
+def _train(
+    epochs=EPOCHS,
+    *,
+    checkpoint=None,
+    resume_from=None,
+    early_stopping=None,
+    optimizer_factory=None,
+):
+    net = _make_net()
+    trainer = Trainer(
+        optimizer_factory=optimizer_factory,
+        batch_size=8,
+        epochs=epochs,
+        seed=5,
+        early_stopping=early_stopping,
+    )
+    x, y = _make_data()
+    history = trainer.fit(
+        net, x, y, validation=(x, y), checkpoint=checkpoint, resume_from=resume_from
+    )
+    return net, history
+
+
+def _weights(net):
+    return [p.value.copy() for p in net.parameters()]
+
+
+def _assert_bitwise_equal(run_a, run_b):
+    net_a, hist_a = run_a
+    net_b, hist_b = run_b
+    for wa, wb in zip(_weights(net_a), _weights(net_b)):
+        assert np.array_equal(wa, wb)
+    assert hist_a.state_dict() == hist_b.state_dict()
+    # Buffers too: BatchNorm running statistics must match exactly.
+    bn_a = net_a.layers[1]
+    bn_b = net_b.layers[1]
+    assert np.array_equal(bn_a.running_mean, bn_b.running_mean)
+    assert np.array_equal(bn_a.running_var, bn_b.running_var)
+
+
+def _interrupt_and_resume(tmp_dir, interrupt_epoch, **train_kwargs):
+    """Train with a fault at ``interrupt_epoch``, then resume to the end."""
+    manager = CheckpointManager(tmp_dir, keep=None)
+    faults.install(f"raise@epoch:{interrupt_epoch}")
+    with pytest.raises(faults.InjectedFault):
+        _train(checkpoint=manager, **train_kwargs)
+    faults.clear()
+    return _train(resume_from=manager, **train_kwargs)
+
+
+class TestBitwiseResume:
+    @pytest.mark.parametrize("interrupt_epoch", [0, 2, 4])
+    def test_resume_matches_uninterrupted(self, tmp_path, interrupt_epoch):
+        baseline = _train()
+        resumed = _interrupt_and_resume(tmp_path, interrupt_epoch)
+        _assert_bitwise_equal(baseline, resumed)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda params: SGD(params, lr=0.05, momentum=0.9),
+            lambda params: Adam(params, lr=0.01),
+        ],
+        ids=["sgd-momentum", "adam"],
+    )
+    def test_optimizer_slots_survive_resume(self, tmp_path, factory):
+        baseline = _train(optimizer_factory=factory)
+        resumed = _interrupt_and_resume(tmp_path, 2, optimizer_factory=factory)
+        _assert_bitwise_equal(baseline, resumed)
+
+    def test_early_stopping_counters_survive_resume(self, tmp_path):
+        # A huge min_delta means nothing ever "improves": training stops
+        # after exactly `patience` non-improving epochs past the first.
+        make_es = lambda: EarlyStopping(patience=2, min_delta=10.0)  # noqa: E731
+        baseline = _train(early_stopping=make_es())
+        resumed = _interrupt_and_resume(tmp_path, 1, early_stopping=make_es())
+        _assert_bitwise_equal(baseline, resumed)
+        assert len(resumed[1].loss) == len(baseline[1].loss) < EPOCHS
+
+    @pytest.mark.slow
+    @settings(max_examples=8, deadline=None)
+    @given(interrupt_epoch=st.integers(min_value=0, max_value=EPOCHS - 2))
+    def test_any_prefix_interrupt_resumes_bitwise(self, interrupt_epoch):
+        """Property: every interrupt point yields a bitwise-equal resume."""
+        baseline = _train()
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            try:
+                resumed = _interrupt_and_resume(tmp_dir, interrupt_epoch)
+            finally:
+                faults.clear()
+        _assert_bitwise_equal(baseline, resumed)
+
+
+class TestResumeSources:
+    def test_resume_from_directory_path(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=None)
+        faults.install("raise@epoch:2")
+        with pytest.raises(faults.InjectedFault):
+            _train(checkpoint=manager)
+        faults.clear()
+        resumed = _train(resume_from=str(tmp_path))
+        _assert_bitwise_equal(_train(), resumed)
+
+    def test_resume_from_single_file(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=None)
+        _train(epochs=3, checkpoint=manager)
+        newest = manager.list()[-1]
+        net = _make_net()
+        x, y = _make_data()
+        trainer = Trainer(batch_size=8, epochs=EPOCHS, seed=5)
+        history = trainer.fit(
+            net, x, y, validation=(x, y), resume_from=newest.path
+        )
+        assert len(history.loss) == EPOCHS
+
+    def test_resume_from_empty_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            _train(resume_from=tmp_path)
+
+
+class TestCheckpointCallback:
+    def test_every_n_epochs(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=None)
+        _train(checkpoint=CheckpointCallback(manager, every=2))
+        assert [i.step for i in manager.list()] == [1, 3, 5]
+
+    def test_bare_manager_accepted(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=None)
+        _train(checkpoint=manager)
+        assert [i.step for i in manager.list()] == list(range(EPOCHS))
+
+    def test_retention_limit_applies(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        _train(checkpoint=manager)
+        assert [i.step for i in manager.list()] == [EPOCHS - 2, EPOCHS - 1]
+
+    def test_manager_without_save_rejected(self):
+        with pytest.raises(TypeError):
+            CheckpointCallback(object())
