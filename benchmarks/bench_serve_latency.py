@@ -1,0 +1,139 @@
+"""Serving latency/throughput bench: micro-batching under closed-loop load.
+
+Boots an in-process :class:`~repro.serve.http.ReproServer` on an
+ephemeral port, trains and registers a small DeepMap-WL model, then
+drives it with the closed-loop load generator at two concurrency levels:
+
+* ``concurrency=1`` — the no-batching baseline (one think-time-zero
+  client can never co-occupy the queue with itself), and
+* ``concurrency=8`` — the batching configuration from the acceptance
+  criteria: the mean fused batch size must exceed 1 graph per forward
+  pass, and every request must be answered with 200 or 429.
+
+Records p50/p95/p99 latency, throughput, shed counts and the mean fused
+batch size to ``BENCH_serve.json`` in the repo root, alongside an honest
+``cpu_count`` — batching gains depend on how many HTTP handler threads
+the box can actually run while the single inference worker is busy.
+
+Run with ``pytest benchmarks/bench_serve_latency.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks._common import CONFIG, bench_dataset, print_header
+from repro.core import deepmap_wl, save_model
+from repro.serve import ModelRegistry, ReproServer, ServeConfig, run_load
+
+#: Closed-loop worker counts benched against each other.
+BASELINE_CONCURRENCY = 1
+BATCHING_CONCURRENCY = 8
+#: Measurement window per load run (seconds).
+DURATION_S = 4.0
+#: JSON artifact path (repo root).
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+_cores = os.cpu_count() or 1
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into ``BENCH_serve.json`` (best effort)."""
+    results: dict = {}
+    if RESULT_PATH.exists():
+        try:
+            results = json.loads(RESULT_PATH.read_text())
+        except (OSError, ValueError):
+            results = {}
+    results["cpu_count"] = _cores
+    results["config"] = {
+        "scale": CONFIG.scale,
+        "epochs": CONFIG.epochs,
+        "seed": CONFIG.seed,
+        "duration_s": DURATION_S,
+        "max_batch": 32,
+        "max_wait_ms": 5.0,
+        "max_queue": 128,
+    }
+    results[section] = payload
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def test_serve_latency_and_batching(tmp_path):
+    print_header(
+        f"Serving latency: closed-loop {BASELINE_CONCURRENCY} vs "
+        f"{BATCHING_CONCURRENCY} workers ({_cores} CPUs)"
+    )
+    ds = bench_dataset("MUTAG")
+    model = deepmap_wl(h=2, r=3, epochs=CONFIG.epochs, seed=CONFIG.seed).fit(
+        ds.graphs, ds.y
+    )
+    path = tmp_path / "bench-model.pkl"
+    save_model(model, path)
+
+    registry = ModelRegistry()
+    registry.load(path)
+    server = ReproServer(
+        registry,
+        ServeConfig(port=0, max_batch=32, max_wait_ms=5.0, max_queue=128),
+    )
+    server.start()
+    try:
+        sections = {}
+        for concurrency in (BASELINE_CONCURRENCY, BATCHING_CONCURRENCY):
+            result = run_load(
+                server.url,
+                ds.graphs,
+                mode="closed",
+                endpoint="predict_proba",
+                concurrency=concurrency,
+                duration_s=DURATION_S,
+            )
+            sections[concurrency] = result
+            print(result.summary())
+    finally:
+        server.stop()
+
+    baseline = sections[BASELINE_CONCURRENCY]
+    batched = sections[BATCHING_CONCURRENCY]
+    _record("closed_loop_1", baseline.to_dict())
+    _record("closed_loop_8", batched.to_dict())
+
+    for result in (baseline, batched):
+        # Backpressure contract: nothing dropped, everything 200 or 429.
+        assert result.transport_errors == 0
+        assert result.answered == result.attempted
+        assert result.deadline_expired == 0 and not result.other_status
+        assert result.ok + result.shed == result.attempted
+        assert result.ok > 0
+        assert result.percentile_ms(50) <= result.percentile_ms(95)
+        assert result.percentile_ms(95) <= result.percentile_ms(99)
+
+    # The acceptance criterion: concurrency became fusion.  Eight
+    # think-time-zero workers against one inference thread must yield a
+    # mean fused batch strictly above one graph per forward pass.
+    assert batched.mean_batch_size is not None
+    assert batched.mean_batch_size > 1.0, (
+        f"no batching observed: mean batch {batched.mean_batch_size}"
+    )
+    _record(
+        "summary",
+        {
+            "baseline_p50_ms": round(baseline.percentile_ms(50), 3),
+            "batched_p50_ms": round(batched.percentile_ms(50), 3),
+            "baseline_throughput_rps": round(baseline.throughput_rps, 3),
+            "batched_throughput_rps": round(batched.throughput_rps, 3),
+            "throughput_gain": round(
+                batched.throughput_rps / baseline.throughput_rps, 3
+            )
+            if baseline.throughput_rps > 0
+            else None,
+            "mean_batch_size": round(batched.mean_batch_size, 3),
+        },
+    )
+    print(
+        f"throughput {baseline.throughput_rps:.1f} -> {batched.throughput_rps:.1f} ok/s, "
+        f"mean fused batch {batched.mean_batch_size:.2f} graphs"
+    )

@@ -6,6 +6,11 @@
 #                                   resume property tests)
 #   ./scripts/test-tiers.sh faults  the crash-recovery fault matrix only
 #                                   (tests/resilience, slow cases included)
+#   ./scripts/test-tiers.sh serve   the inference-serving tier: tests/serve
+#                                   plus an end-to-end CLI smoke test that
+#                                   boots `repro serve` on an ephemeral
+#                                   port, does one predict round-trip, and
+#                                   checks clean SIGINT shutdown
 #   ./scripts/test-tiers.sh full    tier 1 + slow, then tier 1 again with
 #                                   REPRO_WORKERS=2 so every fold-parallel
 #                                   code path runs through the fork pool
@@ -27,12 +32,16 @@ case "$tier" in
     faults)
         python -m pytest tests/resilience/ "$@"
         ;;
+    serve)
+        python -m pytest tests/serve/ "$@"
+        python scripts/serve_smoke.py
+        ;;
     full)
         python -m pytest tests/ "$@"
         REPRO_WORKERS=2 python -m pytest tests/ -m "not slow" "$@"
         ;;
     *)
-        echo "usage: $0 {fast|faults|full} [pytest args...]" >&2
+        echo "usage: $0 {fast|faults|serve|full} [pytest args...]" >&2
         exit 2
         ;;
 esac

@@ -16,6 +16,10 @@ Commands
     Inspect or empty the content-addressed feature-map cache.
 ``checkpoints ls|prune --checkpoint-dir DIR [--keep N]``
     Inspect or prune training checkpoints and fold journals.
+``serve --model PATH [--port N] [--max-batch B] [--max-wait-ms T]``
+    Serve a saved model over HTTP with dynamic micro-batching.
+``loadtest URL [--mode closed|open] [--rps R] [--duration S]``
+    Drive a running server and report latency/throughput percentiles.
 """
 
 from __future__ import annotations
@@ -54,10 +58,27 @@ crash recovery:
   repro train --no-resume          discard any previous journal first
   repro checkpoints ls|prune       inspect or prune checkpoints + journals
 
+inference serving:
+  repro serve --model model.pkl \\
+              --port 8080 --max-batch 32 --max-wait-ms 5
+                                   serve a saved model over HTTP; concurrent
+                                   single-graph requests fuse into one CNN
+                                   forward pass (flush on max-batch graphs or
+                                   max-wait-ms); a full admission queue sheds
+                                   with 429 + Retry-After instead of queueing
+                                   unboundedly; GET /metrics exposes queue
+                                   depth, batch-size histograms + shed counts
+  repro loadtest http://127.0.0.1:8080 \\
+              --mode closed --concurrency 8 --duration 5
+                                   closed- or open-loop (--mode open --rps R)
+                                   load generator; prints p50/p95/p99 latency,
+                                   throughput, and the mean fused batch size
+
 Instrumentation is off unless one of these flags is given (zero overhead
 by default).  Schema and metric names: docs/OBSERVABILITY.md; worker
 model and cache layout: docs/PARALLEL.md; checkpoint format, resume
-semantics and fault injection: docs/RESILIENCE.md.
+semantics and fault injection: docs/RESILIENCE.md; serving architecture
+and the backpressure contract: docs/SERVING.md.
 """
 
 MODEL_CHOICES = (
@@ -165,6 +186,101 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         metavar="N",
         help="checkpoints to retain per directory when pruning (default 3)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve a saved model over HTTP with micro-batching"
+    )
+    serve.add_argument(
+        "--model",
+        required=True,
+        metavar="PATH",
+        help="model file written by repro.core.persistence.save_model",
+    )
+    serve.add_argument(
+        "--name",
+        default="default",
+        help="registry slot name for the model (default: default)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 picks an ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="B",
+        help="flush a fused batch at B graphs (default 32)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        metavar="T",
+        help="flush a fused batch after T ms of coalescing (default 5)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        metavar="Q",
+        help="admission-queue bound; beyond it requests shed with 429 (default 128)",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=30000.0,
+        metavar="T",
+        help="default per-request deadline when the request sets none (default 30000)",
+    )
+    serve.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip the warm-up prediction at model load time",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest", help="drive a running serve endpoint and report latency"
+    )
+    loadtest.add_argument("url", metavar="URL", help="e.g. http://127.0.0.1:8080")
+    loadtest.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: workers fire back-to-back; open: fixed --rps schedule",
+    )
+    loadtest.add_argument(
+        "--rps", type=float, default=None, help="target request rate (open mode)"
+    )
+    loadtest.add_argument("--duration", type=float, default=5.0, metavar="S")
+    loadtest.add_argument("--concurrency", type=int, default=8, metavar="C")
+    loadtest.add_argument(
+        "--endpoint",
+        choices=("predict", "predict_proba"),
+        default="predict_proba",
+    )
+    loadtest.add_argument(
+        "--dataset",
+        default="MUTAG",
+        help="benchmark generator supplying the request graphs (default MUTAG)",
+    )
+    loadtest.add_argument("--scale", type=float, default=0.08)
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-request deadline sent with every request",
+    )
+    loadtest.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the full report as JSON to PATH",
     )
 
     report = sub.add_parser(
@@ -401,6 +517,78 @@ def _cmd_checkpoints(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serve import ModelRegistry, ReproServer, ServeConfig
+
+    registry = ModelRegistry(warm=not args.no_warm)
+    entry = registry.load(args.model, name=args.name)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        request_timeout_s=args.timeout_ms / 1000.0,
+    )
+    server = ReproServer(registry, config)
+    server.start()
+    # The exact "listening on" line is the startup contract scripts
+    # (e.g. the serve smoke tier) parse to learn the ephemeral port.
+    print(
+        f"listening on {server.url}  "
+        f"(model {entry.name} v{entry.version}: {entry.model.extractor.name}, "
+        f"max_batch={config.max_batch}, max_wait_ms={config.max_wait_ms:g}, "
+        f"max_queue={config.max_queue})",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down...", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.datasets import make_dataset
+    from repro.serve import ServeClient, run_load
+
+    if args.mode == "open" and not args.rps:
+        print("open-loop mode needs --rps", flush=True)
+        return 2
+    ds = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    client = ServeClient(args.url)
+    health = client.healthz()  # fail fast on a dead/missing server
+    client.close()
+    models = ", ".join(m["name"] for m in health.get("models", [])) or "none"
+    print(
+        f"target {args.url} up ({health.get('uptime_s', 0):.0f}s, models: {models}); "
+        f"sending {ds.name} graphs"
+    )
+    result = run_load(
+        args.url,
+        ds.graphs,
+        mode=args.mode,
+        endpoint=args.endpoint,
+        concurrency=args.concurrency,
+        duration_s=args.duration,
+        rps=args.rps,
+        timeout_ms=args.timeout_ms,
+    )
+    print(result.summary())
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json_mod.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"full report written to {args.json}")
+    return 0 if result.transport_errors == 0 else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import build_report, format_report, load_events
 
@@ -435,6 +623,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_checkpoints(args)
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

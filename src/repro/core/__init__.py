@@ -13,7 +13,7 @@ from repro.core.architecture import (
 )
 from repro.core.interpret import occlusion_scores, vertex_contributions
 from repro.core.model import DeepMapClassifier, deepmap_gk, deepmap_sp, deepmap_wl
-from repro.core.persistence import load_model, save_model
+from repro.core.persistence import ModelPersistenceError, load_model, save_model
 from repro.core.pipeline import DeepMapEncoder, EncodedDataset
 from repro.core.vertex_model import DeepMapVertexClassifier
 from repro.core.receptive_field import DUMMY, all_receptive_fields, receptive_field
@@ -36,6 +36,7 @@ __all__ = [
     "deepmap_wl",
     "save_model",
     "load_model",
+    "ModelPersistenceError",
     "DeepMapVertexClassifier",
     "vertex_contributions",
     "occlusion_scores",

@@ -200,19 +200,57 @@ class DeepMapClassifier:
         return self
 
     # ------------------------------------------------------------------
-    def predict(self, graphs: list[Graph]) -> np.ndarray:
-        """Predicted class labels for held-out graphs."""
+    def _chunks(self, graphs: list[Graph], chunk_size: int | None):
+        """Yield ``graphs`` in encode-sized chunks (one chunk when None).
+
+        Every inference stage — feature extraction, alignment, receptive
+        fields, the CNN forward — is per-graph independent, so chunking
+        changes peak memory (one ``(chunk, w*r, m)`` tensor at a time
+        instead of ``(n, w*r, m)``) but never the results: outputs are
+        bitwise-identical for any ``chunk_size``.
+        """
+        if chunk_size is None:
+            yield graphs
+            return
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, len(graphs), chunk_size):
+            yield graphs[start : start + chunk_size]
+
+    def predict(
+        self, graphs: list[Graph], chunk_size: int | None = None
+    ) -> np.ndarray:
+        """Predicted class labels for held-out graphs.
+
+        ``chunk_size`` bounds inference memory: graphs are encoded and
+        classified ``chunk_size`` at a time instead of materialising one
+        ``(n, w*r, m)`` tensor for the whole list.
+        """
         check_fitted(self, "network_")
         assert self.classes_ is not None
-        encoded = self.encode(graphs, fit=False)
-        idx = predict_labels(self.network_, encoded.tensors)
+        idx = np.concatenate(
+            [
+                predict_labels(self.network_, self.encode(chunk, fit=False).tensors)
+                for chunk in self._chunks(graphs, chunk_size)
+            ]
+        )
         return self.classes_[idx]
 
-    def predict_proba(self, graphs: list[Graph]) -> np.ndarray:
-        """Class-probability matrix for held-out graphs."""
+    def predict_proba(
+        self, graphs: list[Graph], chunk_size: int | None = None
+    ) -> np.ndarray:
+        """Class-probability matrix for held-out graphs.
+
+        ``chunk_size`` bounds inference memory exactly as in
+        :meth:`predict`; results are bitwise-identical either way.
+        """
         check_fitted(self, "network_")
-        encoded = self.encode(graphs, fit=False)
-        return predict_proba(self.network_, encoded.tensors)
+        return np.concatenate(
+            [
+                predict_proba(self.network_, self.encode(chunk, fit=False).tensors)
+                for chunk in self._chunks(graphs, chunk_size)
+            ]
+        )
 
     def score(self, graphs: list[Graph], y: np.ndarray | list) -> float:
         """Classification accuracy."""

@@ -5,8 +5,18 @@ extractor configuration, the frozen feature vocabulary, the encoder
 state, and the CNN weights.  :func:`save_model` serialises all of it to
 one file; :func:`load_model` restores a model that predicts identically.
 
+Format version 2 wraps the pickled model in an envelope carrying a
+BLAKE2b checksum of the payload bytes (the same digest primitive the
+resilience checkpoints use), so bit rot, truncation, or a torn copy is
+detected at load time instead of surfacing as silently wrong
+predictions — the serving registry (:mod:`repro.serve.registry`)
+depends on loads being trustworthy.  Version-1 files (no checksum) are
+still read; files from a future format raise
+:class:`ModelPersistenceError`.
+
 Uses :mod:`pickle` (stdlib) — the standard trade-off for scientific
-Python model checkpoints; only load files you trust.
+Python model checkpoints; the checksum authenticates *integrity*, not
+provenance, so still only load files you trust.
 """
 
 from __future__ import annotations
@@ -15,35 +25,68 @@ import pickle
 from pathlib import Path
 
 from repro.core.model import DeepMapClassifier
+from repro.resilience.checkpoint import blake2b_hexdigest
 from repro.utils.validation import check_fitted
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["ModelPersistenceError", "save_model", "load_model"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+
+class ModelPersistenceError(ValueError):
+    """The model file is corrupt, truncated, or from an unknown format."""
 
 
 def save_model(model: DeepMapClassifier, path: str | Path) -> None:
-    """Serialise a fitted DeepMap model to ``path``."""
+    """Serialise a fitted DeepMap model to ``path`` (format version 2)."""
     check_fitted(model, "network_")
+    blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
     payload = {
         "format_version": _FORMAT_VERSION,
-        "model": model,
+        "checksum": blake2b_hexdigest([blob]),
+        "model_bytes": blob,
     }
     with open(path, "wb") as fh:
         pickle.dump(payload, fh)
 
 
 def load_model(path: str | Path) -> DeepMapClassifier:
-    """Load a model previously written by :func:`save_model`."""
-    with open(path, "rb") as fh:
-        payload = pickle.load(fh)
+    """Load a model previously written by :func:`save_model`.
+
+    Verifies the envelope checksum before unpickling the payload and
+    raises :class:`ModelPersistenceError` on a mismatch, an unknown
+    format version, or a payload that is not a fitted DeepMap model.
+    """
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as exc:
+        raise ModelPersistenceError(f"unreadable model file {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ModelPersistenceError(f"{path} is not a DeepMap model file")
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported model file version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
+    if version == 1:
+        # Legacy envelope: the model object is stored directly, with no
+        # checksum to verify.
+        model = payload.get("model")
+    elif version == _FORMAT_VERSION:
+        blob = payload.get("model_bytes")
+        if not isinstance(blob, bytes):
+            raise ModelPersistenceError(f"{path} has no model payload")
+        digest = blake2b_hexdigest([blob])
+        if digest != payload.get("checksum"):
+            raise ModelPersistenceError(
+                f"checksum mismatch in {path}: file is corrupt "
+                f"(expected {payload.get('checksum')}, got {digest})"
+            )
+        model = pickle.loads(blob)
+    else:
+        raise ModelPersistenceError(
+            f"unsupported model file version {version!r} in {path} "
+            f"(this build reads versions 1..{_FORMAT_VERSION})"
         )
-    model = payload["model"]
     if not isinstance(model, DeepMapClassifier):
-        raise ValueError("file does not contain a DeepMapClassifier")
+        raise ModelPersistenceError(
+            f"{path} does not contain a DeepMapClassifier"
+        )
     return model

@@ -48,7 +48,17 @@ class Dense(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._x = x
-        out = x @ self.weight.value
+        if not training and x.ndim == 2:
+            # Inference must be *batch-composition invariant*: BLAS picks a
+            # different GEMM reduction order for narrow outputs depending on
+            # the number of rows, so `x @ W` on a fused serving batch would
+            # differ in the last bits from the same rows run alone.  One
+            # GEMM per sample (a 3D matmul) fixes the summation order per
+            # row regardless of batch size.  Training keeps the single
+            # fused GEMM: it never mixes batch compositions.
+            out = np.matmul(x[:, None, :], self.weight.value)[:, 0, :]
+        else:
+            out = x @ self.weight.value
         if self.bias is not None:
             out = out + self.bias.value
         return out

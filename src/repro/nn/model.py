@@ -24,7 +24,13 @@ from repro.resilience import faults
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_labels, check_positive
 
-__all__ = ["History", "Trainer", "predict_logits", "predict_labels"]
+__all__ = [
+    "History",
+    "Trainer",
+    "predict_logits",
+    "predict_labels",
+    "predict_proba",
+]
 
 Inputs = np.ndarray | tuple[np.ndarray, ...]
 

@@ -44,6 +44,7 @@ __all__ = [
     "CheckpointManager",
     "save_checkpoint",
     "load_checkpoint",
+    "blake2b_hexdigest",
 ]
 
 FORMAT_VERSION = 1
@@ -89,16 +90,32 @@ def _unflatten(value, arrays: dict[str, np.ndarray]):
     return value
 
 
-def _checksum(arrays: dict[str, np.ndarray]) -> str:
-    """Digest over array names, dtypes, shapes, and raw bytes."""
-    h = hashlib.blake2b(digest_size=16)
+def blake2b_hexdigest(chunks, digest_size: int = 16) -> str:
+    """BLAKE2b hex digest over an iterable of byte chunks.
+
+    The shared content-checksum primitive for self-verifying artifacts:
+    checkpoints digest their arrays through it, and
+    :mod:`repro.core.persistence` digests the pickled model payload so
+    :mod:`repro.serve` only ever loads byte-exact models.
+    """
+    h = hashlib.blake2b(digest_size=digest_size)
+    for chunk in chunks:
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def _array_chunks(arrays: dict[str, np.ndarray]):
     for name in sorted(arrays):
         arr = np.ascontiguousarray(arrays[name])
-        h.update(name.encode())
-        h.update(arr.dtype.str.encode())
-        h.update(repr(arr.shape).encode())
-        h.update(arr.tobytes())
-    return h.hexdigest()
+        yield name.encode()
+        yield arr.dtype.str.encode()
+        yield repr(arr.shape).encode()
+        yield arr.tobytes()
+
+
+def _checksum(arrays: dict[str, np.ndarray]) -> str:
+    """Digest over array names, dtypes, shapes, and raw bytes."""
+    return blake2b_hexdigest(_array_chunks(arrays))
 
 
 # ----------------------------------------------------------------------

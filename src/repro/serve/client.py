@@ -1,0 +1,154 @@
+"""Pure-python client for a :class:`~repro.serve.http.ReproServer`.
+
+Built on :mod:`http.client` with a persistent keep-alive connection
+(reconnecting transparently when the server closes it), so the load
+generator is not benchmarking TCP handshakes.  One :class:`ServeClient`
+belongs to one thread; spawn a client per worker.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.serve.codec import graph_to_json
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """Non-200 response from the server; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str, retry_after: float | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Thin blocking client: ``predict``, ``predict_proba``, ``healthz``, ``metrics``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {base_url!r}")
+        if parts.hostname is None:
+            raise ValueError(f"no host in URL {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One round-trip; returns ``(status, headers, body)`` uninterpreted.
+
+        Retries exactly once on a dead keep-alive connection (the server
+        restarting or idling out the socket); a second failure raises.
+        """
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                return (
+                    response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    data,
+                )
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _json_request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, headers, data = self.request(method, path, payload)
+        try:
+            parsed = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            parsed = {"error": data.decode(errors="replace")}
+        if status != 200:
+            retry_after = headers.get("retry-after")
+            raise ServeClientError(
+                status,
+                parsed.get("error", "request failed"),
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return parsed
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _payload(
+        graphs: list[Graph], model: str | None, timeout_ms: float | None
+    ) -> dict:
+        payload: dict = {"graphs": [graph_to_json(g) for g in graphs]}
+        if model is not None:
+            payload["model"] = model
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return payload
+
+    def predict(
+        self,
+        graphs: list[Graph],
+        model: str | None = None,
+        timeout_ms: float | None = None,
+    ) -> np.ndarray:
+        """Predicted class labels (``(n,)`` int array)."""
+        body = self._json_request(
+            "POST", "/v1/predict", self._payload(graphs, model, timeout_ms)
+        )
+        return np.asarray(body["labels"], dtype=np.int64)
+
+    def predict_proba(
+        self,
+        graphs: list[Graph],
+        model: str | None = None,
+        timeout_ms: float | None = None,
+    ) -> np.ndarray:
+        """Class-probability matrix (``(n, c)`` float array).
+
+        JSON floats round-trip exactly (shortest-repr encoding), so the
+        returned matrix is bitwise-identical to the server-side numpy
+        result.
+        """
+        body = self._json_request(
+            "POST", "/v1/predict_proba", self._payload(graphs, model, timeout_ms)
+        )
+        return np.asarray(body["proba"], dtype=np.float64)
+
+    def healthz(self) -> dict:
+        return self._json_request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """Raw Prometheus text from ``GET /metrics``."""
+        status, _, data = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeClientError(status, "metrics endpoint failed")
+        return data.decode()

@@ -1,0 +1,134 @@
+"""Wire format: JSON graphs <-> :class:`repro.graph.Graph`.
+
+One graph is the JSON object counterpart of the TU benchmark format
+(:mod:`repro.datasets.tu_format`): the same three per-graph ingredients —
+vertex count, undirected edge list, optional vertex labels — keyed
+explicitly instead of split across ``DS_A.txt`` / ``DS_graph_indicator``
+/ ``DS_node_labels`` files::
+
+    {"num_vertices": 5,
+     "edges": [[0, 1], [1, 2], [1, 3], [2, 4], [3, 4]],
+     "labels": [1, 4, 3, 3, 2]}          # optional; defaults to all zeros
+
+Vertex ids are 0-based (the in-memory convention) rather than the TU
+files' 1-based global ids; each undirected edge appears once.  A predict
+request wraps a list of such graphs::
+
+    {"graphs": [...], "model": "default", "timeout_ms": 2000}
+
+``model`` and ``timeout_ms`` are optional.  All parse errors raise
+:class:`CodecError` (a ``ValueError``) whose message is safe to return
+to the caller in a 400 response.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "CodecError",
+    "graph_from_json",
+    "graph_to_json",
+    "parse_predict_request",
+]
+
+#: Per-request graph-count ceiling: a single oversized request must not
+#: be able to monopolise the batcher (requests larger than ``max_batch``
+#: still run, but as their own batch).
+MAX_GRAPHS_PER_REQUEST = 1024
+
+
+class CodecError(ValueError):
+    """Malformed request payload; the message is client-safe."""
+
+
+def graph_from_json(obj: Any) -> Graph:
+    """Build a :class:`Graph` from its JSON-object form (validated)."""
+    if not isinstance(obj, dict):
+        raise CodecError(f"graph must be an object, got {type(obj).__name__}")
+    unknown = set(obj) - {"num_vertices", "edges", "labels"}
+    if unknown:
+        raise CodecError(f"unknown graph fields: {sorted(unknown)}")
+    try:
+        n = int(obj["num_vertices"])
+    except KeyError:
+        raise CodecError("graph is missing 'num_vertices'") from None
+    except (TypeError, ValueError):
+        raise CodecError("'num_vertices' must be an integer") from None
+    edges = obj.get("edges", [])
+    if not isinstance(edges, list):
+        raise CodecError("'edges' must be a list of [u, v] pairs")
+    pairs: list[tuple[int, int]] = []
+    for i, edge in enumerate(edges):
+        if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+            raise CodecError(f"edge {i} must be a [u, v] pair")
+        try:
+            pairs.append((int(edge[0]), int(edge[1])))
+        except (TypeError, ValueError):
+            raise CodecError(f"edge {i} endpoints must be integers") from None
+    labels = obj.get("labels")
+    if labels is not None:
+        if not isinstance(labels, list):
+            raise CodecError("'labels' must be a list of integers")
+        try:
+            labels = [int(v) for v in labels]
+        except (TypeError, ValueError):
+            raise CodecError("'labels' must be a list of integers") from None
+    try:
+        return Graph(n, pairs, labels)
+    except ValueError as exc:  # out-of-range edge, self-loop, bad labels...
+        raise CodecError(f"invalid graph: {exc}") from None
+
+
+def graph_to_json(graph: Graph) -> dict:
+    """JSON-object form of ``graph`` (inverse of :func:`graph_from_json`)."""
+    return {
+        "num_vertices": graph.n,
+        "edges": [[int(u), int(v)] for u, v in graph.edges],
+        "labels": [int(label) for label in graph.labels],
+    }
+
+
+def parse_predict_request(
+    body: bytes,
+) -> tuple[list[Graph], str | None, float | None]:
+    """Parse a predict request body.
+
+    Returns ``(graphs, model_name, timeout_s)`` where ``model_name`` and
+    ``timeout_s`` are ``None`` when the request leaves them to the
+    server's defaults.
+    """
+    try:
+        payload = json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise CodecError("request body must be a JSON object")
+    unknown = set(payload) - {"graphs", "model", "timeout_ms"}
+    if unknown:
+        raise CodecError(f"unknown request fields: {sorted(unknown)}")
+    raw_graphs = payload.get("graphs")
+    if not isinstance(raw_graphs, list) or not raw_graphs:
+        raise CodecError("'graphs' must be a non-empty list")
+    if len(raw_graphs) > MAX_GRAPHS_PER_REQUEST:
+        raise CodecError(
+            f"too many graphs in one request "
+            f"({len(raw_graphs)} > {MAX_GRAPHS_PER_REQUEST})"
+        )
+    graphs = [graph_from_json(g) for g in raw_graphs]
+    model = payload.get("model")
+    if model is not None and not isinstance(model, str):
+        raise CodecError("'model' must be a string")
+    timeout_s: float | None = None
+    timeout_ms = payload.get("timeout_ms")
+    if timeout_ms is not None:
+        try:
+            timeout_s = float(timeout_ms) / 1000.0
+        except (TypeError, ValueError):
+            raise CodecError("'timeout_ms' must be a number") from None
+        if timeout_s <= 0:
+            raise CodecError("'timeout_ms' must be > 0")
+    return graphs, model, timeout_s

@@ -1,0 +1,303 @@
+"""ThreadingHTTPServer front-end over the registry + micro-batcher.
+
+Endpoints
+---------
+``POST /v1/predict``
+    ``{"graphs": [...], "model": "default", "timeout_ms": 2000}`` ->
+    ``{"labels": [...], "model": ..., "version": ...}``.
+``POST /v1/predict_proba``
+    Same request -> ``{"proba": [[...]], "classes": [...], ...}``.
+``GET /healthz``
+    Liveness + loaded-model inventory + queue depths.
+``GET /metrics``
+    The process-wide :mod:`repro.obs` metrics registry in Prometheus
+    text-exposition format (queue depth, batch-size histograms, shed /
+    deadline counters, request latencies).
+
+Backpressure contract: every request is answered.  A full admission
+queue is ``429 Too Many Requests`` with a ``Retry-After`` header; an
+expired per-request deadline is ``504``; a stopped batcher is ``503``;
+malformed payloads are ``400``; unknown models are ``404``.  The server
+never sheds silently and never queues unboundedly.
+
+Handler threads only parse/serialise; all model work happens on the
+per-model batcher worker threads, so concurrency in the HTTP layer
+translates into *larger fused batches*, not into concurrent forward
+passes fighting over cores.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro import obs
+from repro.serve.batcher import (
+    BatcherStopped,
+    DeadlineExceeded,
+    MicroBatcher,
+    RequestShed,
+    register_serve_metrics,
+)
+from repro.serve.codec import CodecError, parse_predict_request
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["ServeConfig", "ReproServer"]
+
+#: Bucket edges for end-to-end request latency (seconds).
+REQUEST_SECONDS_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server tuning knobs (see ``docs/SERVING.md`` for guidance)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port from ReproServer.port
+    max_batch: int = 32
+    max_wait_ms: float = 5.0
+    max_queue: int = 128
+    request_timeout_s: float = 30.0
+    retry_after_s: int = 1
+
+
+class ReproServer:
+    """Owns the HTTP listener and one :class:`MicroBatcher` per model."""
+
+    def __init__(self, registry: ModelRegistry, config: ServeConfig | None = None) -> None:
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._batchers: dict[str, MicroBatcher] = {}
+        self._batcher_lock = threading.Lock()
+        self._started_at = 0.0
+        self._owns_obs = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ReproServer":
+        if self._httpd is not None:
+            return self
+        # /metrics serves the process-wide obs registry; a serving
+        # process wants it recording even when nobody asked for traces.
+        if not obs.enabled():
+            obs.enable()
+            self._owns_obs = True
+        # Expose the full serving surface from the first /metrics scrape,
+        # even before any request creates a batcher.
+        register_serve_metrics()
+        obs.histogram("serve_request_seconds", REQUEST_SECONDS_BUCKETS)
+        obs.counter("serve_internal_errors_total")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._started_at = time.time()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        obs.event("server_started", host=self.host, port=self.port)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        with self._batcher_lock:
+            batchers, self._batchers = dict(self._batchers), {}
+        for batcher in batchers.values():
+            batcher.stop()
+        if self._owns_obs:
+            obs.disable()
+            self._owns_obs = False
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        assert self._httpd is not None, "server not started"
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (meaningful with ``port=0``)."""
+        assert self._httpd is not None, "server not started"
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def batcher_for(self, name: str) -> MicroBatcher:
+        """Get or lazily create the batcher serving model ``name``."""
+        with self._batcher_lock:
+            batcher = self._batchers.get(name)
+            if batcher is None:
+                cfg = self.config
+                batcher = MicroBatcher(
+                    self._make_infer(name),
+                    max_batch=cfg.max_batch,
+                    max_wait_ms=cfg.max_wait_ms,
+                    max_queue=cfg.max_queue,
+                ).start()
+                self._batchers[name] = batcher
+            return batcher
+
+    def _make_infer(self, name: str):
+        """Fused forward over the *current* version of model ``name``.
+
+        The entry is resolved per batch, so a hot-swap takes effect at
+        the next batch boundary and every request in one batch is
+        answered by exactly one model version.
+        """
+
+        def infer(graphs):
+            entry = self.registry.get(name)
+            proba = entry.model.predict_proba(graphs)
+            extra = {
+                "model": entry.name,
+                "version": entry.version,
+                "classes": list(entry.classes),
+            }
+            return proba, extra
+
+        return infer
+
+    def queue_depths(self) -> dict[str, int]:
+        with self._batcher_lock:
+            return {name: b.depth() for name, b in sorted(self._batchers.items())}
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "models": self.registry.describe(),
+            "queues": self.queue_depths(),
+            "config": asdict(self.config),
+        }
+
+
+# ----------------------------------------------------------------------
+# Request handler
+# ----------------------------------------------------------------------
+
+def _make_handler(server: "ReproServer") -> type[BaseHTTPRequestHandler]:
+    """Bind a handler class to one :class:`ReproServer` instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve/1.0"
+        app = server
+
+        # Route stdlib request logging into the event log instead of
+        # stderr (no-op while obs is disabled).
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            obs.event("http_access", line=format % args)
+
+        # -- GET --------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            if self.path == "/healthz":
+                self._send_json(200, self.app.healthz())
+            elif self.path == "/metrics":
+                body = obs.get_metrics().to_promtext().encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._send_json(404, {"error": f"no such path: {self.path}"})
+
+        # -- POST -------------------------------------------------------
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            if self.path not in ("/v1/predict", "/v1/predict_proba"):
+                self._send_json(404, {"error": f"no such path: {self.path}"})
+                return
+            start = time.perf_counter()
+            status = 500
+            try:
+                status = self._handle_predict(want_proba=self.path.endswith("_proba"))
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                obs.counter("serve_internal_errors_total").inc()
+                self._send_json(500, {"error": f"internal error: {exc}"})
+            finally:
+                obs.histogram(
+                    "serve_request_seconds", REQUEST_SECONDS_BUCKETS
+                ).observe(time.perf_counter() - start)
+                obs.counter(f"serve_responses_{status}_total").inc()
+
+        def _handle_predict(self, want_proba: bool) -> int:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                graphs, model, timeout_s = parse_predict_request(
+                    self.rfile.read(length)
+                )
+            except CodecError as exc:
+                return self._send_json(400, {"error": str(exc)})
+            name = model or "default"
+            if timeout_s is None:
+                timeout_s = self.app.config.request_timeout_s
+            try:
+                self.app.registry.get(name)
+            except KeyError as exc:
+                return self._send_json(404, {"error": str(exc.args[0])})
+            batcher = self.app.batcher_for(name)
+            try:
+                proba, extra = batcher.submit(graphs, timeout_s=timeout_s)
+            except RequestShed as exc:
+                return self._send_json(
+                    429,
+                    {"error": str(exc)},
+                    headers={"Retry-After": str(self.app.config.retry_after_s)},
+                )
+            except DeadlineExceeded as exc:
+                return self._send_json(504, {"error": str(exc)})
+            except BatcherStopped as exc:
+                return self._send_json(503, {"error": str(exc)})
+            body = {"model": extra["model"], "version": extra["version"]}
+            if want_proba:
+                body["classes"] = extra["classes"]
+                body["proba"] = proba.tolist()
+            else:
+                classes = np.asarray(extra["classes"])
+                body["labels"] = classes[np.argmax(proba, axis=1)].tolist()
+            return self._send_json(200, body)
+
+        # -- plumbing ---------------------------------------------------
+        def _send_json(
+            self, status: int, payload: dict, headers: dict | None = None
+        ) -> int:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+            return status
+
+    return Handler

@@ -1,0 +1,304 @@
+"""Closed- and open-loop load generation against a serve endpoint.
+
+Two standard load models:
+
+* **closed-loop** — ``concurrency`` workers, each with its own
+  keep-alive client, issuing the next request the moment the previous
+  one finishes.  Offered load adapts to the server (classic
+  think-time-zero closed system); this is the model that demonstrates
+  micro-batching, because whenever the single inference worker is busy,
+  the other ``concurrency - 1`` requests pile into the admission queue
+  and fuse into one forward pass.
+* **open-loop** — requests fire on a fixed global schedule of ``rps``
+  regardless of completions (Poisson-less constant pacing).  Offered
+  load is independent of the server, so saturation shows up honestly as
+  shed (429) responses rather than as silently shrinking throughput.
+
+Every request's fate is recorded — 2xx, 429 (shed), other statuses,
+transport errors — so "no request silently dropped" is checkable:
+``attempted == ok + shed + other + transport_errors``.
+
+The report carries p50/p95/p99/mean latency, throughput over the
+measurement window, per-status counts, and the *mean fused batch size*
+observed server-side over the run (read from ``GET /metrics`` deltas of
+``serve_batch_size_sum`` / ``_count``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.serve.client import ServeClient
+
+__all__ = ["LoadResult", "parse_promtext", "run_load"]
+
+
+def parse_promtext(text: str) -> dict[str, float]:
+    """Scalar samples from a Prometheus text dump (labels ignored)."""
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            continue
+        name = parts[0]
+        if "{" in name:  # histogram buckets etc. — keep the bare series
+            continue
+        try:
+            values[name] = float(parts[1])
+        except ValueError:
+            continue
+    return values
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load run (see :func:`run_load`)."""
+
+    mode: str
+    endpoint: str
+    concurrency: int
+    target_rps: float | None
+    duration_s: float
+    attempted: int
+    ok: int
+    shed: int
+    deadline_expired: int
+    other_status: dict[int, int] = field(default_factory=dict)
+    transport_errors: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+    mean_batch_size: float | None = None
+    batches: int | None = None
+
+    # -- derived -------------------------------------------------------
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return float(np.percentile(self.latencies_ms, q))
+
+    @property
+    def answered(self) -> int:
+        """Requests that received *any* HTTP response."""
+        return self.ok + self.shed + self.deadline_expired + sum(
+            self.other_status.values()
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (benchmarks check this in as an artifact)."""
+        return {
+            "mode": self.mode,
+            "endpoint": self.endpoint,
+            "concurrency": self.concurrency,
+            "target_rps": self.target_rps,
+            "duration_s": round(self.duration_s, 4),
+            "attempted": self.attempted,
+            "ok": self.ok,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "other_status": {str(k): v for k, v in sorted(self.other_status.items())},
+            "transport_errors": self.transport_errors,
+            "throughput_rps": round(self.throughput_rps, 3),
+            "latency_ms": {
+                "p50": round(self.percentile_ms(50), 3),
+                "p95": round(self.percentile_ms(95), 3),
+                "p99": round(self.percentile_ms(99), 3),
+                "mean": round(float(np.mean(self.latencies_ms)), 3)
+                if self.latencies_ms
+                else None,
+            },
+            "mean_batch_size": round(self.mean_batch_size, 3)
+            if self.mean_batch_size is not None
+            else None,
+            "batches": self.batches,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"{self.mode}-loop load: {self.attempted} requests in "
+            f"{self.duration_s:.2f}s ({self.concurrency} workers"
+            + (f", target {self.target_rps:g} rps" if self.target_rps else "")
+            + ")",
+            f"  ok {self.ok}  shed(429) {self.shed}  "
+            f"deadline(504) {self.deadline_expired}  "
+            f"other {sum(self.other_status.values())}  "
+            f"transport-errors {self.transport_errors}",
+            f"  throughput: {self.throughput_rps:.1f} ok/s",
+            f"  latency ms: p50 {self.percentile_ms(50):.2f}  "
+            f"p95 {self.percentile_ms(95):.2f}  p99 {self.percentile_ms(99):.2f}",
+        ]
+        if self.mean_batch_size is not None:
+            lines.append(
+                f"  server batching: {self.batches} batches, "
+                f"mean {self.mean_batch_size:.2f} graphs/forward-pass"
+            )
+        return "\n".join(lines)
+
+
+class _Stats:
+    """Mutable per-worker tallies merged after the run."""
+
+    __slots__ = ("attempted", "ok", "shed", "deadline", "other", "errors", "latencies")
+
+    def __init__(self) -> None:
+        self.attempted = 0
+        self.ok = 0
+        self.shed = 0
+        self.deadline = 0
+        self.other: dict[int, int] = {}
+        self.errors = 0
+        self.latencies: list[float] = []
+
+    def record(self, status: int | None, elapsed_s: float) -> None:
+        self.attempted += 1
+        if status is None:
+            self.errors += 1
+            return
+        if status == 200:
+            self.ok += 1
+            self.latencies.append(elapsed_s * 1000.0)
+        elif status == 429:
+            self.shed += 1
+        elif status == 504:
+            self.deadline += 1
+        else:
+            self.other[status] = self.other.get(status, 0) + 1
+
+
+def _batch_size_counters(url: str) -> tuple[float, float]:
+    """(sum, count) of the server's ``serve_batch_size`` histogram."""
+    client = ServeClient(url)
+    try:
+        values = parse_promtext(client.metrics())
+    finally:
+        client.close()
+    return values.get("serve_batch_size_sum", 0.0), values.get(
+        "serve_batch_size_count", 0.0
+    )
+
+
+def run_load(
+    url: str,
+    graphs: list[Graph],
+    *,
+    mode: str = "closed",
+    endpoint: str = "predict_proba",
+    concurrency: int = 8,
+    duration_s: float = 5.0,
+    rps: float | None = None,
+    timeout_ms: float | None = None,
+    model: str | None = None,
+) -> LoadResult:
+    """Drive ``url`` with single-graph requests drawn round-robin from ``graphs``.
+
+    ``mode="open"`` requires ``rps``; ``mode="closed"`` ignores it.
+    Returns a :class:`LoadResult`; raises only on setup errors (a dead
+    server mid-run is tallied as transport errors, not raised).
+    """
+    if not graphs:
+        raise ValueError("need at least one graph to send")
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if endpoint not in ("predict", "predict_proba"):
+        raise ValueError(f"unknown endpoint {endpoint!r}")
+    if mode == "open" and (rps is None or rps <= 0):
+        raise ValueError("open-loop mode needs rps > 0")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+
+    path = f"/v1/{endpoint}"
+    sum0, count0 = _batch_size_counters(url)
+    stats = [_Stats() for _ in range(concurrency)]
+    start = time.perf_counter()
+    end_at = start + duration_s
+    ticket_lock = threading.Lock()
+    next_ticket = 0
+
+    def take_ticket() -> int:
+        nonlocal next_ticket
+        with ticket_lock:
+            ticket, next_ticket = next_ticket, next_ticket + 1
+        return ticket
+
+    def one_request(client: ServeClient, index: int, tally: _Stats) -> None:
+        graph = graphs[index % len(graphs)]
+        payload = ServeClient._payload([graph], model, timeout_ms)
+        t0 = time.perf_counter()
+        try:
+            status, _, _ = client.request("POST", path, payload)
+        except OSError:
+            status = None
+        tally.record(status, time.perf_counter() - t0)
+
+    def closed_worker(worker: int) -> None:
+        client = ServeClient(url)
+        tally = stats[worker]
+        k = 0
+        try:
+            while time.perf_counter() < end_at:
+                one_request(client, worker + k * concurrency, tally)
+                k += 1
+        finally:
+            client.close()
+
+    def open_worker(worker: int) -> None:
+        client = ServeClient(url)
+        tally = stats[worker]
+        assert rps is not None
+        try:
+            while True:
+                ticket = take_ticket()
+                fire_at = start + ticket / rps
+                if fire_at >= end_at:
+                    return
+                delay = fire_at - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                one_request(client, ticket, tally)
+        finally:
+            client.close()
+
+    target = closed_worker if mode == "closed" else open_worker
+    threads = [
+        threading.Thread(target=target, args=(i,), name=f"loadgen-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    sum1, count1 = _batch_size_counters(url)
+    d_sum, d_count = sum1 - sum0, count1 - count0
+
+    result = LoadResult(
+        mode=mode,
+        endpoint=endpoint,
+        concurrency=concurrency,
+        target_rps=rps,
+        duration_s=elapsed,
+        attempted=sum(s.attempted for s in stats),
+        ok=sum(s.ok for s in stats),
+        shed=sum(s.shed for s in stats),
+        deadline_expired=sum(s.deadline for s in stats),
+        transport_errors=sum(s.errors for s in stats),
+        latencies_ms=[x for s in stats for x in s.latencies],
+        mean_batch_size=(d_sum / d_count) if d_count > 0 else None,
+        batches=int(d_count) if d_count > 0 else None,
+    )
+    for s in stats:
+        for status, count in s.other.items():
+            result.other_status[status] = result.other_status.get(status, 0) + count
+    return result

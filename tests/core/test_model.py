@@ -116,3 +116,49 @@ class TestErrors:
         model = deepmap_wl(h=1, r=2, epochs=2, seed=0, readout="concat")
         model.fit(graphs, y)
         assert model.predict(graphs).shape == (len(graphs),)
+
+
+class TestChunkedInference:
+    """``chunk_size`` bounds memory without changing a single bit."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        from repro.graph import ensure_connected, erdos_renyi
+
+        rng = np.random.default_rng(42)
+        graphs, labels = [], []
+        for i in range(12):
+            g = erdos_renyi(8, 0.25 if i % 2 == 0 else 0.6, rng)
+            g = ensure_connected(g, rng)
+            graphs.append(g.with_labels((np.arange(8) % 3).tolist()))
+            labels.append(i % 2)
+        y = np.array(labels)
+        return graphs, deepmap_wl(h=1, r=3, epochs=3, seed=0).fit(graphs, y)
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 5, 100])
+    def test_predict_proba_chunked_bitwise_equal(self, fitted, chunk_size):
+        graphs, model = fitted
+        full = model.predict_proba(graphs)
+        chunked = model.predict_proba(graphs, chunk_size=chunk_size)
+        np.testing.assert_array_equal(full, chunked)
+
+    @pytest.mark.parametrize("chunk_size", [1, 4])
+    def test_predict_chunked_bitwise_equal(self, fitted, chunk_size):
+        graphs, model = fitted
+        np.testing.assert_array_equal(
+            model.predict(graphs), model.predict(graphs, chunk_size=chunk_size)
+        )
+
+    def test_subset_inference_bitwise_equal(self, fitted):
+        """Batch-composition invariance: scoring a subset alone must equal
+        the corresponding rows of the full-batch result (this is what lets
+        the serving layer fuse concurrent requests)."""
+        graphs, model = fitted
+        full = model.predict_proba(graphs)
+        np.testing.assert_array_equal(full[:3], model.predict_proba(graphs[:3]))
+        np.testing.assert_array_equal(full[7:], model.predict_proba(graphs[7:]))
+
+    def test_bad_chunk_size_rejected(self, fitted):
+        graphs, model = fitted
+        with pytest.raises(ValueError, match="chunk_size"):
+            model.predict_proba(graphs, chunk_size=0)

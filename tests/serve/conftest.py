@@ -1,0 +1,59 @@
+"""Fixtures for the inference-serving tests.
+
+Training even a tiny DeepMap model dominates test wall time, so the
+fitted model, its saved artifact, and a live server are session-scoped;
+individual tests spin up their own server only when they need special
+tuning (tiny queues, slow fake models).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import deepmap_wl, save_model
+from repro.graph import ensure_connected, erdos_renyi
+from repro.serve import ModelRegistry, ReproServer, ServeConfig
+
+
+def make_training_set(n: int = 12, size: int = 8, seed: int = 42):
+    """Small two-class dataset (sparse vs dense random graphs)."""
+    rng = np.random.default_rng(seed)
+    graphs, labels = [], []
+    for i in range(n):
+        g = erdos_renyi(size, 0.25 if i % 2 == 0 else 0.6, rng)
+        g = ensure_connected(g, rng)
+        graphs.append(g.with_labels((np.arange(size) % 3).tolist()))
+        labels.append(i % 2)
+    return graphs, np.array(labels)
+
+
+@pytest.fixture(scope="session")
+def train_data():
+    return make_training_set()
+
+
+@pytest.fixture(scope="session")
+def serve_model(train_data):
+    graphs, y = train_data
+    return deepmap_wl(h=1, r=3, epochs=3, seed=0).fit(graphs, y)
+
+
+@pytest.fixture(scope="session")
+def model_path(serve_model, tmp_path_factory):
+    path = tmp_path_factory.mktemp("models") / "deepmap-wl.pkl"
+    save_model(serve_model, path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def live_server(model_path):
+    """One shared server on an ephemeral port, default batching config."""
+    registry = ModelRegistry()
+    registry.load(model_path)
+    server = ReproServer(
+        registry, ServeConfig(port=0, max_batch=16, max_wait_ms=5.0, max_queue=64)
+    )
+    server.start()
+    yield server
+    server.stop()

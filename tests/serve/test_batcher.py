@@ -1,0 +1,299 @@
+"""MicroBatcher tests: fusing, flushing, shedding, deadlines, correctness.
+
+The crown jewel is the batch-composition-invariance property: a fused
+forward pass over concurrently submitted requests must be *bitwise*
+identical to running every request alone.  The inference ``Dense`` path
+fixes its GEMM summation order per row precisely so this holds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.serve import (
+    BatcherStopped,
+    DeadlineExceeded,
+    MicroBatcher,
+    RequestShed,
+)
+from tests.conftest import random_graphs
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def metrics():
+    """Obs enabled for the test (left alone if a live server owns it)."""
+    was_enabled = obs.enabled()
+    if not was_enabled:
+        obs.enable()
+    yield obs.get_metrics()
+    if not was_enabled:
+        obs.disable()
+
+
+class RecordingInfer:
+    """Fake model: echoes items as a column vector, records batch sizes."""
+
+    def __init__(self) -> None:
+        self.batch_sizes: list[int] = []
+        self.lock = threading.Lock()
+
+    def __call__(self, items):
+        with self.lock:
+            self.batch_sizes.append(len(items))
+        return np.asarray(items, dtype=float).reshape(-1, 1), {"model": "echo"}
+
+
+class BlockingInfer(RecordingInfer):
+    """Echo infer that parks on an event so tests can pile up a queue."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def __call__(self, items):
+        self.entered.set()
+        assert self.release.wait(timeout=10.0), "test never released the batcher"
+        return super().__call__(items)
+
+
+def submit_concurrently(batcher, payloads, timeout_s=None):
+    """Submit each payload from its own thread; return results/errors in order."""
+    results = [None] * len(payloads)
+    errors = [None] * len(payloads)
+    barrier = threading.Barrier(len(payloads))
+
+    def worker(i):
+        barrier.wait()
+        try:
+            results[i] = batcher.submit(payloads[i], timeout_s=timeout_s)
+        except Exception as exc:  # noqa: BLE001 - re-raised by callers
+            errors[i] = exc
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(payloads))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=15.0)
+    return results, errors
+
+
+class TestFusing:
+    def test_single_request_roundtrip(self, metrics):
+        infer = RecordingInfer()
+        batcher = MicroBatcher(infer, max_wait_ms=0).start()
+        try:
+            proba, extra = batcher.submit([3.0, 4.0])
+            np.testing.assert_array_equal(proba, [[3.0], [4.0]])
+            assert extra == {"model": "echo"}
+        finally:
+            batcher.stop()
+
+    def test_concurrent_requests_fuse_into_one_batch(self, metrics):
+        infer = RecordingInfer()
+        batcher = MicroBatcher(infer, max_batch=4, max_wait_ms=500).start()
+        try:
+            results, errors = submit_concurrently(batcher, [[1.0], [2.0], [3.0], [4.0]])
+        finally:
+            batcher.stop()
+        assert errors == [None] * 4
+        # Filling max_batch flushes well before the 500 ms window ends,
+        # and each request gets exactly its own slice back.
+        assert infer.batch_sizes == [4]
+        for i, (proba, _) in enumerate(results):
+            np.testing.assert_array_equal(proba, [[i + 1.0]])
+
+    def test_max_wait_flushes_a_partial_batch(self, metrics):
+        infer = RecordingInfer()
+        batcher = MicroBatcher(infer, max_batch=100, max_wait_ms=40).start()
+        try:
+            start = time.monotonic()
+            results, errors = submit_concurrently(batcher, [[1.0], [2.0]])
+            elapsed = time.monotonic() - start
+        finally:
+            batcher.stop()
+        assert errors == [None, None]
+        assert sum(infer.batch_sizes) == 2
+        assert elapsed < 5.0  # flushed by the wait timer, not max_batch
+
+    def test_oversized_request_carries_over(self, metrics):
+        infer = RecordingInfer()
+        batcher = MicroBatcher(infer, max_batch=3, max_wait_ms=200).start()
+        try:
+            results, errors = submit_concurrently(batcher, [[1.0, 2.0], [3.0, 4.0]])
+        finally:
+            batcher.stop()
+        assert errors == [None, None]
+        # 2 + 2 graphs cannot share a max_batch=3 pass: the second request
+        # is carried into its own batch rather than split or dropped.
+        assert sorted(infer.batch_sizes) == [2, 2]
+        answered = sorted(tuple(p[:, 0]) for p, _ in results)
+        assert answered == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_request_larger_than_max_batch_still_runs(self, metrics):
+        infer = RecordingInfer()
+        batcher = MicroBatcher(infer, max_batch=2, max_wait_ms=0).start()
+        try:
+            proba, _ = batcher.submit([1.0, 2.0, 3.0, 4.0, 5.0])
+        finally:
+            batcher.stop()
+        np.testing.assert_array_equal(proba[:, 0], [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert infer.batch_sizes == [5]
+
+
+class TestBackpressure:
+    def test_full_queue_sheds(self, metrics):
+        infer = BlockingInfer()
+        batcher = MicroBatcher(infer, max_batch=1, max_wait_ms=0, max_queue=2).start()
+        shed_before = metrics.counter("serve_requests_shed_total").value
+        holders = []
+        try:
+            # Occupy the worker, then fill the admission queue.
+            t = threading.Thread(target=lambda: holders.append(batcher.submit([0.0])))
+            t.start()
+            assert infer.entered.wait(timeout=5.0)
+            queued = [
+                threading.Thread(target=lambda v=v: holders.append(batcher.submit([v])))
+                for v in (1.0, 2.0)
+            ]
+            for q in queued:
+                q.start()
+            deadline = time.monotonic() + 5.0
+            while batcher.depth() < 2 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            with pytest.raises(RequestShed, match="admission queue full"):
+                batcher.submit([9.0])
+            assert metrics.counter("serve_requests_shed_total").value == shed_before + 1
+            infer.release.set()
+            t.join(timeout=5.0)
+            for q in queued:
+                q.join(timeout=5.0)
+        finally:
+            infer.release.set()
+            batcher.stop()
+        # Shedding refused the overflow request but lost nothing admitted.
+        assert len(holders) == 3
+
+    def test_deadline_expires_while_worker_is_busy(self, metrics):
+        infer = BlockingInfer()
+        batcher = MicroBatcher(infer, max_batch=1, max_wait_ms=0).start()
+        try:
+            t = threading.Thread(target=lambda: batcher.submit([0.0]))
+            t.start()
+            assert infer.entered.wait(timeout=5.0)
+            with pytest.raises(DeadlineExceeded):
+                batcher.submit([1.0], timeout_s=0.05)
+            infer.release.set()
+            t.join(timeout=5.0)
+        finally:
+            infer.release.set()
+            batcher.stop()
+
+    def test_stop_answers_queued_requests(self, metrics):
+        infer = BlockingInfer()
+        batcher = MicroBatcher(infer, max_batch=1, max_wait_ms=0).start()
+        errors = []
+
+        def queued():
+            try:
+                batcher.submit([1.0])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        t0 = threading.Thread(target=lambda: batcher.submit([0.0]))
+        t0.start()
+        assert infer.entered.wait(timeout=5.0)
+        t1 = threading.Thread(target=queued)
+        t1.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.depth() < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        batcher.stop(timeout=0.1)  # worker still parked in infer
+        infer.release.set()
+        t0.join(timeout=5.0)
+        t1.join(timeout=5.0)
+        assert len(errors) == 1 and isinstance(errors[0], BatcherStopped)
+
+    def test_submit_after_stop_raises(self):
+        batcher = MicroBatcher(RecordingInfer()).start()
+        batcher.stop()
+        with pytest.raises(BatcherStopped):
+            batcher.submit([1.0])
+
+    def test_infer_errors_propagate_to_every_request(self, metrics):
+        def broken(items):
+            raise ValueError("boom")
+
+        batcher = MicroBatcher(broken, max_batch=4, max_wait_ms=30).start()
+        try:
+            _, errors = submit_concurrently(batcher, [[1.0], [2.0]])
+        finally:
+            batcher.stop()
+        assert all(isinstance(e, ValueError) and "boom" in str(e) for e in errors)
+
+    def test_empty_submit_rejected(self):
+        batcher = MicroBatcher(RecordingInfer()).start()
+        try:
+            with pytest.raises(ValueError, match="at least one graph"):
+                batcher.submit([])
+        finally:
+            batcher.stop()
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_batch": 0}, {"max_wait_ms": -1}, {"max_queue": 0}]
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroBatcher(RecordingInfer(), **kwargs)
+
+
+class TestBitwiseInvariance:
+    """Fused batches must equal per-request inference bit for bit."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.data_too_large],
+    )
+    @given(graph_lists=st.lists(random_graphs(), min_size=1, max_size=6))
+    def test_model_batching_is_bitwise_invariant(self, serve_model, graph_lists):
+        batched = serve_model.predict_proba(graph_lists)
+        serial = np.concatenate(
+            [serve_model.predict_proba([g]) for g in graph_lists]
+        )
+        np.testing.assert_array_equal(batched, serial)
+
+    def test_fused_batcher_pass_matches_serial_model(self, serve_model, train_data):
+        graphs, _ = train_data
+
+        def infer(batch):
+            return serve_model.predict_proba(batch), {"model": "wl"}
+
+        batcher = MicroBatcher(infer, max_batch=32, max_wait_ms=100).start()
+        infer_sizes: list[int] = []
+        real_infer = batcher.infer
+
+        def counting(batch):
+            infer_sizes.append(len(batch))
+            return real_infer(batch)
+
+        batcher.infer = counting
+        try:
+            results, errors = submit_concurrently(batcher, [[g] for g in graphs])
+        finally:
+            batcher.stop()
+        assert errors == [None] * len(graphs)
+        fused = np.concatenate([proba for proba, _ in results])
+        serial = np.concatenate([serve_model.predict_proba([g]) for g in graphs])
+        np.testing.assert_array_equal(fused, serial)
+        # The whole point: concurrency became fusion, not serial passes.
+        assert max(infer_sizes) > 1

@@ -1,0 +1,116 @@
+"""Wire-format tests: JSON graphs <-> Graph, request parsing."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import Graph
+from repro.serve.codec import (
+    MAX_GRAPHS_PER_REQUEST,
+    CodecError,
+    graph_from_json,
+    graph_to_json,
+    parse_predict_request,
+)
+from tests.conftest import random_graphs
+
+pytestmark = pytest.mark.serve
+
+
+class TestGraphJson:
+    def test_roundtrip(self, paper_example_graph):
+        obj = graph_to_json(paper_example_graph)
+        restored = graph_from_json(obj)
+        assert restored == paper_example_graph
+
+    def test_roundtrip_through_json_text(self, triangle):
+        restored = graph_from_json(json.loads(json.dumps(graph_to_json(triangle))))
+        assert restored == triangle
+
+    @settings(max_examples=50, deadline=None)
+    @given(graph=random_graphs())
+    def test_roundtrip_property(self, graph):
+        assert graph_from_json(graph_to_json(graph)) == graph
+
+    def test_labels_optional(self):
+        g = graph_from_json({"num_vertices": 3, "edges": [[0, 1], [1, 2]]})
+        assert np.array_equal(g.labels, [0, 0, 0])
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            "not an object",
+            {},
+            {"num_vertices": "three"},
+            {"num_vertices": 3, "edges": "nope"},
+            {"num_vertices": 3, "edges": [[0]]},
+            {"num_vertices": 3, "edges": [[0, "x"]]},
+            {"num_vertices": 3, "edges": [[0, 5]]},  # out of range
+            {"num_vertices": 3, "edges": [[1, 1]]},  # self-loop
+            {"num_vertices": 3, "labels": [0]},  # wrong length
+            {"num_vertices": 3, "labels": "abc"},
+            {"num_vertices": 3, "weights": [1.0]},  # unknown field
+        ],
+    )
+    def test_bad_graphs_rejected(self, obj):
+        with pytest.raises(CodecError):
+            graph_from_json(obj)
+
+
+class TestRequestParsing:
+    def _body(self, payload) -> bytes:
+        return json.dumps(payload).encode()
+
+    def test_full_request(self, triangle):
+        body = self._body(
+            {"graphs": [graph_to_json(triangle)], "model": "m", "timeout_ms": 1500}
+        )
+        graphs, model, timeout_s = parse_predict_request(body)
+        assert graphs == [triangle]
+        assert model == "m"
+        assert timeout_s == pytest.approx(1.5)
+
+    def test_defaults(self, triangle):
+        graphs, model, timeout_s = parse_predict_request(
+            self._body({"graphs": [graph_to_json(triangle)]})
+        )
+        assert len(graphs) == 1 and model is None and timeout_s is None
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"",
+            b"not json",
+            b"[1, 2]",
+            b'{"graphs": []}',
+            b'{"graphs": "x"}',
+            b'{"graphs": [{"num_vertices": 1}], "model": 7}',
+            b'{"graphs": [{"num_vertices": 1}], "timeout_ms": "soon"}',
+            b'{"graphs": [{"num_vertices": 1}], "timeout_ms": -3}',
+            b'{"graphs": [{"num_vertices": 1}], "mystery": true}',
+        ],
+    )
+    def test_bad_requests_rejected(self, body):
+        with pytest.raises(CodecError):
+            parse_predict_request(body)
+
+    def test_oversized_request_rejected(self):
+        graphs = [{"num_vertices": 1, "edges": []}] * (MAX_GRAPHS_PER_REQUEST + 1)
+        with pytest.raises(CodecError, match="too many graphs"):
+            parse_predict_request(self._body({"graphs": graphs}))
+
+    def test_error_messages_are_client_safe(self):
+        try:
+            parse_predict_request(b'{"graphs": [{"num_vertices": 2, "edges": [[0, 0]]}]}')
+        except CodecError as exc:
+            assert "self-loop" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected CodecError")
+
+    def test_graph_equality_preserves_structure(self):
+        g = Graph(4, [(0, 1), (2, 3)], [1, 0, 2, 0])
+        assert graph_from_json(graph_to_json(g)) == g

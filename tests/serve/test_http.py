@@ -1,0 +1,244 @@
+"""HTTP front-end tests: endpoints, status-code contract, metrics.
+
+The acceptance property lives here too: concurrent single-graph requests
+against a live server return probabilities *bitwise identical* to an
+in-process ``predict_proba`` — JSON's shortest-repr float encoding
+round-trips exactly, so not even the wire blurs the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve import MicroBatcher, ServeClient, ServeClientError
+from tests.conftest import random_graphs
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def client(live_server):
+    c = ServeClient(live_server.url)
+    yield c
+    c.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, client, live_server):
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0
+        models = {m["name"]: m for m in body["models"]}
+        assert models["default"]["feature_map"] == "wl"
+        assert body["config"]["max_batch"] == 16
+
+    def test_predict_proba_matches_in_process_bitwise(
+        self, client, serve_model, train_data
+    ):
+        graphs, _ = train_data
+        remote = client.predict_proba(graphs)
+        local = serve_model.predict_proba(graphs)
+        np.testing.assert_array_equal(remote, local)
+
+    def test_predict_labels_are_argmax_of_proba(self, client, serve_model, train_data):
+        graphs, _ = train_data
+        labels = client.predict(graphs)
+        proba = serve_model.predict_proba(graphs)
+        classes = np.asarray(serve_model.classes_)
+        np.testing.assert_array_equal(labels, classes[np.argmax(proba, axis=1)])
+
+    def test_metrics_exposes_serving_surface(self, client, train_data):
+        graphs, _ = train_data
+        client.predict_proba(graphs[:2])
+        text = client.metrics()
+        assert "serve_queue_depth" in text
+        assert 'serve_batch_size_bucket{le="1"}' in text
+        assert "serve_requests_shed_total" in text
+        assert "serve_deadline_expired_total" in text
+        assert "serve_request_seconds_count" in text
+        assert "text/plain" in self._metrics_content_type(client)
+
+    @staticmethod
+    def _metrics_content_type(client) -> str:
+        status, headers, _ = client.request("GET", "/metrics")
+        assert status == 200
+        return headers["content-type"]
+
+    def test_metrics_present_before_any_request(self, model_path):
+        from repro.serve import ModelRegistry, ReproServer, ServeConfig
+
+        registry = ModelRegistry(warm=False)
+        registry.load(model_path)
+        with ReproServer(registry, ServeConfig(port=0)) as server:
+            text = ServeClient(server.url).metrics()
+        # The metrics registry is process-global, so other tests may have
+        # already moved these series; what start() guarantees is that the
+        # full serving surface is *registered* before the first request.
+        assert "serve_requests_shed_total" in text
+        assert "serve_queue_depth" in text
+        assert "serve_batch_size_count" in text
+        assert "serve_deadline_expired_total" in text
+        assert "serve_request_seconds_count" in text
+
+
+class TestStatusContract:
+    def test_malformed_body_is_400(self, client):
+        status, _, body = client.request(
+            "POST", "/v1/predict", {"graphs": [], "model": "default"}
+        )
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_unknown_model_is_404(self, client, triangle):
+        with pytest.raises(ServeClientError) as exc_info:
+            client.predict([triangle], model="missing")
+        assert exc_info.value.status == 404
+
+    def test_unknown_path_is_404(self, client):
+        assert client.request("GET", "/nope")[0] == 404
+        assert client.request("POST", "/v1/nope", {"graphs": []})[0] == 404
+
+    def test_stopped_batcher_is_503(self, live_server, client, triangle):
+        stopped = MicroBatcher(lambda graphs: (np.zeros((len(graphs), 2)), {}))
+        with live_server._batcher_lock:
+            live_server._batchers["dead"] = stopped
+        try:
+            live_server.registry._latest["dead"] = 1
+            live_server.registry._slots["dead"] = {
+                1: live_server.registry.get("default")
+            }
+            with pytest.raises(ServeClientError) as exc_info:
+                client.predict([triangle], model="dead")
+            assert exc_info.value.status == 503
+        finally:
+            with live_server._batcher_lock:
+                live_server._batchers.pop("dead", None)
+            live_server.registry._latest.pop("dead", None)
+            live_server.registry._slots.pop("dead", None)
+
+
+class TestOverload:
+    """429/504 need a server whose worker we can park: fake slow model."""
+
+    @pytest.fixture
+    def slow_server(self, model_path):
+        from repro.serve import ModelRegistry, ReproServer, ServeConfig
+
+        registry = ModelRegistry(warm=False)
+        registry.load(model_path)
+        server = ReproServer(
+            registry,
+            ServeConfig(port=0, max_batch=1, max_wait_ms=0, max_queue=1, retry_after_s=7),
+        )
+        server.start()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def blocking_infer(graphs):
+            entered.set()
+            assert release.wait(timeout=10.0)
+            return np.full((len(graphs), 2), 0.5), {
+                "model": "default",
+                "version": 1,
+                "classes": [0, 1],
+            }
+
+        batcher = MicroBatcher(
+            blocking_infer, max_batch=1, max_wait_ms=0, max_queue=1
+        ).start()
+        with server._batcher_lock:
+            server._batchers["default"] = batcher
+        yield server, entered, release
+        release.set()
+        server.stop()
+
+    def _post(self, url, triangle, results, timeout_ms=None):
+        client = ServeClient(url)
+        payload = ServeClient._payload([triangle], None, timeout_ms)
+        try:
+            results.append(client.request("POST", "/v1/predict", payload))
+        finally:
+            client.close()
+
+    def test_shed_is_429_with_retry_after(self, slow_server, triangle):
+        server, entered, release = slow_server
+        results: list = []
+        # One request occupies the worker, one fills the queue (max_queue=1).
+        t1 = threading.Thread(target=self._post, args=(server.url, triangle, results))
+        t1.start()
+        assert entered.wait(timeout=5.0)
+        t2 = threading.Thread(target=self._post, args=(server.url, triangle, results))
+        t2.start()
+        batcher = server.batcher_for("default")
+        for _ in range(1000):
+            if batcher.depth() >= 1:
+                break
+            time.sleep(0.005)
+        else:
+            pytest.fail("queued request never reached the batcher")
+        overflow: list = []
+        self._post(server.url, triangle, overflow)
+        status, headers, body = overflow[0]
+        assert status == 429
+        assert headers["retry-after"] == "7"
+        assert "queue full" in json.loads(body)["error"]
+        release.set()
+        t1.join(timeout=5.0)
+        t2.join(timeout=5.0)
+        assert sorted(r[0] for r in results) == [200, 200]
+
+    def test_expired_deadline_is_504(self, slow_server, triangle):
+        server, entered, release = slow_server
+        results: list = []
+        t1 = threading.Thread(target=self._post, args=(server.url, triangle, results))
+        t1.start()
+        assert entered.wait(timeout=5.0)
+        expired: list = []
+        self._post(server.url, triangle, expired, timeout_ms=50)
+        assert expired[0][0] == 504
+        release.set()
+        t1.join(timeout=5.0)
+        assert results[0][0] == 200
+
+
+class TestConcurrentBitwiseProperty:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.data_too_large],
+    )
+    @given(graph_list=st.lists(random_graphs(), min_size=1, max_size=5))
+    def test_concurrent_requests_bitwise_equal_in_process(
+        self, live_server, serve_model, graph_list
+    ):
+        """Each concurrent single-graph request returns exactly the row
+        that an in-process batched ``predict_proba`` produces."""
+        rows = [None] * len(graph_list)
+        errors = [None] * len(graph_list)
+
+        def worker(i):
+            client = ServeClient(live_server.url)
+            try:
+                rows[i] = client.predict_proba([graph_list[i]])[0]
+            except Exception as exc:  # noqa: BLE001
+                errors[i] = exc
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(graph_list))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert errors == [None] * len(graph_list)
+        local = serve_model.predict_proba(graph_list)
+        np.testing.assert_array_equal(np.stack(rows), local)

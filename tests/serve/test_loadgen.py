@@ -1,0 +1,110 @@
+"""Load-generator tests: accounting, batching evidence, promtext parsing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import LoadResult, run_load
+from repro.serve.loadgen import parse_promtext
+
+pytestmark = pytest.mark.serve
+
+
+class TestParsePromtext:
+    def test_keeps_bare_series_skips_labels_and_comments(self):
+        text = (
+            "# TYPE serve_batch_size histogram\n"
+            'serve_batch_size_bucket{le="1"} 3\n'
+            "serve_batch_size_sum 41.5\n"
+            "serve_batch_size_count 9\n"
+            "serve_queue_depth 2\n"
+            "garbage line with words\n"
+        )
+        values = parse_promtext(text)
+        assert values == {
+            "serve_batch_size_sum": 41.5,
+            "serve_batch_size_count": 9.0,
+            "serve_queue_depth": 2.0,
+        }
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self, triangle):
+        url = "http://127.0.0.1:1"
+        with pytest.raises(ValueError, match="at least one graph"):
+            run_load(url, [])
+        with pytest.raises(ValueError, match="mode"):
+            run_load(url, [triangle], mode="spiral")
+        with pytest.raises(ValueError, match="endpoint"):
+            run_load(url, [triangle], endpoint="teleport")
+        with pytest.raises(ValueError, match="rps"):
+            run_load(url, [triangle], mode="open")
+        with pytest.raises(ValueError, match="concurrency"):
+            run_load(url, [triangle], concurrency=0)
+
+
+class TestResultArithmetic:
+    def test_percentiles_and_dict(self):
+        result = LoadResult(
+            mode="closed",
+            endpoint="predict",
+            concurrency=2,
+            target_rps=None,
+            duration_s=2.0,
+            attempted=10,
+            ok=8,
+            shed=1,
+            deadline_expired=1,
+            latencies_ms=[float(i) for i in range(1, 9)],
+        )
+        assert result.answered == 10
+        assert result.throughput_rps == 4.0
+        assert result.percentile_ms(50) <= result.percentile_ms(95)
+        assert result.percentile_ms(95) <= result.percentile_ms(99)
+        as_dict = result.to_dict()
+        assert json.loads(json.dumps(as_dict)) == as_dict
+        assert as_dict["latency_ms"]["p50"] == 4.5
+        assert "shed(429) 1" in result.summary()
+
+
+class TestAgainstLiveServer:
+    def test_closed_loop_demonstrates_batching(self, live_server, train_data):
+        graphs, _ = train_data
+        result = run_load(
+            live_server.url,
+            graphs,
+            mode="closed",
+            concurrency=8,
+            duration_s=1.5,
+        )
+        # Every request was answered with 200 or 429 — nothing dropped.
+        assert result.attempted > 0
+        assert result.transport_errors == 0
+        assert result.answered == result.attempted
+        assert result.deadline_expired == 0 and not result.other_status
+        assert result.ok + result.shed == result.attempted
+        # Eight think-time-zero workers against one inference thread must
+        # pile up, so the server fuses requests: this is the acceptance
+        # criterion that concurrency turns into larger batches.
+        assert result.mean_batch_size is not None
+        assert result.mean_batch_size > 1.0
+        assert result.batches is not None and result.batches >= 1
+        assert result.percentile_ms(50) <= result.percentile_ms(99)
+
+    def test_open_loop_paces_requests(self, live_server, train_data):
+        graphs, _ = train_data
+        result = run_load(
+            live_server.url,
+            graphs,
+            mode="open",
+            rps=30,
+            concurrency=4,
+            duration_s=1.0,
+        )
+        # Constant pacing: ~rps * duration tickets fire, give or take the
+        # final partial interval.
+        assert 20 <= result.attempted <= 35
+        assert result.transport_errors == 0
+        assert result.answered == result.attempted

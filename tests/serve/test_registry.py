@@ -1,0 +1,111 @@
+"""Registry tests: versioned slots, warm preloading, atomic hot-swap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import save_model
+from repro.core.persistence import ModelPersistenceError
+from repro.serve import ModelRegistry
+
+pytestmark = pytest.mark.serve
+
+
+class TestLoad:
+    def test_load_assigns_version_one(self, model_path):
+        registry = ModelRegistry(warm=False)
+        entry = registry.load(model_path)
+        assert entry.name == "default"
+        assert entry.version == 1
+        assert entry.path == str(model_path)
+        assert len(registry) == 1
+
+    def test_loaded_model_predicts_like_the_original(
+        self, model_path, serve_model, train_data
+    ):
+        graphs, _ = train_data
+        registry = ModelRegistry(warm=False)
+        entry = registry.load(model_path)
+        np.testing.assert_array_equal(
+            entry.model.predict_proba(graphs), serve_model.predict_proba(graphs)
+        )
+
+    def test_reload_bumps_version_and_latest_wins(self, model_path):
+        registry = ModelRegistry(warm=False)
+        first = registry.load(model_path)
+        second = registry.load(model_path)
+        assert (first.version, second.version) == (1, 2)
+        assert registry.get().version == 2
+        assert registry.get(version=1) is first
+        assert len(registry) == 2
+
+    def test_named_slots_are_independent(self, model_path):
+        registry = ModelRegistry(warm=False)
+        registry.load(model_path, name="a")
+        registry.load(model_path, name="b")
+        registry.load(model_path, name="b")
+        assert registry.names() == ["a", "b"]
+        assert registry.get("a").version == 1
+        assert registry.get("b").version == 2
+
+    def test_corrupt_artifact_never_enters_a_slot(self, model_path, tmp_path):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(model_path.read_bytes()[:-7])
+        registry = ModelRegistry(warm=False)
+        with pytest.raises(ModelPersistenceError):
+            registry.load(bad)
+        assert len(registry) == 0
+
+
+class TestWarmup:
+    def test_load_warms_by_default(self, model_path):
+        entry = ModelRegistry().load(model_path)
+        assert entry.warmed
+        assert entry.warmup_seconds > 0
+
+    def test_warm_opt_out(self, model_path):
+        per_call = ModelRegistry().load(model_path, warm=False)
+        per_registry = ModelRegistry(warm=False).load(model_path)
+        assert not per_call.warmed and per_call.warmup_seconds == 0.0
+        assert not per_registry.warmed
+
+    def test_describe_is_json_safe(self, model_path):
+        import json
+
+        entry = ModelRegistry().load(model_path)
+        desc = entry.describe()
+        assert json.loads(json.dumps(desc)) == desc
+        assert desc["name"] == "default"
+        assert desc["version"] == 1
+        assert desc["warmed"] is True
+        assert desc["classes"] == [0, 1]
+
+
+class TestGetAndSwap:
+    def test_get_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            ModelRegistry().get("nope")
+
+    def test_get_unknown_version(self, model_path):
+        registry = ModelRegistry(warm=False)
+        registry.load(model_path)
+        with pytest.raises(KeyError, match="no version"):
+            registry.get(version=9)
+
+    def test_swap_requires_existing_name(self, model_path):
+        registry = ModelRegistry(warm=False)
+        with pytest.raises(KeyError, match="cannot swap unknown model"):
+            registry.swap("default", model_path)
+
+    def test_swap_publishes_a_new_version(self, model_path, serve_model, tmp_path):
+        replacement = tmp_path / "replacement.pkl"
+        save_model(serve_model, replacement)
+        registry = ModelRegistry(warm=False)
+        old = registry.load(model_path)
+        new = registry.swap("default", replacement)
+        assert new.version == old.version + 1
+        assert registry.get().path == str(replacement)
+        # The old version stays resolvable: in-flight batches that
+        # already grabbed it keep a live entry.
+        assert registry.get(version=old.version) is old
