@@ -1,0 +1,290 @@
+"""Encoder hot paths: vectorized vs preserved reference oracles.
+
+Times each vectorized stage against the original implementation it
+replaced (kept in-tree as ``_reference_*``), checks the outputs are
+*bitwise* identical while doing so, and records everything to
+``BENCH_hotpaths.json`` in the repo root:
+
+* ``receptive_fields`` — lexsort table construction vs per-vertex BFS
+  expansion (`core/receptive_field.py`),
+* ``wl_feature_maps`` — dataset-batched np.unique label refinement vs
+  the per-vertex dict loop (`features/vertex_maps.py`),
+* ``sp_features`` — integer-encoded triplet binning vs the nested
+  distance loop (`features/vertex_maps.py`),
+* ``batched_bfs`` — frontier-matrix APSP vs a queue per source
+  (`graph/traversal.py` / `graph/shortest_paths.py`),
+* ``conv1d_forward`` / ``conv1d_backward`` — reshape-im2col GEMM and
+  fancy-index scatter vs the gather/np.add.at original (`nn/conv1d.py`).
+
+Speedups are machine-relative (both sides run on the same box in the
+same process), so the JSON is comparable across machines;
+``scripts/check_bench_regression.py`` gates on it.  WL is expected to
+be the weakest stage: its cost is dominated by the blake2b label
+hashing that bitwise reproducibility pins in place.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the dataset and skips the speedup
+assertions — wiring checks only, for the `perf` test tier.  The full
+run asserts the tentpole acceptance: >= 3x on at least two of
+{receptive fields, WL feature maps, Conv1D forward} at MUTAG scale.
+
+Run with ``pytest benchmarks/bench_hotpaths.py -q`` or
+``python benchmarks/bench_hotpaths.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import timeit
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._common import print_header, print_table
+from repro.core.alignment import centrality_scores
+from repro.core.receptive_field import (
+    _reference_all_receptive_fields,
+    all_receptive_fields,
+)
+from repro.datasets import make_dataset
+from repro.features.vertex_maps import (
+    ShortestPathVertexFeatures,
+    _reference_sp_vertex_counts,
+    _reference_wl_stable_colors,
+    wl_stable_colors_many,
+)
+from repro.graph.shortest_paths import _reference_apsp_bfs, apsp_bfs
+from repro.nn.conv1d import (
+    Conv1D,
+    _reference_conv1d_backward,
+    _reference_conv1d_forward,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Smoke runs exercise the harness without clobbering the committed
+#: full-scale artifact that the regression gate treats as baseline.
+_ARTIFACT = "BENCH_hotpaths.smoke.json" if SMOKE else "BENCH_hotpaths.json"
+RESULT_PATH = Path(__file__).resolve().parent.parent / _ARTIFACT
+
+#: Tentpole acceptance: >= MIN_SPEEDUP on >= MIN_STAGES of KEY_STAGES.
+KEY_STAGES = ("receptive_fields", "wl_feature_maps", "conv1d_forward")
+MIN_SPEEDUP = 3.0
+MIN_STAGES = 2
+
+#: MUTAG at scale 1.0 is the acceptance configuration (188 graphs).
+_SCALE = 0.05 if SMOKE else 1.0
+_REPEATS = 1 if SMOKE else 3
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _graphs():
+    return make_dataset("MUTAG", scale=_SCALE, seed=0).graphs
+
+
+def _best_of(fn, repeats: int = _REPEATS) -> tuple[float, object]:
+    """Best wall time over ``repeats`` runs, plus the last return value."""
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = timeit.default_timer()
+        value = fn()
+        best = min(best, timeit.default_timer() - start)
+    return best, value
+
+
+def _record(stage: str, reference_s: float, vectorized_s: float, **extra) -> None:
+    speedup = reference_s / vectorized_s if vectorized_s > 0 else float("inf")
+    _RESULTS[stage] = {
+        "reference_s": reference_s,
+        "vectorized_s": vectorized_s,
+        "speedup": speedup,
+        **extra,
+    }
+    _flush()
+    print(
+        f"  {stage:<18s} reference {reference_s:.4f}s  "
+        f"vectorized {vectorized_s:.4f}s  speedup {speedup:.2f}x"
+    )
+
+
+def _flush() -> None:
+    results: dict = {}
+    if RESULT_PATH.exists():
+        try:
+            results = json.loads(RESULT_PATH.read_text())
+        except (OSError, ValueError):
+            results = {}
+    results["config"] = {
+        "dataset": "MUTAG",
+        "scale": _SCALE,
+        "repeats": _REPEATS,
+        "smoke": SMOKE,
+        "acceptance": {
+            "key_stages": list(KEY_STAGES),
+            "min_speedup": MIN_SPEEDUP,
+            "min_stages": MIN_STAGES,
+        },
+    }
+    results.setdefault("stages", {}).update(_RESULTS)
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def test_receptive_fields():
+    print_header("Hot path: receptive-field table assembly")
+    graphs = _graphs()
+    r = 10
+    scores = [centrality_scores(g, "eigenvector") for g in graphs]
+
+    def vectorized():
+        return [all_receptive_fields(g, r, s) for g, s in zip(graphs, scores)]
+
+    def reference():
+        return [
+            _reference_all_receptive_fields(g, r, s)
+            for g, s in zip(graphs, scores)
+        ]
+
+    vectorized()  # warmup
+    vec_s, vec = _best_of(vectorized)
+    ref_s, ref = _best_of(reference)
+    for a, b in zip(vec, ref):
+        assert a.tobytes() == b.tobytes() and a.dtype == b.dtype
+    _record("receptive_fields", ref_s, vec_s, graphs=len(graphs), r=r)
+
+
+def test_wl_feature_maps():
+    print_header("Hot path: WL stable-color refinement")
+    graphs = _graphs()
+    h = 3
+
+    def vectorized():
+        return wl_stable_colors_many(graphs, h)
+
+    def reference():
+        return [_reference_wl_stable_colors(g, h) for g in graphs]
+
+    vectorized()  # warmup
+    vec_s, vec = _best_of(vectorized)
+    ref_s, ref = _best_of(reference)
+    assert vec == ref
+    _record("wl_feature_maps", ref_s, vec_s, graphs=len(graphs), h=h)
+
+
+def test_sp_features():
+    print_header("Hot path: shortest-path feature binning")
+    graphs = _graphs()
+    extractor = ShortestPathVertexFeatures()
+
+    def vectorized():
+        return extractor.extract(graphs)
+
+    def reference():
+        return [_reference_sp_vertex_counts(g, None) for g in graphs]
+
+    vectorized()  # warmup
+    vec_s, vec = _best_of(vectorized)
+    ref_s, ref = _best_of(reference)
+    assert vec == ref
+    _record("sp_features", ref_s, vec_s, graphs=len(graphs))
+
+
+def test_batched_bfs():
+    print_header("Hot path: all-pairs BFS distances")
+    graphs = _graphs()
+
+    def vectorized():
+        return [apsp_bfs(g) for g in graphs]
+
+    def reference():
+        return [_reference_apsp_bfs(g) for g in graphs]
+
+    vectorized()  # warmup
+    vec_s, vec = _best_of(vectorized)
+    ref_s, ref = _best_of(reference)
+    for a, b in zip(vec, ref):
+        assert a.tobytes() == b.tobytes()
+    _record("batched_bfs", ref_s, vec_s, graphs=len(graphs))
+
+
+def _conv_setup():
+    # DeepMap's convolution regime: kernel == stride == r over w*r slots,
+    # sized to a MUTAG-scale encoded batch (smaller in smoke mode).
+    r, w = (4, 5) if SMOKE else (10, 18)
+    batch, cin, cout = (8, 6, 4) if SMOKE else (64, 32, 16)
+    layer = Conv1D(cin, cout, r, stride=r, rng=0)
+    x = np.random.default_rng(0).normal(size=(batch, w * r, cin))
+    return layer, x, r
+
+
+def test_conv1d_forward():
+    print_header("Hot path: Conv1D forward (im2col GEMM)")
+    layer, x, r = _conv_setup()
+
+    def vectorized():
+        return layer.forward(x)
+
+    def reference():
+        return _reference_conv1d_forward(
+            x, layer.weight.value, layer.bias.value, r, r
+        )
+
+    vectorized()  # warmup
+    vec_s, vec = _best_of(lambda: [vectorized() for _ in range(20)])
+    ref_s, ref = _best_of(lambda: [reference() for _ in range(20)])
+    assert vec[0].tobytes() == ref[0].tobytes()
+    _record("conv1d_forward", ref_s, vec_s, batch=x.shape[0], length=x.shape[1])
+
+
+def test_conv1d_backward():
+    print_header("Hot path: Conv1D backward (scatter)")
+    layer, x, r = _conv_setup()
+    out = layer.forward(x)
+    grad = np.random.default_rng(1).normal(size=out.shape)
+
+    def vectorized():
+        layer.forward(x)
+        layer.weight.grad[...] = 0.0
+        layer.bias.grad[...] = 0.0
+        return layer.backward(grad)
+
+    def reference():
+        return _reference_conv1d_backward(x, layer.weight.value, grad, r, r)
+
+    vectorized()  # warmup
+    vec_s, vec = _best_of(lambda: [vectorized() for _ in range(20)])
+    ref_s, ref = _best_of(lambda: [reference() for _ in range(20)])
+    assert vec[0].tobytes() == ref[0][0].tobytes()
+    _record("conv1d_backward", ref_s, vec_s, batch=x.shape[0], length=x.shape[1])
+
+
+def test_acceptance_summary():
+    """>= 3x on >= 2 key stages (full mode); always prints the table."""
+    rows = [
+        [s, f"{d['reference_s']:.4f}", f"{d['vectorized_s']:.4f}", f"{d['speedup']:.2f}x"]
+        for s, d in sorted(_RESULTS.items())
+    ]
+    print_header("Hot-path speedup summary")
+    print_table(["stage", "reference_s", "vectorized_s", "speedup"], rows)
+    if SMOKE:
+        return
+    fast = [s for s in KEY_STAGES if _RESULTS.get(s, {}).get("speedup", 0) >= MIN_SPEEDUP]
+    assert len(fast) >= MIN_STAGES, (
+        f"need >= {MIN_SPEEDUP}x on >= {MIN_STAGES} of {KEY_STAGES}, "
+        f"got {[(s, round(_RESULTS.get(s, {}).get('speedup', 0), 2)) for s in KEY_STAGES]}"
+    )
+
+
+def main() -> None:
+    test_receptive_fields()
+    test_wl_feature_maps()
+    test_sp_features()
+    test_batched_bfs()
+    test_conv1d_forward()
+    test_conv1d_backward()
+    test_acceptance_summary()
+    print(f"\nwrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

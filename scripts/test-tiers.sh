@@ -14,6 +14,15 @@
 #   ./scripts/test-tiers.sh full    tier 1 + slow, then tier 1 again with
 #                                   REPRO_WORKERS=2 so every fold-parallel
 #                                   code path runs through the fork pool
+#   ./scripts/test-tiers.sh perf    the differential-equivalence harness
+#                                   (tests/equivalence: vectorized hot
+#                                   paths vs their _reference_* oracles,
+#                                   bitwise) plus a smoke-mode run of the
+#                                   hot-path bench to keep the perf
+#                                   harness itself from rotting; full-
+#                                   scale numbers + the regression gate
+#                                   are a separate manual step (see
+#                                   docs/PERFORMANCE.md)
 #
 # Run from the repository root.  Extra arguments pass through to pytest.
 set -eu
@@ -40,8 +49,12 @@ case "$tier" in
         python -m pytest tests/ "$@"
         REPRO_WORKERS=2 python -m pytest tests/ -m "not slow" "$@"
         ;;
+    perf)
+        python -m pytest tests/equivalence/ "$@"
+        REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_hotpaths.py "$@"
+        ;;
     *)
-        echo "usage: $0 {fast|faults|serve|full} [pytest args...]" >&2
+        echo "usage: $0 {fast|faults|serve|full|perf} [pytest args...]" >&2
         exit 2
         ;;
 esac

@@ -16,6 +16,7 @@ from repro.features.vertex_maps import (
     graph_feature_maps,
     wl_joint_refinement,
     wl_stable_colors,
+    wl_stable_colors_many,
 )
 from repro.features.vocabulary import FeatureVocabulary
 
@@ -34,4 +35,5 @@ __all__ = [
     "graph_feature_maps",
     "wl_joint_refinement",
     "wl_stable_colors",
+    "wl_stable_colors_many",
 ]

@@ -47,6 +47,7 @@ from repro.graph.graphlets import (
 from repro.graph.shortest_paths import UNREACHABLE, apsp_bfs, apsp_floyd_warshall
 from repro.graph.traversal import (
     bfs_distances,
+    bfs_distances_batch,
     bfs_layers,
     bfs_order,
     connected_components,
@@ -75,6 +76,7 @@ __all__ = [
     "bfs_order",
     "bfs_layers",
     "bfs_distances",
+    "bfs_distances_batch",
     "connected_components",
     "apsp_bfs",
     "apsp_floyd_warshall",

@@ -121,6 +121,16 @@ class Graph:
         """Sorted read-only neighbor array of vertex ``v``."""
         return self._indices[self._indptr[v] : self._indptr[v + 1]]
 
+    @property
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only CSR adjacency as ``(indptr, indices)``.
+
+        ``indices[indptr[v]:indptr[v+1]]`` is the sorted neighbor list of
+        ``v`` — the flat layout the vectorized traversal and WL paths
+        gather from without per-vertex Python calls.
+        """
+        return self._indptr, self._indices
+
     def degree(self, v: int) -> int:
         """Degree of vertex ``v``."""
         return int(self._indptr[v + 1] - self._indptr[v])

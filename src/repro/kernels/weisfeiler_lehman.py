@@ -5,6 +5,12 @@ refinement, run jointly over the dataset so colors align across graphs.
 The feature map is the concatenation over iterations (Equation 5), which
 is exactly the vertex-map sum produced by
 :class:`repro.features.WLVertexFeatures`.
+
+The extractor relabels the whole dataset through the batched array path
+(:func:`repro.features.wl_stable_colors_many`): neighbor colors are
+gathered and sorted over one flat CSR layout and each distinct signature
+is hashed once per dataset, so the kernel's cost is dominated by the
+final Gram product rather than per-vertex Python loops.
 """
 
 from __future__ import annotations

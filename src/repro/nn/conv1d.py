@@ -5,6 +5,15 @@ the concatenated receptive fields, exactly like PATCHY-SAN's field-aligned
 convolution; the later layers use width-1 kernels (per-position mixing).
 Implemented with an im2col gather so forward and backward are single
 matrix multiplications.
+
+Both DeepMap configurations (``stride == kernel_size == r`` and the
+width-1 layers) have non-overlapping windows, so the im2col "gather" is a
+zero-copy reshape and the backward scatter is a single vectorized
+fancy-index add — no ``np.add.at`` (which dispatches per element) on the
+hot path.  The original gather/scatter implementation is preserved as
+:func:`_reference_conv1d_forward` / :func:`_reference_conv1d_backward`;
+``tests/equivalence`` pins the fast paths to it bitwise and
+finite-difference-checks the gradients.
 """
 
 from __future__ import annotations
@@ -82,10 +91,15 @@ class Conv1D(Layer):
             )
         batch, length, _ = x.shape
         l_out = self.output_length(length)
-        starts = np.arange(l_out) * self.stride
-        idx = starts[:, None] + np.arange(self.kernel_size)[None, :]
-        # (batch, l_out, kernel, channels) -> (batch, l_out, kernel*channels)
-        cols = x[:, idx, :].reshape(batch, l_out, -1)
+        if self.stride == self.kernel_size and l_out * self.kernel_size == length:
+            # Non-overlapping windows tiling the input: im2col is a reshape.
+            cols = x.reshape(batch, l_out, -1)
+            idx = None
+        else:
+            starts = np.arange(l_out) * self.stride
+            idx = starts[:, None] + np.arange(self.kernel_size)[None, :]
+            # (batch, l_out, kernel, channels) -> (batch, l_out, kernel*channels)
+            cols = x[:, idx, :].reshape(batch, l_out, -1)
         self._cols = cols
         self._idx = idx
         self._in_shape = x.shape
@@ -95,7 +109,7 @@ class Conv1D(Layer):
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        assert self._cols is not None and self._idx is not None
+        assert self._cols is not None
         assert self._in_shape is not None
         batch, length, channels = self._in_shape
         cols2 = self._cols.reshape(-1, self._cols.shape[-1])
@@ -103,14 +117,82 @@ class Conv1D(Layer):
         self.weight.grad += cols2.T @ grad2
         if self.bias is not None:
             self.bias.grad += grad2.sum(axis=0)
-        dcols = (grad @ self.weight.value.T).reshape(
-            batch, -1, self.kernel_size, channels
-        )
+        dcols = grad @ self.weight.value.T
         dx = np.zeros(self._in_shape, dtype=np.float64)
-        # Scatter window gradients back; windows may overlap when
-        # stride < kernel_size, hence add.at.
-        np.add.at(dx, (slice(None), self._idx, slice(None)), dcols)
+        l_out = grad.shape[1]
+        if self._idx is None:
+            # Windows tile the input exactly: scatter is one dense add.
+            dx += dcols.reshape(self._in_shape)
+        elif self.stride >= self.kernel_size:
+            # Disjoint windows (possibly with gaps): every input position
+            # receives at most one window gradient, so a fancy-index add
+            # (unique indices) replaces the per-element np.add.at.
+            dx[:, self._idx.ravel(), :] += dcols.reshape(
+                batch, l_out * self.kernel_size, channels
+            )
+        else:
+            # Overlapping windows: duplicate indices require add.at.
+            np.add.at(
+                dx,
+                (slice(None), self._idx, slice(None)),
+                dcols.reshape(batch, l_out, self.kernel_size, channels),
+            )
         return dx
 
     def parameters(self) -> list[Parameter]:
         return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+# ----------------------------------------------------------------------
+# Reference oracles (original gather + add.at implementation), kept for
+# the differential-equivalence harness in tests/equivalence.
+# ----------------------------------------------------------------------
+
+def _conv1d_im2col(
+    x: np.ndarray, kernel_size: int, stride: int
+) -> tuple[np.ndarray, np.ndarray]:
+    batch, length, _ = x.shape
+    l_out = (length - kernel_size) // stride + 1
+    starts = np.arange(l_out) * stride
+    idx = starts[:, None] + np.arange(kernel_size)[None, :]
+    return x[:, idx, :].reshape(batch, l_out, -1), idx
+
+
+def _reference_conv1d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    kernel_size: int,
+    stride: int,
+) -> np.ndarray:
+    """Original fancy-index im2col forward (oracle)."""
+    cols, _ = _conv1d_im2col(x, kernel_size, stride)
+    out = cols @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def _reference_conv1d_backward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    grad: np.ndarray,
+    kernel_size: int,
+    stride: int,
+    with_bias: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Original ``np.add.at`` scatter backward (oracle).
+
+    Returns ``(dx, dweight, dbias)`` for one backward pass from zeroed
+    gradients (``dbias`` is ``None`` when ``with_bias`` is false).
+    """
+    batch, length, channels = x.shape
+    cols, idx = _conv1d_im2col(x, kernel_size, stride)
+    cols2 = cols.reshape(-1, cols.shape[-1])
+    grad2 = grad.reshape(-1, grad.shape[-1])
+    dweight = cols2.T @ grad2
+    dbias = grad2.sum(axis=0) if with_bias else None
+    dcols = (grad @ weight.T).reshape(batch, -1, kernel_size, channels)
+    dx = np.zeros(x.shape, dtype=np.float64)
+    np.add.at(dx, (slice(None), idx, slice(None)), dcols)
+    return dx, dweight, dbias

@@ -1,0 +1,76 @@
+"""Generators for the differential-equivalence harness.
+
+Every vectorized hot path ships with its original implementation
+preserved as a ``_reference_*`` oracle; the strategies here produce the
+adversarial graph shapes (disconnected unions, shuffled edge
+orientations, label-degenerate graphs, dummy-padded batches) that the
+tests feed to both sides before asserting *bitwise* agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph import Graph, disjoint_union
+
+from tests.conftest import random_graphs
+
+# Every test in this directory belongs to the `equivalence` tier.
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.equivalence)
+
+
+@st.composite
+def disconnected_graphs(draw, max_components: int = 3, max_nodes: int = 7):
+    """Graphs that are explicitly a disjoint union of >= 2 components."""
+    k = draw(st.integers(2, max_components))
+    parts = [draw(random_graphs(min_nodes=1, max_nodes=max_nodes)) for _ in range(k)]
+    return disjoint_union(parts)
+
+
+@st.composite
+def shuffled_edge_graphs(draw, max_nodes: int = 8):
+    """Graphs rebuilt from a shuffled, orientation-flipped edge list.
+
+    ``Graph`` canonicalizes edges internally, so the rebuilt graph must be
+    structurally identical — this hunts for any code path that depends on
+    edge insertion order or (u, v) orientation.
+    """
+    g = draw(random_graphs(min_nodes=1, max_nodes=max_nodes))
+    edges = [tuple(e) for e in g.edges]
+    perm = draw(st.permutations(edges)) if edges else []
+    flips = draw(st.lists(st.booleans(), min_size=len(edges), max_size=len(edges)))
+    shuffled = [(v, u) if f else (u, v) for (u, v), f in zip(perm, flips)]
+    return Graph(g.n, shuffled, g.labels.tolist())
+
+
+@st.composite
+def graph_batches(draw, min_graphs: int = 1, max_graphs: int = 5):
+    """Small datasets mixing connected and disconnected graphs."""
+    k = draw(st.integers(min_graphs, max_graphs))
+    out = []
+    for _ in range(k):
+        if draw(st.booleans()):
+            out.append(draw(random_graphs(min_nodes=1, max_nodes=8)))
+        else:
+            out.append(draw(disconnected_graphs(max_components=2, max_nodes=4)))
+    return out
+
+
+@st.composite
+def score_arrays(draw, n: int):
+    """Per-vertex score arrays with deliberate ties (small integer grid)."""
+    vals = draw(
+        st.lists(st.integers(0, 3), min_size=n, max_size=n)
+    )
+    return np.asarray(vals, dtype=np.float64)
+
+
+def assert_bitwise_equal(a: np.ndarray, b: np.ndarray, context: str = "") -> None:
+    """Assert two arrays agree in dtype, shape, and raw bytes."""
+    assert a.dtype == b.dtype, f"{context}: dtype {a.dtype} != {b.dtype}"
+    assert a.shape == b.shape, f"{context}: shape {a.shape} != {b.shape}"
+    assert a.tobytes() == b.tobytes(), f"{context}: payload bytes differ"

@@ -1,0 +1,117 @@
+"""Encoder tensor assembly vs the per-slot reference, end to end.
+
+Also pins the encoder output for a fixed 3-graph dataset to digests
+captured *before* the vectorization PR — a cross-session guarantee that
+the whole vectorized encode path is bitwise-identical to the original
+implementation, independent of the in-repo oracles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alignment import centrality_scores, vertex_sequence
+from repro.core.pipeline import DeepMapEncoder, _assemble, _reference_assemble
+from repro.core.receptive_field import all_receptive_fields
+from repro.features import WLVertexFeatures, extract_vertex_feature_matrices
+from repro.graph import Graph
+
+from tests.equivalence.conftest import assert_bitwise_equal, graph_batches
+
+#: Encoder output digests for `_pinned_dataset()` captured at the seed
+#: commit (pre-vectorization), with WL h=2 features and r=3.
+PRE_PR_TENSOR_DIGEST = "c19a8d10d1f7543d4a1fc843aaf123ac"
+PRE_PR_MASK_DIGEST = "f1d8f47b9bfaf6028a0ca325c8a61bc8"
+
+
+def _pinned_dataset() -> list[Graph]:
+    g1 = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], [0, 1, 0, 1, 2])
+    g2 = Graph(4, [(0, 1), (1, 2), (2, 0), (2, 3)], [1, 1, 0, 2])
+    g3 = Graph(6, [(0, 1), (1, 2), (3, 4)], [0, 0, 1, 2, 2, 0])
+    return [g1, g2, g3]
+
+
+def _encode_inputs(graphs, r, w):
+    matrices, vocab = extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=1))
+    scores = [centrality_scores(g, "eigenvector") for g in graphs]
+    sequences = [
+        vertex_sequence(g, s, "eigenvector")[:w] for g, s in zip(graphs, scores)
+    ]
+    fields = [all_receptive_fields(g, r, s) for g, s in zip(graphs, scores)]
+    return matrices, sequences, fields, vocab.size
+
+
+class TestAssemble:
+    @settings(max_examples=40)
+    @given(graph_batches(), st.integers(1, 5))
+    def test_matches_reference(self, graphs, r):
+        w = max(g.n for g in graphs)
+        matrices, sequences, fields, m = _encode_inputs(graphs, r, w)
+        got_t, got_m = _assemble(matrices, sequences, fields, w, r, m)
+        ref_t, ref_m = _reference_assemble(matrices, sequences, fields, w, r, m)
+        assert_bitwise_equal(got_t, ref_t, "tensors")
+        assert_bitwise_equal(got_m, ref_m, "vertex_mask")
+
+    @settings(max_examples=25)
+    @given(graph_batches(min_graphs=2), st.integers(1, 4), st.integers(1, 4))
+    def test_dummy_padded_batches_match_reference(self, graphs, r, extra_w):
+        """w above the largest graph forces dummy sequence padding."""
+        w = max(g.n for g in graphs) + extra_w
+        matrices, sequences, fields, m = _encode_inputs(graphs, r, w)
+        got_t, got_m = _assemble(matrices, sequences, fields, w, r, m)
+        ref_t, ref_m = _reference_assemble(matrices, sequences, fields, w, r, m)
+        assert_bitwise_equal(got_t, ref_t, "tensors")
+        assert_bitwise_equal(got_m, ref_m, "vertex_mask")
+
+    @settings(max_examples=25)
+    @given(graph_batches(min_graphs=2), st.integers(1, 3))
+    def test_truncating_w_matches_reference(self, graphs, r):
+        """w below the largest graph keeps only top-centrality vertices."""
+        w = max(1, max(g.n for g in graphs) - 1)
+        matrices, sequences, fields, m = _encode_inputs(graphs, r, w)
+        got = _assemble(matrices, sequences, fields, w, r, m)
+        ref = _reference_assemble(matrices, sequences, fields, w, r, m)
+        assert_bitwise_equal(got[0], ref[0])
+        assert_bitwise_equal(got[1], ref[1])
+
+
+class TestEncodeEndToEnd:
+    @settings(max_examples=20)
+    @given(graph_batches(), st.integers(1, 4))
+    def test_encode_equals_reference_composition(self, graphs, r):
+        matrices, _ = extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=1))
+        encoder = DeepMapEncoder(r=r).fit(graphs)
+        encoded = encoder.encode(graphs, matrices)
+        w, m = encoder.w, matrices[0].shape[1]
+        _, sequences, fields, _ = _encode_inputs(graphs, r, w)
+        ref_t, ref_m = _reference_assemble(matrices, sequences, fields, w, r, m)
+        assert_bitwise_equal(encoded.tensors, ref_t, "tensors")
+        assert_bitwise_equal(encoded.vertex_mask, ref_m, "vertex_mask")
+
+    def test_pinned_pre_pr_digests(self):
+        graphs = _pinned_dataset()
+        matrices, vocab = extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=2))
+        assert vocab.size == 29
+        encoded = DeepMapEncoder(r=3).fit(graphs).encode(graphs, matrices)
+        tensor_digest = hashlib.blake2b(
+            encoded.tensors.tobytes(), digest_size=16
+        ).hexdigest()
+        mask_digest = hashlib.blake2b(
+            encoded.vertex_mask.tobytes(), digest_size=16
+        ).hexdigest()
+        assert tensor_digest == PRE_PR_TENSOR_DIGEST
+        assert mask_digest == PRE_PR_MASK_DIGEST
+
+    def test_dummy_rows_are_all_zero(self):
+        graphs = _pinned_dataset()
+        matrices, _ = extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=1))
+        encoded = DeepMapEncoder(r=4).fit(graphs).encode(graphs, matrices)
+        # Graph 2 has 4 vertices; w is 6, so slots 4..5 are dummy padding.
+        w, r = encoded.w, encoded.r
+        pad = encoded.tensors[1, 4 * r :]
+        assert np.all(pad == 0.0)
+        assert encoded.vertex_mask[1].tolist() == [1, 1, 1, 1, 0, 0]

@@ -1,0 +1,149 @@
+"""Cache keys must survive the hot-path vectorization unchanged.
+
+Every hex constant below was captured by running the *original*
+(pre-vectorization) implementations.  The content-addressed keys hash
+only the cache *inputs* — graph structure, labels, extractor class and
+hyperparameters, encoder parameters — so an output-equivalent rewrite
+of the compute paths must reproduce them exactly.  If any assertion
+here fails, warm caches written before this PR would silently go cold
+(or worse, a key scheme change could alias distinct payloads).
+
+The final test goes one step further and simulates a pre-PR on-disk
+``.npz`` entry at the pinned key: the vectorized extraction path must
+HIT it, not recompute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    FeatureMapCache,
+    cache_key,
+    dataset_fingerprint,
+    extractor_fingerprint,
+    stable_hash,
+)
+from repro.core import DeepMapEncoder
+from repro.features import (
+    GraphletVertexFeatures,
+    ShortestPathVertexFeatures,
+    WLVertexFeatures,
+    extract_vertex_feature_matrices,
+)
+from repro.graph import Graph
+
+#: Fingerprint of `_pinned_dataset()` captured at the seed commit.
+PRE_PR_DATASET_FP = "ec7333c5e7572cf6fb5de54118daeadd"
+
+#: Per-extractor pins: (constructor, fingerprint, counts key, vfm key).
+PRE_PR_EXTRACTORS = [
+    (
+        lambda: GraphletVertexFeatures(k=3, samples=5, seed=0),
+        "2bf3e5d4cc3ead24d66fbdcfebd38aea",
+        "2d33bd3440888fede1fc1eb6f931c8c1",
+        "d308cd6ed50dc77a84b483cf071ef943",
+    ),
+    (
+        lambda: ShortestPathVertexFeatures(),
+        "712b01bc4da39db7fd181864f4a27f0e",
+        "c1ec41afb53c326176ecd447e7282389",
+        "52ea30aa23bfa30a03534560ae5ef85b",
+    ),
+    (
+        lambda: WLVertexFeatures(h=2),
+        "ddf25e900aa43fd4a4f8719a5345725e",
+        "e2125e7b4842bcd69df4a5984fc4e6c7",
+        "3cb68a72dc35c02e926e0013f018ab99",
+    ),
+]
+
+#: Encoder tensor key for WL h=2 matrices with r=3, eigenvector, w=6.
+PRE_PR_MATRICES_HASH = "b2d3a5821f5d49c6a9231eca63f0a268"
+PRE_PR_ENC_KEY = "dd8947842e77113fce56bf0c5a76438d"
+
+#: The WL h=2 vertex-feature-map key, reused by the disk-hit simulation.
+PRE_PR_WL_VFM_KEY = PRE_PR_EXTRACTORS[2][3]
+
+
+def _pinned_dataset() -> list[Graph]:
+    g1 = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], [0, 1, 0, 1, 2])
+    g2 = Graph(4, [(0, 1), (1, 2), (2, 0), (2, 3)], [1, 1, 0, 2])
+    g3 = Graph(6, [(0, 1), (1, 2), (3, 4)], [0, 0, 1, 2, 2, 0])
+    return [g1, g2, g3]
+
+
+class TestPinnedKeys:
+    def test_dataset_fingerprint_unchanged(self):
+        assert dataset_fingerprint(_pinned_dataset()) == PRE_PR_DATASET_FP
+
+    @pytest.mark.parametrize(
+        "make,fp,counts_key,vfm_key",
+        PRE_PR_EXTRACTORS,
+        ids=["graphlet", "shortest_path", "wl"],
+    )
+    def test_extractor_keys_unchanged(self, make, fp, counts_key, vfm_key):
+        extractor = make()
+        assert extractor_fingerprint(extractor) == fp
+        ds = dataset_fingerprint(_pinned_dataset())
+        assert cache_key("counts", ds, fp) == counts_key
+        assert cache_key("vfm", ds, fp) == vfm_key
+
+    def test_encoder_key_unchanged(self):
+        graphs = _pinned_dataset()
+        matrices, _ = extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=2))
+        assert stable_hash(list(matrices)) == PRE_PR_MATRICES_HASH
+        key = cache_key(
+            "enc", dataset_fingerprint(graphs), stable_hash(list(matrices)),
+            3, "eigenvector", 6,
+        )
+        assert key == PRE_PR_ENC_KEY
+
+
+class TestPrePrEntriesStillHit:
+    def test_simulated_pre_pr_npz_entry_hits(self, tmp_path):
+        """A .npz written under the pre-PR key is served, not recomputed.
+
+        The payload bytes are legitimate to synthesize with today's code:
+        `tests/equivalence/test_pipeline_equiv.py` pins the vectorized
+        outputs bitwise to pre-PR digests, so the arrays on disk are
+        identical either way.  What this test adds is the *address*
+        check — the lookup lands on the literal pinned key.
+        """
+        graphs = _pinned_dataset()
+        extractor = WLVertexFeatures(h=2)
+        matrices, vocab = extract_vertex_feature_matrices(graphs, extractor)
+
+        path = tmp_path / PRE_PR_WL_VFM_KEY[:2] / f"{PRE_PR_WL_VFM_KEY}.npz"
+        path.parent.mkdir(parents=True)
+        boxed = np.empty(1, dtype=object)
+        boxed[0] = vocab.keys()
+        payload = {f"matrix_{i:05d}": m for i, m in enumerate(matrices)}
+        payload["vocab"] = boxed
+        np.savez(path, **payload)
+
+        cache = FeatureMapCache(cache_dir=tmp_path)
+        got_matrices, got_vocab = extract_vertex_feature_matrices(
+            graphs, extractor, cache=cache
+        )
+        assert cache.stats.disk_hits == 1 and cache.stats.misses == 0
+        assert got_vocab.keys() == vocab.keys()
+        for got, want in zip(got_matrices, matrices):
+            assert got.tobytes() == want.tobytes()
+
+    def test_warm_cache_round_trips_through_vectorized_encode(self, tmp_path):
+        """Cold write then warm read of the full encode path, same bits."""
+        graphs = _pinned_dataset()
+        cache = FeatureMapCache(cache_dir=tmp_path)
+        matrices, _ = extract_vertex_feature_matrices(
+            graphs, WLVertexFeatures(h=2), cache=cache
+        )
+        cold = DeepMapEncoder(r=3).fit(graphs).encode(graphs, matrices, cache=cache)
+        assert (tmp_path / PRE_PR_ENC_KEY[:2] / f"{PRE_PR_ENC_KEY}.npz").exists()
+
+        fresh = FeatureMapCache(cache_dir=tmp_path)  # disk tier only
+        warm = DeepMapEncoder(r=3).fit(graphs).encode(graphs, matrices, cache=fresh)
+        assert fresh.stats.disk_hits == 1
+        assert warm.tensors.tobytes() == cold.tensors.tobytes()
+        assert warm.vertex_mask.tobytes() == cold.vertex_mask.tobytes()
