@@ -1,18 +1,24 @@
 #!/usr/bin/env python
-"""Perf-regression gate over the hot-path benchmark artifact.
+"""Perf-regression gate over committed benchmark artifacts.
 
-Compares a freshly generated ``BENCH_hotpaths.json`` against a baseline
-(by default the copy committed at ``HEAD``) and fails if any stage's
-*speedup* — vectorized vs in-tree reference oracle, both timed in the
-same process on the same machine — has dropped by more than
-``--tolerance`` (default 10%).  Comparing the ratio rather than raw
-wall-clock keeps the gate machine-independent: a slower CI box slows
-both sides equally.
+Compares a freshly generated benchmark artifact (``BENCH_hotpaths.json``
+by default, or e.g. ``BENCH_obs.json`` via ``--current``) against a
+baseline — by default the same-named file committed at ``HEAD`` — and
+fails if any stage's *speedup* — instrumented-vs-baseline or
+vectorized-vs-reference, both timed in the same process on the same
+machine — has dropped by more than ``--tolerance`` (default 10%).
+Comparing the ratio rather than raw wall-clock keeps the gate
+machine-independent: a slower CI box slows both sides equally.
 
 Typical use::
 
     python benchmarks/bench_hotpaths.py          # rewrites BENCH_hotpaths.json
     python scripts/check_bench_regression.py     # vs git HEAD's copy
+
+or for the observability-overhead artifact::
+
+    pytest benchmarks/bench_obs_overhead.py      # rewrites BENCH_obs.json
+    python scripts/check_bench_regression.py --current BENCH_obs.json
 
 or explicitly::
 
@@ -34,19 +40,24 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_CURRENT = REPO_ROOT / "BENCH_hotpaths.json"
 
 
-def load_baseline(path: str | None) -> dict:
-    """Baseline JSON from ``path``, or from ``git show HEAD`` when omitted."""
+def load_baseline(path: str | None, current: str) -> dict:
+    """Baseline JSON from ``path``, or from ``git show HEAD`` when omitted.
+
+    The HEAD lookup uses the basename of ``current``, so gating
+    ``BENCH_obs.json`` compares against the committed ``BENCH_obs.json``.
+    """
     if path is not None:
         return json.loads(Path(path).read_text())
+    artifact = Path(current).name
     proc = subprocess.run(
-        ["git", "show", "HEAD:BENCH_hotpaths.json"],
+        ["git", "show", f"HEAD:{artifact}"],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,
     )
     if proc.returncode != 0:
         raise FileNotFoundError(
-            "no BENCH_hotpaths.json committed at HEAD; pass --baseline"
+            f"no {artifact} committed at HEAD; pass --baseline"
         )
     return json.loads(proc.stdout)
 
@@ -101,7 +112,7 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         current = json.loads(Path(args.current).read_text())
-        baseline = load_baseline(args.baseline)
+        baseline = load_baseline(args.baseline, args.current)
         problems = compare(current, baseline, args.tolerance)
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)

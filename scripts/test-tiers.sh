@@ -11,6 +11,15 @@
 #                                   boots `repro serve` on an ephemeral
 #                                   port, does one predict round-trip, and
 #                                   checks clean SIGINT shutdown
+#   ./scripts/test-tiers.sh obs     the observability tier: tests/obs
+#                                   (tracing, SLOs, resources, metrics,
+#                                   events) plus a smoke-mode run of the
+#                                   disabled-overhead bench so the
+#                                   zero-overhead harness itself can't
+#                                   rot; full-scale numbers + the
+#                                   regression gate on BENCH_obs.json
+#                                   are a separate manual step (see
+#                                   docs/OBSERVABILITY.md)
 #   ./scripts/test-tiers.sh full    tier 1 + slow, then tier 1 again with
 #                                   REPRO_WORKERS=2 so every fold-parallel
 #                                   code path runs through the fork pool
@@ -45,6 +54,10 @@ case "$tier" in
         python -m pytest tests/serve/ "$@"
         python scripts/serve_smoke.py
         ;;
+    obs)
+        python -m pytest tests/obs/ "$@"
+        REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_obs_overhead.py "$@"
+        ;;
     full)
         python -m pytest tests/ "$@"
         REPRO_WORKERS=2 python -m pytest tests/ -m "not slow" "$@"
@@ -54,7 +67,7 @@ case "$tier" in
         REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_hotpaths.py "$@"
         ;;
     *)
-        echo "usage: $0 {fast|faults|serve|full|perf} [pytest args...]" >&2
+        echo "usage: $0 {fast|faults|serve|obs|full|perf} [pytest args...]" >&2
         exit 2
         ;;
 esac

@@ -20,6 +20,9 @@ Commands
     Serve a saved model over HTTP with dynamic micro-batching.
 ``loadtest URL [--mode closed|open] [--rps R] [--duration S]``
     Drive a running server and report latency/throughput percentiles.
+``ops trace|traces|slo``
+    Reconstruct per-request trace waterfalls and SLO summaries from a
+    serve ``--log-json`` run file (or a live server via ``--url``).
 """
 
 from __future__ import annotations
@@ -72,7 +75,24 @@ inference serving:
               --mode closed --concurrency 8 --duration 5
                                    closed- or open-loop (--mode open --rps R)
                                    load generator; prints p50/p95/p99 latency,
-                                   throughput, and the mean fused batch size
+                                   throughput, the mean fused batch size, and
+                                   the admission-queue high-water mark
+
+request tracing and SLOs:
+  repro serve --log-json RUN.jsonl stream every request's spans (queue_wait /
+                                   batch_wait / infer / serialize), access-log
+                                   events and SLO alerts to a JSONL file;
+                                   every response echoes X-Repro-Trace-Id and
+                                   GET /v1/traces/<id> returns the waterfall
+  repro ops traces RUN.jsonl       list the traced requests in a run file
+  repro ops trace ID RUN.jsonl     render one request's stage waterfall
+                                   (--url http://HOST:PORT fetches it live
+                                   from the server instead)
+  repro ops slo RUN.jsonl          replay the run's access log against the
+                                   latency/error-budget objectives
+  repro serve --slo-p95-ms 500 --slo-error-rate 0.01
+                                   objectives behind /healthz degradation and
+                                   slo_breach alert events
 
 Instrumentation is off unless one of these flags is given (zero overhead
 by default).  Schema and metric names: docs/OBSERVABILITY.md; worker
@@ -242,6 +262,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the warm-up prediction at model load time",
     )
+    serve.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="stream request spans, access-log events and SLO alerts to PATH "
+        "(repro ops reconstructs waterfalls and SLO summaries from it)",
+    )
+    serve.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="p95 latency objective behind /healthz degradation (default 500)",
+    )
+    serve.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=0.01,
+        metavar="R",
+        help="error-budget rate objective in (0,1) (default 0.01)",
+    )
+    serve.add_argument(
+        "--slo-window-s",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="sliding window the objectives are evaluated over (default 60)",
+    )
+    serve.add_argument(
+        "--resource-interval-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="background resource-sampler period; <= 0 disables (default 5)",
+    )
 
     loadtest = sub.add_parser(
         "loadtest", help="drive a running serve endpoint and report latency"
@@ -287,6 +342,58 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="summarise a --log-json run file (stage timings, telemetry)"
     )
     report.add_argument("run_file", metavar="RUN.jsonl")
+
+    ops = sub.add_parser(
+        "ops", help="trace waterfalls and SLO summaries from serve run files"
+    )
+    ops_sub = ops.add_subparsers(dest="ops_command", required=True)
+
+    ops_trace = ops_sub.add_parser(
+        "trace", help="render one request's stage waterfall"
+    )
+    ops_trace.add_argument("trace_id", metavar="TRACE_ID")
+    ops_trace.add_argument(
+        "run_file",
+        metavar="RUN.jsonl",
+        nargs="?",
+        default=None,
+        help="serve --log-json file (omit when using --url)",
+    )
+    ops_trace.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="fetch the trace live from GET /v1/traces/<id> instead",
+    )
+    ops_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw waterfall record instead of the ASCII rendering",
+    )
+
+    ops_traces = ops_sub.add_parser(
+        "traces", help="list the traced requests in a run file"
+    )
+    ops_traces.add_argument("run_file", metavar="RUN.jsonl")
+
+    ops_slo = ops_sub.add_parser(
+        "slo", help="replay a run's access log against SLO objectives"
+    )
+    ops_slo.add_argument("run_file", metavar="RUN.jsonl")
+    ops_slo.add_argument(
+        "--latency-target-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="p95 latency objective (default 500)",
+    )
+    ops_slo.add_argument(
+        "--error-rate-target",
+        type=float,
+        default=0.01,
+        metavar="R",
+        help="error-budget rate objective in (0,1) (default 0.01)",
+    )
 
     export = sub.add_parser("export", help="write a dataset in TU format")
     export.add_argument("--dataset", required=True)
@@ -520,8 +627,14 @@ def _cmd_checkpoints(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
+    from repro import obs
     from repro.serve import ModelRegistry, ReproServer, ServeConfig
 
+    if args.log_json is not None:
+        # Enable before the server starts so it streams rather than
+        # owning an in-memory-only context.
+        obs.reset()
+        obs.enable(jsonl_path=args.log_json)
     registry = ModelRegistry(warm=not args.no_warm)
     entry = registry.load(args.model, name=args.name)
     config = ServeConfig(
@@ -531,6 +644,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue,
         request_timeout_s=args.timeout_ms / 1000.0,
+        slo_latency_p95_ms=args.slo_p95_ms,
+        slo_error_rate_target=args.slo_error_rate,
+        slo_window_s=args.slo_window_s,
+        resource_interval_s=args.resource_interval_s,
     )
     server = ReproServer(registry, config)
     server.start()
@@ -549,6 +666,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down...", flush=True)
     finally:
         server.stop()
+        if args.log_json is not None:
+            obs.disable()
+            print(f"run events written to {args.log_json}", flush=True)
     return 0
 
 
@@ -596,6 +716,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ops(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.obs.report import load_events
+    from repro.obs.reqtrace import build_waterfall, format_waterfall, list_traces
+    from repro.obs.slo import SloConfig, build_slo_summary, format_slo_summary
+
+    if args.ops_command == "trace":
+        if args.url is not None:
+            from repro.serve import ServeClient, ServeClientError
+
+            client = ServeClient(args.url)
+            try:
+                record = client.trace(args.trace_id)
+            except ServeClientError as exc:
+                print(f"trace {args.trace_id}: {exc}")
+                return 2
+            finally:
+                client.close()
+        elif args.run_file is not None:
+            record = build_waterfall(load_events(args.run_file), args.trace_id)
+            if record is None:
+                print(f"trace {args.trace_id} not found in {args.run_file}")
+                return 2
+        else:
+            print("ops trace needs a RUN.jsonl file or --url")
+            return 2
+        if args.json:
+            print(json_mod.dumps(record, indent=2, sort_keys=True))
+        else:
+            print(format_waterfall(record))
+        return 0
+
+    if args.ops_command == "traces":
+        rows = list_traces(load_events(args.run_file))
+        if not rows:
+            print(f"no traced requests in {args.run_file}")
+            return 0
+        print(f"{'trace_id':<18s} {'endpoint':<14s} {'status':>6s} "
+              f"{'batch':>6s} {'ms':>9s}")
+        for row in rows:
+            print(
+                f"{row['trace_id']:<18s} {row['endpoint']:<14s} "
+                f"{row['status'] if row['status'] is not None else '?':>6} "
+                f"{row['batch_id'] or '-':>6s} {row['duration_s'] * 1000:>9.2f}"
+            )
+        return 0
+
+    # args.ops_command == "slo" (argparse enforces the choices)
+    config = SloConfig(
+        latency_p95_ms=args.latency_target_ms,
+        error_rate_target=args.error_rate_target,
+    )
+    summary = build_slo_summary(load_events(args.run_file), config)
+    print(format_slo_summary(summary))
+    return 0 if summary["status"] == "ok" else 1
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.datasets import make_dataset
     from repro.datasets.tu_format import save_tu_dataset
@@ -627,6 +805,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args)
+    if args.command == "ops":
+        return _cmd_ops(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -91,15 +91,18 @@ class Conv1D(Layer):
             )
         batch, length, _ = x.shape
         l_out = self.output_length(length)
+        # Both branches pin C order before the GEMM: BLAS dispatches
+        # differently on strided operands, and a layout-dependent 1-ulp
+        # drift would break the bitwise fast-vs-oracle equivalence.
         if self.stride == self.kernel_size and l_out * self.kernel_size == length:
             # Non-overlapping windows tiling the input: im2col is a reshape.
-            cols = x.reshape(batch, l_out, -1)
+            cols = np.ascontiguousarray(x.reshape(batch, l_out, -1))
             idx = None
         else:
             starts = np.arange(l_out) * self.stride
             idx = starts[:, None] + np.arange(self.kernel_size)[None, :]
             # (batch, l_out, kernel, channels) -> (batch, l_out, kernel*channels)
-            cols = x[:, idx, :].reshape(batch, l_out, -1)
+            cols = np.ascontiguousarray(x[:, idx, :].reshape(batch, l_out, -1))
         self._cols = cols
         self._idx = idx
         self._in_shape = x.shape
@@ -155,7 +158,11 @@ def _conv1d_im2col(
     l_out = (length - kernel_size) // stride + 1
     starts = np.arange(l_out) * stride
     idx = starts[:, None] + np.arange(kernel_size)[None, :]
-    return x[:, idx, :].reshape(batch, l_out, -1), idx
+    # Pin C order: for some shapes numpy satisfies this reshape with
+    # strides instead of a copy, and BLAS results differ at the last ulp
+    # between layouts — the oracle must feed the GEMM the same layout
+    # the fast paths do or bitwise comparison is ill-posed.
+    return np.ascontiguousarray(x[:, idx, :].reshape(batch, l_out, -1)), idx
 
 
 def _reference_conv1d_forward(

@@ -37,7 +37,24 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_help,
+    escape_label_value,
 )
+from repro.obs.reqtrace import (
+    TRACE_HEADER,
+    TraceStore,
+    build_waterfall,
+    format_waterfall,
+    new_trace_id,
+    valid_trace_id,
+)
+from repro.obs.resources import (
+    ResourceSampler,
+    merge_worker_sample,
+    publish_resources,
+    sample_resources,
+)
+from repro.obs.slo import SloConfig, SloMonitor
 from repro.obs.telemetry import TelemetryCallback
 from repro.obs.trace import NULL_SPAN, Span, Tracer, format_span_tree, span_rows
 from repro.utils.timing import Timer
@@ -79,6 +96,23 @@ __all__ = [
     "Histogram",
     "NULL_METRIC",
     "DEFAULT_BUCKETS",
+    "escape_help",
+    "escape_label_value",
+    # request tracing
+    "TRACE_HEADER",
+    "TraceStore",
+    "new_trace_id",
+    "valid_trace_id",
+    "build_waterfall",
+    "format_waterfall",
+    # SLO monitoring
+    "SloConfig",
+    "SloMonitor",
+    # resource telemetry
+    "ResourceSampler",
+    "sample_resources",
+    "publish_resources",
+    "merge_worker_sample",
     # worker-process merging
     "capture_worker",
     "merge_worker",
@@ -245,6 +279,7 @@ def capture_worker() -> dict:
             {"name": r["name"], "path": r["path"], "attrs": r.get("attrs", {})}
             for r in _log.records(kind="event")
         ],
+        "resources": sample_resources(),
     }
 
 
@@ -263,7 +298,13 @@ def merge_worker(payload: dict | None) -> None:
     metrics = dict(payload.get("metrics") or {})
     # Grafted spans already re-observed their durations via on_close.
     metrics.pop("span_seconds", None)
+    # Worker resource gauges would clobber the parent's own readings
+    # under gauge last-write-wins; they merge via merge_worker_sample
+    # instead (peaks fold in as a max across workers).
+    for name in [m for m in metrics if m.startswith("resource_")]:
+        metrics.pop(name)
     _metrics.merge(metrics)
+    merge_worker_sample(payload.get("resources"))
     prefix = _tracer.current_path()
     for record in payload.get("events", ()):
         path = record.get("path", "")

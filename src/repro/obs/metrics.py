@@ -24,7 +24,28 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRIC",
     "DEFAULT_BUCKETS",
+    "escape_help",
+    "escape_label_value",
 ]
+
+
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline must be escaped inside the
+    quoted label value; everything else passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape ``# HELP`` text (backslash and newline only, per the spec)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 #: Default histogram edges (seconds-flavoured, log-spaced).  ``observe``
 #: places a value in the first bucket whose upper edge is >= the value
@@ -124,6 +145,9 @@ class _NullMetric:
 
     __slots__ = ()
 
+    #: Reads against a disabled instrument see a zero value.
+    value = 0.0
+
     def inc(self, amount: float = 1.0) -> None:
         pass
 
@@ -149,7 +173,20 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._help: dict[str, str] = {}
         self._lock = threading.Lock()
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach ``# HELP`` text to ``name`` for the promtext export.
+
+        Safe to call before or after the metric is registered, and while
+        the registry is disabled (descriptions survive enable/reset).
+        """
+        with self._lock:
+            self._help[name] = str(help_text)
+
+    def help_text(self, name: str) -> str | None:
+        return self._help.get(name)
 
     # -- get-or-create --------------------------------------------------
     def _get(self, name: str, factory, cls):
@@ -231,15 +268,24 @@ class MetricsRegistry:
 
     # -- text exposition ------------------------------------------------
     def to_promtext(self) -> str:
-        """Prometheus text-exposition-style dump of the current state."""
+        """Prometheus text-exposition dump of the current state.
+
+        Emits ``# HELP`` (when :meth:`describe` registered text) and
+        ``# TYPE`` per metric family; label values are escaped per the
+        exposition format (``\\``, ``"``, newline).
+        """
         lines: list[str] = []
         for name, snap in self.snapshot().items():
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {escape_help(help_text)}")
             lines.append(f"# TYPE {name} {snap['type']}")
             if snap["type"] == "histogram":
                 cumulative = 0
                 for edge, count in zip(snap["edges"], snap["counts"]):
                     cumulative += count
-                    lines.append(f'{name}_bucket{{le="{edge:g}"}} {cumulative}')
+                    le = escape_label_value(f"{edge:g}")
+                    lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
                 lines.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
                 lines.append(f"{name}_sum {snap['sum']:g}")
                 lines.append(f"{name}_count {snap['count']}")

@@ -1,0 +1,236 @@
+"""Process resource telemetry: RSS, CPU time, GC, threads.
+
+The roadmap's streaming and serving work both need to *see* memory —
+"peak-RSS tracked in obs" is an explicit acceptance criterion — so this
+module turns cheap stdlib probes into metrics-registry gauges:
+
+* :func:`sample_resources` reads one point-in-time sample (resident set
+  size from ``/proc/self/statm``, peak RSS from
+  ``resource.getrusage``, user+system CPU seconds, cumulative GC
+  collections, live thread count) as a plain dict;
+* :func:`publish_resources` mirrors a sample into ``resource_*`` gauges
+  (peak RSS is kept monotone, so late samples never shrink it);
+* :class:`ResourceSampler` runs both on a background thread at a fixed
+  interval — the serving stack starts one per process so ``/metrics``
+  always carries a fresh resident-set reading, and an optional ``extra``
+  callback lets the host publish adjacent gauges (batcher queue depths)
+  on the same cadence.
+
+Fork-pool workers ship one final sample home inside the
+:func:`repro.obs.capture_worker` payload; the parent merges it with
+:func:`merge_worker_sample` (peaks fold in as a max across workers,
+CPU seconds add), mirroring how worker metrics and cache stats already
+travel.
+
+Everything degrades gracefully: on platforms without ``/proc`` the RSS
+gauge reports 0 and peak RSS falls back to ``ru_maxrss`` alone.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+
+__all__ = [
+    "RESOURCE_GAUGES",
+    "ResourceSampler",
+    "merge_worker_sample",
+    "publish_resources",
+    "sample_resources",
+]
+
+#: Gauge names published by :func:`publish_resources`, with help text
+#: for the Prometheus exposition (``# HELP``) lines.
+RESOURCE_GAUGES = {
+    "resource_rss_bytes": "Current resident set size of this process.",
+    "resource_peak_rss_bytes": "High-water resident set size (monotone).",
+    "resource_cpu_seconds": "Cumulative user+system CPU time consumed.",
+    "resource_gc_collections_total": "Cumulative garbage collections (all generations).",
+    "resource_gc_tracked_objects": "Objects currently tracked by the cyclic GC.",
+    "resource_threads": "Live Python threads in this process.",
+}
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def _rss_bytes() -> int:
+    """Resident set size via ``/proc/self/statm`` (0 where unavailable)."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return 0
+
+
+def _peak_rss_bytes() -> int:
+    """Peak RSS via ``getrusage`` (``ru_maxrss`` is KiB on Linux, bytes on macOS)."""
+    try:
+        import resource as _resource
+
+        maxrss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError, ValueError):
+        return 0
+    # Heuristic: Linux reports kilobytes, Darwin bytes.  A value that is
+    # already >= 1 GiB is clearly bytes; otherwise trust the platform.
+    import sys
+
+    return int(maxrss) if sys.platform == "darwin" else int(maxrss) * 1024
+
+
+def _cpu_seconds() -> float:
+    """User + system CPU seconds for this process."""
+    try:
+        import resource as _resource
+
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        return float(usage.ru_utime + usage.ru_stime)
+    except (ImportError, OSError, ValueError):
+        return float(time.process_time())
+
+
+def sample_resources() -> dict:
+    """One point-in-time resource sample as a JSON-safe dict.
+
+    Every probe is a syscall or a counter read — cheap enough to call
+    per epoch or per second without showing up in profiles.
+    """
+    collections = sum(stat.get("collections", 0) for stat in gc.get_stats())
+    gen_counts = gc.get_count()
+    return {
+        "rss_bytes": _rss_bytes(),
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "cpu_seconds": _cpu_seconds(),
+        "gc_collections_total": collections,
+        "gc_tracked_objects": int(sum(gen_counts)),
+        "threads": threading.active_count(),
+    }
+
+
+def publish_resources(sample: dict | None = None) -> dict:
+    """Mirror ``sample`` (default: a fresh one) into ``resource_*`` gauges.
+
+    Returns the sample that was published.  ``resource_peak_rss_bytes``
+    is monotone: a stale or smaller reading never lowers it.  No-op
+    gauges while observability is disabled, so this is safe to call
+    unconditionally from instrumented code.
+    """
+    from repro import obs
+
+    if sample is None:
+        sample = sample_resources()
+    registry = obs.get_metrics()
+    registry.gauge("resource_rss_bytes").set(sample["rss_bytes"])
+    peak = registry.gauge("resource_peak_rss_bytes")
+    peak.set(max(peak.value, float(sample["peak_rss_bytes"])))
+    registry.gauge("resource_cpu_seconds").set(sample["cpu_seconds"])
+    registry.gauge("resource_gc_collections_total").set(sample["gc_collections_total"])
+    registry.gauge("resource_gc_tracked_objects").set(sample["gc_tracked_objects"])
+    registry.gauge("resource_threads").set(sample["threads"])
+    for name, help_text in RESOURCE_GAUGES.items():
+        registry.describe(name, help_text)
+    return sample
+
+
+def merge_worker_sample(sample: dict | None) -> None:
+    """Fold a worker process's final resource sample into parent gauges.
+
+    ``worker_peak_rss_bytes`` keeps the max across every worker seen so
+    far (the number capacity planning cares about: the fattest fold);
+    ``worker_cpu_seconds_total`` accumulates.  Called by
+    :func:`repro.obs.merge_worker` alongside metric/span merging.
+    """
+    from repro import obs
+
+    if not sample:
+        return
+    registry = obs.get_metrics()
+    peak = registry.gauge("worker_peak_rss_bytes")
+    peak.set(max(peak.value, float(sample.get("peak_rss_bytes", 0))))
+    registry.describe(
+        "worker_peak_rss_bytes", "Max peak RSS over every fold worker merged so far."
+    )
+    cpu = float(sample.get("cpu_seconds", 0.0))
+    if cpu > 0:
+        registry.counter("worker_cpu_seconds_total").inc(cpu)
+        registry.describe(
+            "worker_cpu_seconds_total", "CPU seconds accumulated across fold workers."
+        )
+
+
+class ResourceSampler:
+    """Background thread publishing resource gauges at a fixed interval.
+
+    Parameters
+    ----------
+    interval_s:
+        Seconds between samples.  Values <= 0 disable the thread
+        entirely (``start`` becomes a no-op), so callers can wire the
+        sampler unconditionally and let configuration decide.
+    extra:
+        Optional zero-argument callable returning ``{gauge_name: value}``
+        published alongside each sample — the serving stack uses it for
+        per-model batcher queue depths.
+    """
+
+    def __init__(self, interval_s: float = 5.0, extra=None) -> None:
+        self.interval_s = float(interval_s)
+        self.extra = extra
+        self.samples_taken = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ResourceSampler":
+        if self.interval_s <= 0 or (self._thread is not None and self._thread.is_alive()):
+            return self
+        self._stop.clear()
+        self.sample_once()  # gauges are live from the first scrape
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-resources", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling -------------------------------------------------------
+    def sample_once(self) -> dict:
+        """Take and publish one sample (also used by the thread body)."""
+        from repro import obs
+
+        sample = publish_resources()
+        if self.extra is not None:
+            registry = obs.get_metrics()
+            try:
+                for name, value in (self.extra() or {}).items():
+                    registry.gauge(name).set(float(value))
+            except Exception:  # noqa: BLE001 - telemetry must not kill the host
+                obs.counter("resource_sampler_errors_total").inc()
+        self.samples_taken += 1
+        return sample
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample_once()
+            except Exception:  # noqa: BLE001 - keep sampling
+                from repro import obs
+
+                obs.counter("resource_sampler_errors_total").inc()

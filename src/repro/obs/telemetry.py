@@ -5,8 +5,10 @@ after every epoch (and usable as a standalone ``epoch_callback``).  When
 observability is enabled it emits one ``kind="event", name="epoch"``
 record carrying the epoch's loss, accuracies, post-plateau learning rate
 and pre-clip gradient norm, and mirrors the same quantities into the
-metrics registry (gauges + a gradient-norm histogram).  Disabled, it is
-a no-op.
+metrics registry (gauges + a gradient-norm histogram).  Each epoch also
+refreshes the process ``resource_*`` gauges and stamps the event with
+the current RSS, so long training runs get a memory-growth series for
+free.  Disabled, it is a no-op.
 """
 
 from __future__ import annotations
@@ -42,10 +44,12 @@ class TelemetryCallback:
         *after* the ReduceLROnPlateau step, not the one the epoch ran at.
         """
         from repro import obs
+        from repro.obs.resources import publish_resources
 
         if not obs.enabled():
             return
-        fields: dict = {"epoch": epoch}
+        sample = publish_resources()
+        fields: dict = {"epoch": epoch, "rss_bytes": sample["rss_bytes"]}
         fold = obs.current_attr("fold")
         if fold is not None:
             fields["fold"] = fold

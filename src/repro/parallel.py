@@ -307,4 +307,11 @@ def run_folds(
             results[index] = result
             if on_result is not None:
                 on_result(index, result)
+    if capture:
+        # Workers merged their final samples as worker_* series above;
+        # refresh the parent's own resource_* gauges to the same instant
+        # so a post-run snapshot pairs both sides consistently.
+        from repro.obs.resources import publish_resources
+
+        publish_resources()
     return [results[index] for index in range(len(payloads))]

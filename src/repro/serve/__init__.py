@@ -12,7 +12,10 @@ turns such artifacts into a network service:
   deadlines, bounded admission queue that sheds instead of collapsing);
 * :class:`~repro.serve.http.ReproServer` — a ``ThreadingHTTPServer``
   front-end (``POST /v1/predict``, ``POST /v1/predict_proba``,
-  ``GET /healthz``, ``GET /metrics``);
+  ``GET /healthz``, ``GET /metrics``, ``GET /v1/traces/<id>``) with
+  end-to-end request tracing (``X-Repro-Trace-Id``), SLO monitoring
+  (:mod:`repro.obs.slo`), and background resource sampling
+  (:mod:`repro.obs.resources`);
 * :class:`~repro.serve.client.ServeClient` and
   :func:`~repro.serve.loadgen.run_load` — a pure-python client and a
   closed/open-loop load generator reporting p50/p95/p99 latency and
@@ -44,7 +47,12 @@ from repro.serve.codec import (
     parse_predict_request,
 )
 from repro.serve.http import ReproServer, ServeConfig
-from repro.serve.loadgen import LoadResult, run_load
+from repro.serve.loadgen import (
+    LoadResult,
+    parse_promtext,
+    parse_promtext_samples,
+    run_load,
+)
 from repro.serve.registry import ModelEntry, ModelRegistry
 
 __all__ = [
@@ -63,5 +71,7 @@ __all__ = [
     "graph_from_json",
     "graph_to_json",
     "parse_predict_request",
+    "parse_promtext",
+    "parse_promtext_samples",
     "run_load",
 ]

@@ -21,14 +21,24 @@ independent, the fused pass is bitwise-identical to running each request
 alone (property-tested in ``tests/serve/test_batcher.py``).
 
 Instrumentation (via :mod:`repro.obs`, no-ops while disabled):
-``serve_queue_depth`` gauge, ``serve_batch_size`` /
-``serve_batch_requests`` histograms, ``serve_requests_shed_total`` /
-``serve_deadline_expired_total`` / ``serve_batches_total`` counters and
-the ``serve_infer_seconds`` histogram.
+``serve_queue_depth`` / ``serve_queue_depth_peak`` gauges,
+``serve_batch_size`` / ``serve_batch_requests`` histograms,
+``serve_requests_shed_total`` / ``serve_deadline_expired_total`` /
+``serve_batches_total`` counters, and the ``serve_infer_seconds`` /
+``serve_queue_wait_seconds`` / ``serve_batch_wait_seconds`` histograms.
+
+Request tracing: every :class:`_Pending` is timestamped at enqueue,
+batch collection, and fused-pass start/end, so the HTTP layer can
+decompose a request's latency into ``queue_wait`` / ``batch_wait`` /
+``infer`` spans (:meth:`MicroBatcher.submit_traced` returns the stamps).
+Each fused pass gets a ``batch_id``, and its ``serve_batch`` span
+carries the trace ids of the fused requests as span links — the N:1
+fan-in is recorded explicitly rather than faked as a tree.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -48,12 +58,36 @@ __all__ = [
     "register_serve_metrics",
 ]
 
+#: Process-wide batch-id stream; ids are unique per process, which is
+#: the scope a trace store and a JSONL run file share.
+_BATCH_IDS = itertools.count(1)
+
 #: Bucket edges for the batch-size histograms (graphs / requests per
 #: fused forward pass) — powers of two up to a deep queue drain.
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 #: Bucket edges for per-batch inference latency (seconds).
 INFER_SECONDS_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+#: Bucket edges for per-request wait decomposition (seconds) — finer at
+#: the bottom than the infer buckets because waits should be tiny.
+WAIT_SECONDS_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+#: ``# HELP`` text for the serving metric surface.
+_SERVE_METRIC_HELP = {
+    "serve_requests_total": "Requests admitted to a batcher queue.",
+    "serve_requests_shed_total": "Requests rejected because the admission queue was full (HTTP 429).",
+    "serve_deadline_expired_total": "Requests whose deadline passed while queued (HTTP 504).",
+    "serve_batches_total": "Fused forward passes executed.",
+    "serve_infer_errors_total": "Fused forward passes that raised.",
+    "serve_queue_depth": "Requests currently queued, last observation.",
+    "serve_queue_depth_peak": "High-water admission-queue depth (monotone per process).",
+    "serve_batch_size": "Graphs per fused forward pass.",
+    "serve_batch_requests": "Requests per fused forward pass.",
+    "serve_infer_seconds": "Fused forward-pass latency.",
+    "serve_queue_wait_seconds": "Per-request wait from admission to batch collection.",
+    "serve_batch_wait_seconds": "Per-request wait from batch collection to the fused pass.",
+}
 
 
 def register_serve_metrics() -> None:
@@ -70,9 +104,15 @@ def register_serve_metrics() -> None:
     obs.counter("serve_batches_total")
     obs.counter("serve_infer_errors_total")
     obs.gauge("serve_queue_depth")
+    obs.gauge("serve_queue_depth_peak")
     obs.histogram("serve_batch_size", BATCH_SIZE_BUCKETS)
     obs.histogram("serve_batch_requests", BATCH_SIZE_BUCKETS)
     obs.histogram("serve_infer_seconds", INFER_SECONDS_BUCKETS)
+    obs.histogram("serve_queue_wait_seconds", WAIT_SECONDS_BUCKETS)
+    obs.histogram("serve_batch_wait_seconds", WAIT_SECONDS_BUCKETS)
+    registry = obs.get_metrics()
+    for name, help_text in _SERVE_METRIC_HELP.items():
+        registry.describe(name, help_text)
 
 
 class RequestShed(RuntimeError):
@@ -88,11 +128,34 @@ class BatcherStopped(RuntimeError):
 
 
 class _Pending:
-    """One submitted request waiting for its slice of a fused batch."""
+    """One submitted request waiting for its slice of a fused batch.
 
-    __slots__ = ("graphs", "enqueued_at", "deadline", "done", "result", "extra", "error")
+    The monotonic timestamps stamped along the way (enqueue, batch
+    collection, fused-pass start/end) are what the tracing layer turns
+    into the ``queue_wait`` / ``batch_wait`` / ``infer`` waterfall.
+    """
 
-    def __init__(self, graphs: Sequence[Graph], deadline: float | None) -> None:
+    __slots__ = (
+        "graphs",
+        "enqueued_at",
+        "deadline",
+        "done",
+        "result",
+        "extra",
+        "error",
+        "trace_id",
+        "collected_at",
+        "infer_started_at",
+        "infer_ended_at",
+        "batch_id",
+    )
+
+    def __init__(
+        self,
+        graphs: Sequence[Graph],
+        deadline: float | None,
+        trace_id: str | None = None,
+    ) -> None:
         self.graphs = list(graphs)
         self.enqueued_at = time.monotonic()
         self.deadline = deadline
@@ -100,12 +163,27 @@ class _Pending:
         self.result: np.ndarray | None = None
         self.extra: dict | None = None
         self.error: Exception | None = None
+        self.trace_id = trace_id
+        self.collected_at: float | None = None
+        self.infer_started_at: float | None = None
+        self.infer_ended_at: float | None = None
+        self.batch_id: str | None = None
 
     def finish(self, *, result=None, extra=None, error=None) -> None:
         self.result = result
         self.extra = extra
         self.error = error
         self.done.set()
+
+    def timing(self) -> dict:
+        """Stage boundaries for the tracing layer (None where unreached)."""
+        return {
+            "enqueued_at": self.enqueued_at,
+            "collected_at": self.collected_at,
+            "infer_started_at": self.infer_started_at,
+            "infer_ended_at": self.infer_ended_at,
+            "batch_id": self.batch_id,
+        }
 
 
 class MicroBatcher:
@@ -150,6 +228,7 @@ class MicroBatcher:
         self._carry: _Pending | None = None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._peak_depth = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -203,12 +282,28 @@ class MicroBatcher:
         :class:`DeadlineExceeded` when ``timeout_s`` elapses first, and
         :class:`BatcherStopped` when the batcher shuts down mid-flight.
         """
+        proba, extra, _ = self.submit_traced(graphs, timeout_s=timeout_s)
+        return proba, extra
+
+    def submit_traced(
+        self,
+        graphs: Sequence[Graph],
+        timeout_s: float | None = None,
+        trace_id: str | None = None,
+    ) -> tuple[np.ndarray, dict, dict]:
+        """:meth:`submit`, plus the request's stage-boundary timestamps.
+
+        The third element is :meth:`_Pending.timing` — monotonic stamps
+        for enqueue / batch collection / fused-pass start and end plus
+        the ``batch_id`` — which the HTTP layer decomposes into the
+        ``queue_wait`` / ``batch_wait`` / ``infer`` trace spans.
+        """
         if not graphs:
             raise ValueError("submit needs at least one graph")
         if not self.running:
             raise BatcherStopped("batcher is not running")
         deadline = None if timeout_s is None else time.monotonic() + timeout_s
-        pending = _Pending(graphs, deadline)
+        pending = _Pending(graphs, deadline, trace_id=trace_id)
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
@@ -217,7 +312,7 @@ class MicroBatcher:
                 f"admission queue full ({self.max_queue} requests)"
             ) from None
         obs.counter("serve_requests_total").inc()
-        obs.gauge("serve_queue_depth").set(self._queue.qsize())
+        self._note_depth(self._queue.qsize())
         # Wait a little past the deadline: the worker answers expired
         # requests itself, so an on-time DeadlineExceeded still carries
         # the worker's verdict rather than racing it.
@@ -229,7 +324,16 @@ class MicroBatcher:
         if pending.error is not None:
             raise pending.error
         assert pending.result is not None and pending.extra is not None
-        return pending.result, pending.extra
+        return pending.result, pending.extra, pending.timing()
+
+    def _note_depth(self, depth: int) -> None:
+        """Publish the queue depth and keep the high-water mark current."""
+        obs.gauge("serve_queue_depth").set(depth)
+        if depth > self._peak_depth:
+            self._peak_depth = depth
+            peak = obs.gauge("serve_queue_depth_peak")
+            if depth > peak.value:
+                peak.set(depth)
 
     # ------------------------------------------------------------------
     # Worker (single thread)
@@ -243,6 +347,9 @@ class MicroBatcher:
                 first = self._queue.get(timeout=0.05)
             except queue.Empty:
                 return []
+        # collected_at closes the queue_wait stage; a carried-over
+        # request is re-stamped here because its batch starts now.
+        first.collected_at = time.monotonic()
         batch = [first]
         total = len(first.graphs)
         flush_at = first.enqueued_at + self.max_wait_s
@@ -260,6 +367,7 @@ class MicroBatcher:
             if total + len(nxt.graphs) > self.max_batch:
                 self._carry = nxt  # runs first in the next batch
                 break
+            nxt.collected_at = time.monotonic()
             batch.append(nxt)
             total += len(nxt.graphs)
         return batch
@@ -269,7 +377,7 @@ class MicroBatcher:
             batch = self._next_batch()
             if not batch:
                 continue
-            obs.gauge("serve_queue_depth").set(self.depth())
+            self._note_depth(self.depth())
             now = time.monotonic()
             live: list[_Pending] = []
             for pending in batch:
@@ -283,9 +391,24 @@ class MicroBatcher:
             if not live:
                 continue
             graphs = [g for pending in live for g in pending.graphs]
+            batch_id = f"b{next(_BATCH_IDS)}"
+            # Span links: the trace ids fused into this batch.  The
+            # request spans live on their handler threads; this records
+            # the N:1 fan-in without faking a parent/child relation.
+            links = [p.trace_id for p in live if p.trace_id]
+            infer_started = time.monotonic()
+            for pending in live:
+                pending.batch_id = batch_id
+                pending.infer_started_at = infer_started
             start = time.perf_counter()
             try:
-                with obs.span("serve_batch", graphs=len(graphs), requests=len(live)):
+                with obs.span(
+                    "serve_batch",
+                    graphs=len(graphs),
+                    requests=len(live),
+                    batch_id=batch_id,
+                    links=links,
+                ):
                     proba, extra = self.infer(graphs)
             except Exception as exc:  # noqa: BLE001 - answered per-request
                 obs.counter("serve_infer_errors_total").inc()
@@ -293,12 +416,19 @@ class MicroBatcher:
                     pending.finish(error=exc)
                 continue
             elapsed = time.perf_counter() - start
+            infer_ended = time.monotonic()
             obs.counter("serve_batches_total").inc()
             obs.histogram("serve_batch_size", BATCH_SIZE_BUCKETS).observe(len(graphs))
             obs.histogram("serve_batch_requests", BATCH_SIZE_BUCKETS).observe(len(live))
             obs.histogram("serve_infer_seconds", INFER_SECONDS_BUCKETS).observe(elapsed)
+            queue_waits = obs.histogram("serve_queue_wait_seconds", WAIT_SECONDS_BUCKETS)
+            batch_waits = obs.histogram("serve_batch_wait_seconds", WAIT_SECONDS_BUCKETS)
             offset = 0
             for pending in live:
+                pending.infer_ended_at = infer_ended
+                if pending.collected_at is not None:
+                    queue_waits.observe(pending.collected_at - pending.enqueued_at)
+                    batch_waits.observe(infer_started - pending.collected_at)
                 span = len(pending.graphs)
                 pending.finish(result=proba[offset : offset + span], extra=extra)
                 offset += span

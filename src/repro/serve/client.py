@@ -15,6 +15,7 @@ from urllib.parse import urlsplit
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.obs.reqtrace import TRACE_HEADER
 from repro.serve.codec import graph_to_json
 
 __all__ = ["ServeClient", "ServeClientError"]
@@ -30,7 +31,12 @@ class ServeClientError(RuntimeError):
 
 
 class ServeClient:
-    """Thin blocking client: ``predict``, ``predict_proba``, ``healthz``, ``metrics``."""
+    """Thin blocking client: ``predict``, ``predict_proba``, ``healthz``, ``metrics``.
+
+    Every response's echoed trace id is kept in :attr:`last_trace_id`,
+    so callers can correlate a prediction with its server-side waterfall
+    (``client.trace(client.last_trace_id)`` or ``repro ops trace``).
+    """
 
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
@@ -42,6 +48,8 @@ class ServeClient:
         self.port = parts.port or 80
         self.timeout = timeout
         self._conn: http.client.HTTPConnection | None = None
+        #: Trace id echoed by the most recent response (None before any).
+        self.last_trace_id: str | None = None
 
     # ------------------------------------------------------------------
     # Transport
@@ -59,34 +67,52 @@ class ServeClient:
             self._conn = None
 
     def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        trace_id: str | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """One round-trip; returns ``(status, headers, body)`` uninterpreted.
+
+        ``trace_id`` is sent as the ``X-Repro-Trace-Id`` header (the
+        server adopts valid ids instead of minting its own); the id
+        echoed back is recorded in :attr:`last_trace_id`.
 
         Retries exactly once on a dead keep-alive connection (the server
         restarting or idling out the socket); a second failure raises.
         """
         body = None if payload is None else json.dumps(payload).encode()
         headers = {} if body is None else {"Content-Type": "application/json"}
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
         for attempt in (0, 1):
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 data = response.read()
-                return (
-                    response.status,
-                    {k.lower(): v for k, v in response.getheaders()},
-                    data,
-                )
+                response_headers = {
+                    k.lower(): v for k, v in response.getheaders()
+                }
+                echoed = response_headers.get(TRACE_HEADER.lower())
+                if echoed:
+                    self.last_trace_id = echoed
+                return response.status, response_headers, data
             except (ConnectionError, http.client.HTTPException, OSError):
                 self.close()
                 if attempt:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _json_request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        status, headers, data = self.request(method, path, payload)
+    def _json_request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        trace_id: str | None = None,
+    ) -> dict:
+        status, headers, data = self.request(method, path, payload, trace_id=trace_id)
         try:
             parsed = json.loads(data) if data else {}
         except json.JSONDecodeError:
@@ -119,10 +145,14 @@ class ServeClient:
         graphs: list[Graph],
         model: str | None = None,
         timeout_ms: float | None = None,
+        trace_id: str | None = None,
     ) -> np.ndarray:
         """Predicted class labels (``(n,)`` int array)."""
         body = self._json_request(
-            "POST", "/v1/predict", self._payload(graphs, model, timeout_ms)
+            "POST",
+            "/v1/predict",
+            self._payload(graphs, model, timeout_ms),
+            trace_id=trace_id,
         )
         return np.asarray(body["labels"], dtype=np.int64)
 
@@ -131,6 +161,7 @@ class ServeClient:
         graphs: list[Graph],
         model: str | None = None,
         timeout_ms: float | None = None,
+        trace_id: str | None = None,
     ) -> np.ndarray:
         """Class-probability matrix (``(n, c)`` float array).
 
@@ -139,12 +170,19 @@ class ServeClient:
         result.
         """
         body = self._json_request(
-            "POST", "/v1/predict_proba", self._payload(graphs, model, timeout_ms)
+            "POST",
+            "/v1/predict_proba",
+            self._payload(graphs, model, timeout_ms),
+            trace_id=trace_id,
         )
         return np.asarray(body["proba"], dtype=np.float64)
 
     def healthz(self) -> dict:
         return self._json_request("GET", "/healthz")
+
+    def trace(self, trace_id: str) -> dict:
+        """The stored waterfall record for ``trace_id`` (404 -> error)."""
+        return self._json_request("GET", f"/v1/traces/{trace_id}")
 
     def metrics(self) -> str:
         """Raw Prometheus text from ``GET /metrics``."""

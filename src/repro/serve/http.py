@@ -4,15 +4,30 @@ Endpoints
 ---------
 ``POST /v1/predict``
     ``{"graphs": [...], "model": "default", "timeout_ms": 2000}`` ->
-    ``{"labels": [...], "model": ..., "version": ...}``.
+    ``{"labels": [...], "model": ..., "version": ..., "trace_id": ...}``.
 ``POST /v1/predict_proba``
     Same request -> ``{"proba": [[...]], "classes": [...], ...}``.
 ``GET /healthz``
-    Liveness + loaded-model inventory + queue depths.
+    Liveness + loaded-model inventory + queue depths + SLO state; the
+    top-level ``status`` flips to ``degraded`` while any SLO objective
+    (p95 latency, error budget) is breached.
 ``GET /metrics``
     The process-wide :mod:`repro.obs` metrics registry in Prometheus
-    text-exposition format (queue depth, batch-size histograms, shed /
-    deadline counters, request latencies).
+    text-exposition format (queue depth + high-water, batch-size and
+    wait-decomposition histograms, shed / deadline counters, request
+    latencies, ``slo_*`` and ``resource_*`` gauges).
+``GET /v1/traces/<id>``
+    The stage waterfall of a recently answered request (bounded
+    in-memory store; ``repro ops trace`` rebuilds the same record
+    offline from a ``--log-json`` run file).
+
+Request tracing: every request carries a trace id — minted at ingress
+or supplied via the ``X-Repro-Trace-Id`` header — that is echoed in the
+response (header + body) and stamped on every span the request
+produces.  Per-request latency decomposes into ``queue_wait`` /
+``batch_wait`` / ``infer`` / ``serialize`` child spans of one
+``request`` span; the batcher's ``serve_batch`` span carries the fused
+trace ids as span links.  See ``docs/SERVING.md`` for the contract.
 
 Backpressure contract: every request is answered.  A full admission
 queue is ``429 Too Many Requests`` with a ``Retry-After`` header; an
@@ -37,6 +52,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro import obs
+from repro.obs.reqtrace import (
+    TRACE_HEADER,
+    TraceStore,
+    new_trace_id,
+    valid_trace_id,
+)
+from repro.obs.resources import ResourceSampler, sample_resources
+from repro.obs.slo import SloConfig, SloMonitor
 from repro.serve.batcher import (
     BatcherStopped,
     DeadlineExceeded,
@@ -52,6 +75,8 @@ __all__ = ["ServeConfig", "ReproServer"]
 #: Bucket edges for end-to-end request latency (seconds).
 REQUEST_SECONDS_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
+_TRACES_PREFIX = "/v1/traces/"
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -64,6 +89,14 @@ class ServeConfig:
     max_queue: int = 128
     request_timeout_s: float = 30.0
     retry_after_s: int = 1
+    # -- SLO objectives (see repro.obs.slo) -----------------------------
+    slo_latency_p95_ms: float = 500.0
+    slo_error_rate_target: float = 0.01
+    slo_window_s: float = 60.0
+    slo_min_samples: int = 20
+    # -- telemetry ------------------------------------------------------
+    resource_interval_s: float = 5.0  # <= 0 disables the sampler thread
+    trace_capacity: int = 512
 
 
 class ReproServer:
@@ -78,6 +111,19 @@ class ReproServer:
         self._batcher_lock = threading.Lock()
         self._started_at = 0.0
         self._owns_obs = False
+        self.slo = SloMonitor(
+            SloConfig(
+                latency_p95_ms=self.config.slo_latency_p95_ms,
+                error_rate_target=self.config.slo_error_rate_target,
+                window_s=self.config.slo_window_s,
+                min_samples=self.config.slo_min_samples,
+            )
+        )
+        self.traces = TraceStore(capacity=self.config.trace_capacity)
+        self._sampler = ResourceSampler(
+            interval_s=self.config.resource_interval_s,
+            extra=self._sampler_extra,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -95,6 +141,14 @@ class ReproServer:
         register_serve_metrics()
         obs.histogram("serve_request_seconds", REQUEST_SECONDS_BUCKETS)
         obs.counter("serve_internal_errors_total")
+        registry = obs.get_metrics()
+        registry.describe(
+            "serve_request_seconds", "End-to-end HTTP predict latency."
+        )
+        registry.describe(
+            "serve_internal_errors_total", "Requests answered with HTTP 500."
+        )
+        self._sampler.start()
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port), handler
@@ -111,6 +165,7 @@ class ReproServer:
         return self
 
     def stop(self) -> None:
+        self._sampler.stop()
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -190,12 +245,23 @@ class ReproServer:
         with self._batcher_lock:
             return {name: b.depth() for name, b in sorted(self._batchers.items())}
 
+    def _sampler_extra(self) -> dict[str, float]:
+        """Gauges published on the resource sampler's cadence.
+
+        Refreshing ``serve_queue_depth`` here means the gauge decays
+        back to the true (usually 0) depth while the server idles,
+        instead of freezing at the last request's reading.
+        """
+        return {"serve_queue_depth": sum(self.queue_depths().values())}
+
     def healthz(self) -> dict:
         return {
-            "status": "ok",
+            "status": self.slo.status(),
             "uptime_s": round(time.time() - self._started_at, 3),
             "models": self.registry.describe(),
             "queues": self.queue_depths(),
+            "slo": self.slo.snapshot(),
+            "resources": sample_resources(),
             "config": asdict(self.config),
         }
 
@@ -212,71 +278,195 @@ def _make_handler(server: "ReproServer") -> type[BaseHTTPRequestHandler]:
         server_version = "repro-serve/1.0"
         app = server
 
-        # Route stdlib request logging into the event log instead of
-        # stderr (no-op while obs is disabled).
+        # Structured access-log events (emitted per response in
+        # _access_log) replace the stdlib's stderr line logging.
         def log_message(self, format: str, *args) -> None:  # noqa: A002
-            obs.event("http_access", line=format % args)
+            pass
+
+        def _access_log(
+            self, method: str, status: int, duration_s: float, trace_id: str
+        ) -> None:
+            obs.event(
+                "http_access",
+                method=method,
+                path=self.path,
+                status=status,
+                duration_ms=round(duration_s * 1000.0, 3),
+                trace_id=trace_id,
+            )
+
+        def _ingress_trace_id(self) -> str:
+            """Adopt a valid client-supplied trace id or mint one."""
+            supplied = (self.headers.get(TRACE_HEADER) or "").strip()
+            if valid_trace_id(supplied):
+                return supplied.lower()
+            return new_trace_id()
 
         # -- GET --------------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-            if self.path == "/healthz":
-                self._send_json(200, self.app.healthz())
-            elif self.path == "/metrics":
-                body = obs.get_metrics().to_promtext().encode()
-                self.send_response(200)
-                self.send_header("Content-Type", "text/plain; version=0.0.4")
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
-            else:
-                self._send_json(404, {"error": f"no such path: {self.path}"})
+            start = time.perf_counter()
+            trace_id = self._ingress_trace_id()
+            status = 500
+            try:
+                if self.path == "/healthz":
+                    status = self._send_json(
+                        200, self.app.healthz(), trace_id=trace_id
+                    )
+                elif self.path == "/metrics":
+                    body = obs.get_metrics().to_promtext().encode()
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain; version=0.0.4")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.send_header(TRACE_HEADER, trace_id)
+                    self.end_headers()
+                    self.wfile.write(body)
+                    status = 200
+                elif self.path.startswith(_TRACES_PREFIX):
+                    status = self._handle_get_trace(trace_id)
+                else:
+                    status = self._send_json(
+                        404,
+                        {"error": f"no such path: {self.path}"},
+                        trace_id=trace_id,
+                    )
+            finally:
+                self._access_log("GET", status, time.perf_counter() - start, trace_id)
+
+        def _handle_get_trace(self, trace_id: str) -> int:
+            wanted = self.path[len(_TRACES_PREFIX):]
+            record = self.app.traces.get(wanted)
+            if record is None:
+                return self._send_json(
+                    404,
+                    {"error": f"no stored trace with id {wanted!r}"},
+                    trace_id=trace_id,
+                )
+            return self._send_json(200, record, trace_id=trace_id)
 
         # -- POST -------------------------------------------------------
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-            if self.path not in ("/v1/predict", "/v1/predict_proba"):
-                self._send_json(404, {"error": f"no such path: {self.path}"})
-                return
             start = time.perf_counter()
+            trace_id = self._ingress_trace_id()
             status = 500
             try:
-                status = self._handle_predict(want_proba=self.path.endswith("_proba"))
+                if self.path not in ("/v1/predict", "/v1/predict_proba"):
+                    status = self._send_json(
+                        404,
+                        {"error": f"no such path: {self.path}"},
+                        trace_id=trace_id,
+                    )
+                    return
+                status = self._handle_predict(
+                    want_proba=self.path.endswith("_proba"), trace_id=trace_id
+                )
             except Exception as exc:  # noqa: BLE001 - last-resort 500
                 obs.counter("serve_internal_errors_total").inc()
-                self._send_json(500, {"error": f"internal error: {exc}"})
+                status = self._send_json(
+                    500, {"error": f"internal error: {exc}"}, trace_id=trace_id
+                )
             finally:
+                elapsed = time.perf_counter() - start
                 obs.histogram(
                     "serve_request_seconds", REQUEST_SECONDS_BUCKETS
-                ).observe(time.perf_counter() - start)
+                ).observe(elapsed)
                 obs.counter(f"serve_responses_{status}_total").inc()
+                # Only predict traffic spends SLO budget; health and
+                # metrics scrapes are not user-facing work.
+                if self.path in ("/v1/predict", "/v1/predict_proba"):
+                    self.app.slo.observe(elapsed, status)
+                self._access_log("POST", status, elapsed, trace_id)
 
-        def _handle_predict(self, want_proba: bool) -> int:
+        def _handle_predict(self, want_proba: bool, trace_id: str) -> int:
+            mono0 = time.monotonic()
+            ts0 = time.time()
+            endpoint = "predict_proba" if want_proba else "predict"
+            status = 500
+            timing: dict = {}
+            serialize_started: float | None = None
+            name = None
+            with obs.span(
+                "request", trace_id=trace_id, endpoint=endpoint, method="POST"
+            ) as req_span:
+                try:
+                    status = self._predict_inner(
+                        want_proba, trace_id, req_span, timing
+                    )
+                    name = timing.get("model")
+                    serialize_started = timing.get("serialize_started_at")
+                finally:
+                    req_span.set_attr("status", status)
+                    total_s = time.monotonic() - mono0
+                    stages = _stage_spans(
+                        mono0, timing, serialize_started, time.monotonic()
+                    )
+                    if obs.enabled():
+                        tracer = obs.get_tracer()
+                        for stage in stages:
+                            tracer.graft(
+                                {
+                                    "name": stage["name"],
+                                    "attrs": {
+                                        "trace_id": trace_id,
+                                        "offset_s": stage["offset_s"],
+                                    },
+                                    "duration": stage["duration_s"],
+                                },
+                                parent=req_span,
+                            )
+                    self.app.traces.put(
+                        trace_id,
+                        {
+                            "trace_id": trace_id,
+                            "endpoint": endpoint,
+                            "model": name,
+                            "status": status,
+                            "batch_id": timing.get("batch_id"),
+                            "ts": ts0,
+                            "duration_s": total_s,
+                            "spans": stages,
+                        },
+                    )
+            return status
+
+        def _predict_inner(
+            self, want_proba: bool, trace_id: str, req_span, timing: dict
+        ) -> int:
             try:
                 length = int(self.headers.get("Content-Length", 0))
                 graphs, model, timeout_s = parse_predict_request(
                     self.rfile.read(length)
                 )
             except CodecError as exc:
-                return self._send_json(400, {"error": str(exc)})
+                return self._send_json(400, {"error": str(exc)}, trace_id=trace_id)
             name = model or "default"
+            timing["model"] = name
+            req_span.set_attr("model", name)
             if timeout_s is None:
                 timeout_s = self.app.config.request_timeout_s
             try:
                 self.app.registry.get(name)
             except KeyError as exc:
-                return self._send_json(404, {"error": str(exc.args[0])})
+                return self._send_json(
+                    404, {"error": str(exc.args[0])}, trace_id=trace_id
+                )
             batcher = self.app.batcher_for(name)
             try:
-                proba, extra = batcher.submit(graphs, timeout_s=timeout_s)
+                proba, extra, stamps = batcher.submit_traced(
+                    graphs, timeout_s=timeout_s, trace_id=trace_id
+                )
+                timing.update(stamps)
             except RequestShed as exc:
                 return self._send_json(
                     429,
                     {"error": str(exc)},
                     headers={"Retry-After": str(self.app.config.retry_after_s)},
+                    trace_id=trace_id,
                 )
             except DeadlineExceeded as exc:
-                return self._send_json(504, {"error": str(exc)})
+                return self._send_json(504, {"error": str(exc)}, trace_id=trace_id)
             except BatcherStopped as exc:
-                return self._send_json(503, {"error": str(exc)})
+                return self._send_json(503, {"error": str(exc)}, trace_id=trace_id)
+            req_span.set_attr("batch_id", stamps.get("batch_id"))
             body = {"model": extra["model"], "version": extra["version"]}
             if want_proba:
                 body["classes"] = extra["classes"]
@@ -284,16 +474,25 @@ def _make_handler(server: "ReproServer") -> type[BaseHTTPRequestHandler]:
             else:
                 classes = np.asarray(extra["classes"])
                 body["labels"] = classes[np.argmax(proba, axis=1)].tolist()
-            return self._send_json(200, body)
+            timing["serialize_started_at"] = time.monotonic()
+            return self._send_json(200, body, trace_id=trace_id)
 
         # -- plumbing ---------------------------------------------------
         def _send_json(
-            self, status: int, payload: dict, headers: dict | None = None
+            self,
+            status: int,
+            payload: dict,
+            headers: dict | None = None,
+            trace_id: str | None = None,
         ) -> int:
+            if trace_id is not None and "trace_id" not in payload:
+                payload = {**payload, "trace_id": trace_id}
             body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if trace_id is not None:
+                self.send_header(TRACE_HEADER, trace_id)
             for key, value in (headers or {}).items():
                 self.send_header(key, value)
             self.end_headers()
@@ -301,3 +500,37 @@ def _make_handler(server: "ReproServer") -> type[BaseHTTPRequestHandler]:
             return status
 
     return Handler
+
+
+def _stage_spans(
+    mono0: float,
+    timing: dict,
+    serialize_started: float | None,
+    serialize_ended: float,
+) -> list[dict]:
+    """Decompose one request into its waterfall stages.
+
+    Stage boundaries come from the batcher's monotonic stamps
+    (:meth:`MicroBatcher.submit_traced`); ``serialize`` covers response
+    encoding + write.  Stages whose boundaries were never reached
+    (sheds, deadline expiries, parse errors) are simply absent, so the
+    durations always sum to at most the measured request latency.
+    """
+    spans: list[dict] = []
+
+    def add(name: str, start: float | None, end: float | None) -> None:
+        if start is None or end is None or end < start:
+            return
+        spans.append(
+            {
+                "name": name,
+                "offset_s": max(0.0, start - mono0),
+                "duration_s": end - start,
+            }
+        )
+
+    add("queue_wait", timing.get("enqueued_at"), timing.get("collected_at"))
+    add("batch_wait", timing.get("collected_at"), timing.get("infer_started_at"))
+    add("infer", timing.get("infer_started_at"), timing.get("infer_ended_at"))
+    add("serialize", serialize_started, serialize_ended)
+    return spans

@@ -19,13 +19,16 @@ transport errors — so "no request silently dropped" is checkable:
 ``attempted == ok + shed + other + transport_errors``.
 
 The report carries p50/p95/p99/mean latency, throughput over the
-measurement window, per-status counts, and the *mean fused batch size*
-observed server-side over the run (read from ``GET /metrics`` deltas of
-``serve_batch_size_sum`` / ``_count``).
+measurement window, per-status counts, and server-side readings taken
+as one atomic ``GET /metrics`` snapshot before and one after the run:
+the *mean fused batch size* over the window (delta of
+``serve_batch_size_sum`` / ``_count``) and the admission queue's
+high-water depth (``serve_queue_depth_peak``).
 """
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -35,27 +38,71 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.serve.client import ServeClient
 
-__all__ = ["LoadResult", "parse_promtext", "run_load"]
+__all__ = ["LoadResult", "parse_promtext", "parse_promtext_samples", "run_load"]
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_UNESCAPE = {"\\": "\\", '"': '"', "n": "\n"}
 
 
-def parse_promtext(text: str) -> dict[str, float]:
-    """Scalar samples from a Prometheus text dump (labels ignored)."""
-    values: dict[str, float] = {}
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`repro.obs.escape_label_value`."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            out.append(_UNESCAPE.get(value[i + 1], value[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_promtext_samples(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """Every sample in a Prometheus text dump as ``(name, labels, value)``.
+
+    Labelled series (histogram buckets etc.) parse into a label dict
+    with values unescaped per the exposition format; comment lines
+    (``# HELP`` / ``# TYPE``) are skipped.  The round-trip with
+    :meth:`~repro.obs.MetricsRegistry.to_promtext` is covered in
+    ``tests/obs/test_metrics.py``.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        parts = line.split()
-        if len(parts) != 2:
-            continue
-        name = parts[0]
-        if "{" in name:  # histogram buckets etc. — keep the bare series
-            continue
+        labels: dict[str, str] = {}
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_text, sep, value_text = rest.rpartition("} ")
+            if not sep:
+                continue
+            labels = {
+                key: _unescape_label_value(raw)
+                for key, raw in _LABEL_RE.findall(label_text)
+            }
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                continue
+            name, value_text = parts
         try:
-            values[name] = float(parts[1])
+            samples.append((name.strip(), labels, float(value_text)))
         except ValueError:
             continue
-    return values
+    return samples
+
+
+def parse_promtext(text: str) -> dict[str, float]:
+    """Scalar samples from a Prometheus text dump (labelled series skipped)."""
+    return {
+        name: value
+        for name, labels, value in parse_promtext_samples(text)
+        if not labels
+    }
 
 
 @dataclass
@@ -76,6 +123,7 @@ class LoadResult:
     latencies_ms: list[float] = field(default_factory=list)
     mean_batch_size: float | None = None
     batches: int | None = None
+    queue_depth_peak: int | None = None
 
     # -- derived -------------------------------------------------------
     @property
@@ -121,6 +169,7 @@ class LoadResult:
             if self.mean_batch_size is not None
             else None,
             "batches": self.batches,
+            "queue_depth_peak": self.queue_depth_peak,
         }
 
     def summary(self) -> str:
@@ -142,6 +191,10 @@ class LoadResult:
             lines.append(
                 f"  server batching: {self.batches} batches, "
                 f"mean {self.mean_batch_size:.2f} graphs/forward-pass"
+            )
+        if self.queue_depth_peak is not None:
+            lines.append(
+                f"  admission queue high-water: {self.queue_depth_peak} requests"
             )
         return "\n".join(lines)
 
@@ -176,16 +229,18 @@ class _Stats:
             self.other[status] = self.other.get(status, 0) + 1
 
 
-def _batch_size_counters(url: str) -> tuple[float, float]:
-    """(sum, count) of the server's ``serve_batch_size`` histogram."""
+def _metrics_snapshot(url: str) -> dict[str, float]:
+    """One atomic ``GET /metrics`` scrape, parsed to scalar samples.
+
+    Both the before- and after-run readings come from a *single* fetch
+    each, so every delta computed between them (batch-size sum/count,
+    request counters) describes the same instant of server state.
+    """
     client = ServeClient(url)
     try:
-        values = parse_promtext(client.metrics())
+        return parse_promtext(client.metrics())
     finally:
         client.close()
-    return values.get("serve_batch_size_sum", 0.0), values.get(
-        "serve_batch_size_count", 0.0
-    )
 
 
 def run_load(
@@ -218,7 +273,7 @@ def run_load(
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
 
     path = f"/v1/{endpoint}"
-    sum0, count0 = _batch_size_counters(url)
+    before = _metrics_snapshot(url)
     stats = [_Stats() for _ in range(concurrency)]
     start = time.perf_counter()
     end_at = start + duration_s
@@ -280,8 +335,14 @@ def run_load(
         thread.join()
     elapsed = time.perf_counter() - start
 
-    sum1, count1 = _batch_size_counters(url)
-    d_sum, d_count = sum1 - sum0, count1 - count0
+    after = _metrics_snapshot(url)
+    d_sum = after.get("serve_batch_size_sum", 0.0) - before.get(
+        "serve_batch_size_sum", 0.0
+    )
+    d_count = after.get("serve_batch_size_count", 0.0) - before.get(
+        "serve_batch_size_count", 0.0
+    )
+    peak = after.get("serve_queue_depth_peak")
 
     result = LoadResult(
         mode=mode,
@@ -297,6 +358,7 @@ def run_load(
         latencies_ms=[x for s in stats for x in s.latencies],
         mean_batch_size=(d_sum / d_count) if d_count > 0 else None,
         batches=int(d_count) if d_count > 0 else None,
+        queue_depth_peak=int(peak) if peak is not None else None,
     )
     for s in stats:
         for status, count in s.other.items():

@@ -173,3 +173,85 @@ class TestOrderInsensitivity:
             h2.observe(v)
         assert h1.counts == h2.counts
         assert h1.count == h2.count
+
+
+class TestPromtextExposition:
+    """# HELP / # TYPE lines, escaping, and the parser round-trip."""
+
+    def test_help_line_emitted_when_described(self):
+        reg = MetricsRegistry()
+        reg.counter("graphs_total").inc(1)
+        reg.describe("graphs_total", "Graphs processed.")
+        text = reg.to_promtext()
+        lines = text.splitlines()
+        help_index = lines.index("# HELP graphs_total Graphs processed.")
+        assert lines[help_index + 1] == "# TYPE graphs_total counter"
+
+    def test_undescribed_metric_has_no_help_line(self):
+        reg = MetricsRegistry()
+        reg.counter("bare_total").inc(1)
+        assert "# HELP" not in reg.to_promtext()
+
+    def test_describe_before_registration_and_while_disabled(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.describe("later_total", "Registered after describing.")
+        reg.enabled = True
+        reg.counter("later_total").inc(2)
+        assert "# HELP later_total" in reg.to_promtext()
+        reg.reset()  # descriptions survive a metric reset
+        assert "# HELP later_total" in reg.to_promtext()
+
+    def test_help_text_escaping(self):
+        from repro.obs.metrics import escape_help
+
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1)
+        reg.describe("g", "line one\nline two \\ slash")
+        text = reg.to_promtext()
+        assert "# HELP g line one\\nline two \\\\ slash" in text
+        assert all("\n" not in line or True for line in text.splitlines())
+
+    def test_label_value_escaping(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_parser_round_trip(self):
+        """to_promtext -> parse_promtext_samples recovers every sample."""
+        from repro.serve.loadgen import parse_promtext, parse_promtext_samples
+
+        reg = MetricsRegistry()
+        reg.counter("requests_total").inc(7)
+        reg.describe("requests_total", 'Requests with "quotes"\nand newline.')
+        reg.gauge("depth").set(3.5)
+        hist = reg.histogram("lat_seconds", edges=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+
+        text = reg.to_promtext()
+        samples = parse_promtext_samples(text)
+        flat = {(name, tuple(sorted(labels.items()))): value
+                for name, labels, value in samples}
+        assert flat[("requests_total", ())] == 7.0
+        assert flat[("depth", ())] == 3.5
+        assert flat[("lat_seconds_bucket", (("le", "0.1"),))] == 1.0
+        assert flat[("lat_seconds_bucket", (("le", "1"),))] == 2.0
+        assert flat[("lat_seconds_bucket", (("le", "+Inf"),))] == 3.0
+        assert flat[("lat_seconds_count", ())] == 3.0
+        # The scalar view stays backward-compatible (labels skipped).
+        scalars = parse_promtext(text)
+        assert scalars["requests_total"] == 7.0
+        assert "lat_seconds_bucket" not in scalars
+
+    def test_parser_unescapes_label_values(self):
+        from repro.obs.metrics import escape_label_value
+        from repro.serve.loadgen import parse_promtext_samples
+
+        raw = 'quo"te\\slash\nnewline'
+        line = f'm_bucket{{le="{escape_label_value(raw)}"}} 4'
+        samples = parse_promtext_samples(line)
+        assert samples == [("m_bucket", {"le": raw}, 4.0)]

@@ -1,0 +1,162 @@
+"""Tests for request-trace ids, the trace store, and waterfall rebuilds."""
+
+import threading
+
+import pytest
+
+from repro.obs.reqtrace import (
+    TraceStore,
+    build_waterfall,
+    format_waterfall,
+    list_traces,
+    new_trace_id,
+    valid_trace_id,
+)
+
+
+class TestTraceIds:
+    def test_new_ids_are_valid_and_unique(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(valid_trace_id(t) for t in ids)
+
+    def test_valid_accepts_hex_and_dashes(self):
+        assert valid_trace_id("deadbeefdeadbeef")
+        assert valid_trace_id("DEADBEEF01")
+        assert valid_trace_id("a1b2c3d4-e5f6-7890")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "",
+            "short",  # under 8 chars
+            "g" * 16,  # non-hex
+            "x" * 16,
+            "deadbeef deadbeef",  # whitespace
+            'dead"beef00',  # quote injection
+            "-abcdef0123",  # must start with hex
+            "a" * 65,  # too long
+        ],
+    )
+    def test_invalid_rejected(self, bad):
+        assert not valid_trace_id(bad)
+
+
+class TestTraceStore:
+    def test_put_get_roundtrip(self):
+        store = TraceStore(capacity=4)
+        store.put("aa", {"trace_id": "aa"})
+        assert store.get("aa") == {"trace_id": "aa"}
+        assert store.get("bb") is None
+
+    def test_capacity_evicts_oldest(self):
+        store = TraceStore(capacity=3)
+        for i in range(5):
+            store.put(f"t{i}", {"n": i})
+        assert store.ids() == ["t2", "t3", "t4"]
+        assert store.get("t0") is None
+        assert store.get("t4") == {"n": 4}
+
+    def test_reput_refreshes_position(self):
+        store = TraceStore(capacity=2)
+        store.put("a", {})
+        store.put("b", {})
+        store.put("a", {"fresh": True})
+        store.put("c", {})
+        assert store.get("b") is None
+        assert store.get("a") == {"fresh": True}
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+    def test_concurrent_puts_stay_bounded(self):
+        store = TraceStore(capacity=16)
+
+        def writer(worker):
+            for i in range(200):
+                store.put(f"w{worker}-{i}", {"w": worker, "i": i})
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(store) == 16
+        for trace_id in store.ids():
+            assert store.get(trace_id) is not None
+
+
+def _span(name, trace_id, duration, offset=None, **attrs):
+    record = {
+        "kind": "span",
+        "name": name,
+        "duration_s": duration,
+        "attrs": {"trace_id": trace_id, **attrs},
+    }
+    if offset is not None:
+        record["attrs"]["offset_s"] = offset
+    return record
+
+
+class TestBuildWaterfall:
+    def _records(self):
+        return [
+            {"kind": "event", "name": "http_access", "attrs": {"status": 200}},
+            _span("queue_wait", "t1", 0.001, offset=0.0005),
+            _span("batch_wait", "t1", 0.002, offset=0.0015),
+            _span("infer", "t1", 0.004, offset=0.0035),
+            _span("serialize", "t1", 0.0005, offset=0.0075),
+            _span(
+                "request", "t1", 0.009,
+                endpoint="predict", model="default", status=200, batch_id="b7",
+            ),
+            _span("request", "t2", 0.003, endpoint="predict", status=429),
+        ]
+
+    def test_reconstructs_envelope_and_stages(self):
+        record = build_waterfall(self._records(), "t1")
+        assert record["endpoint"] == "predict"
+        assert record["model"] == "default"
+        assert record["status"] == 200
+        assert record["batch_id"] == "b7"
+        assert [s["name"] for s in record["spans"]] == [
+            "queue_wait", "batch_wait", "infer", "serialize",
+        ]
+        assert sum(s["duration_s"] for s in record["spans"]) <= record["duration_s"]
+
+    def test_stages_sorted_by_offset(self):
+        records = self._records()
+        records[1:5] = reversed(records[1:5])  # shuffle stage order in the log
+        record = build_waterfall(records, "t1")
+        offsets = [s["offset_s"] for s in record["spans"]]
+        assert offsets == sorted(offsets)
+
+    def test_unknown_trace_returns_none(self):
+        assert build_waterfall(self._records(), "zzzz") is None
+
+    def test_trace_without_stages_still_has_envelope(self):
+        record = build_waterfall(self._records(), "t2")
+        assert record["status"] == 429
+        assert record["spans"] == []
+
+    def test_list_traces_rows(self):
+        rows = list_traces(self._records())
+        assert [r["trace_id"] for r in rows] == ["t1", "t2"]
+        assert rows[0]["batch_id"] == "b7"
+        assert rows[1]["status"] == 429
+
+
+class TestFormatWaterfall:
+    def test_renders_all_stages_and_total(self):
+        record = build_waterfall(TestBuildWaterfall()._records(), "t1")
+        text = format_waterfall(record)
+        for stage in ("queue_wait", "batch_wait", "infer", "serialize"):
+            assert stage in text
+        assert "total 9.00ms" in text
+        assert "(accounted)" in text
+
+    def test_empty_spans_noted(self):
+        text = format_waterfall({"trace_id": "t", "duration_s": 0.001, "spans": []})
+        assert "no stage spans" in text

@@ -1,0 +1,146 @@
+"""Tests for process resource sampling, publication, and worker merging."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.resources import (
+    RESOURCE_GAUGES,
+    ResourceSampler,
+    merge_worker_sample,
+    publish_resources,
+    sample_resources,
+)
+
+
+class TestSampleResources:
+    def test_sample_shape_and_sanity(self):
+        sample = sample_resources()
+        assert set(sample) == {
+            "rss_bytes",
+            "peak_rss_bytes",
+            "cpu_seconds",
+            "gc_collections_total",
+            "gc_tracked_objects",
+            "threads",
+        }
+        assert sample["rss_bytes"] > 0  # /proc is available on Linux CI
+        assert sample["peak_rss_bytes"] > 0
+        assert sample["cpu_seconds"] > 0
+        assert sample["threads"] >= 1
+
+    def test_sample_is_json_safe(self):
+        import json
+
+        json.dumps(sample_resources())
+
+    def test_rss_tracks_allocation(self):
+        # Assert on live RSS, not peak: earlier tests in a full-suite run
+        # may already have pushed the process high-water mark far above
+        # the current footprint, in which case 64 MiB can't move it.
+        before = sample_resources()["rss_bytes"]
+        blob = bytearray(64 * 1024 * 1024)  # 64 MiB (mmap-backed)
+        blob[::4096] = b"x" * len(blob[::4096])  # touch every page
+        after = sample_resources()
+        del blob
+        assert after["rss_bytes"] >= before + 32 * 1024 * 1024
+
+
+class TestPublishResources:
+    def test_publishes_all_gauges_with_help(self):
+        obs.enable()
+        sample = publish_resources()
+        registry = obs.get_metrics()
+        for name in RESOURCE_GAUGES:
+            assert registry.help_text(name)
+        assert registry.gauge("resource_rss_bytes").value == sample["rss_bytes"]
+        assert "# HELP resource_rss_bytes" in registry.to_promtext()
+
+    def test_peak_rss_is_monotone(self):
+        obs.enable()
+        publish_resources({**sample_resources(), "peak_rss_bytes": 999_999_999_999})
+        publish_resources()  # real (smaller) sample must not lower it
+        value = obs.get_metrics().gauge("resource_peak_rss_bytes").value
+        assert value == 999_999_999_999
+
+    def test_noop_while_disabled(self):
+        sample = publish_resources()  # must not raise against null gauges
+        assert sample["rss_bytes"] >= 0
+        obs.enable()
+        assert obs.get_metrics().gauge("resource_rss_bytes").value == 0.0
+
+
+class TestMergeWorkerSample:
+    def test_peak_takes_max_cpu_accumulates(self):
+        obs.enable()
+        merge_worker_sample({"peak_rss_bytes": 100, "cpu_seconds": 1.5})
+        merge_worker_sample({"peak_rss_bytes": 50, "cpu_seconds": 2.0})
+        registry = obs.get_metrics()
+        assert registry.gauge("worker_peak_rss_bytes").value == 100
+        assert registry.counter("worker_cpu_seconds_total").value == pytest.approx(3.5)
+
+    def test_none_or_empty_is_noop(self):
+        obs.enable()
+        merge_worker_sample(None)
+        merge_worker_sample({})
+        assert obs.get_metrics().gauge("worker_peak_rss_bytes").value == 0.0
+
+    def test_capture_worker_payload_merges_resources(self):
+        obs.enable()
+        payload = obs.capture_worker()
+        assert payload["resources"]["rss_bytes"] > 0
+        # A worker's resource_* gauges must not clobber the parent's.
+        payload["metrics"]["resource_rss_bytes"] = {"type": "gauge", "value": 1.0}
+        publish_resources()
+        parent_rss = obs.get_metrics().gauge("resource_rss_bytes").value
+        obs.merge_worker(payload)
+        registry = obs.get_metrics()
+        assert registry.gauge("resource_rss_bytes").value == parent_rss
+        assert registry.gauge("worker_peak_rss_bytes").value > 0
+
+
+class TestResourceSampler:
+    def test_samples_on_interval(self):
+        obs.enable()
+        sampler = ResourceSampler(interval_s=0.02)
+        with sampler:
+            assert sampler.running
+            deadline = time.monotonic() + 2.0
+            while sampler.samples_taken < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert sampler.samples_taken >= 3
+        assert not sampler.running
+        assert obs.get_metrics().gauge("resource_rss_bytes").value > 0
+
+    def test_nonpositive_interval_disables(self):
+        sampler = ResourceSampler(interval_s=0)
+        sampler.start()
+        assert not sampler.running
+        assert sampler.samples_taken == 0
+        sampler.stop()
+
+    def test_extra_gauges_published(self):
+        obs.enable()
+        sampler = ResourceSampler(interval_s=60.0, extra=lambda: {"my_depth": 7})
+        sampler.sample_once()
+        assert obs.get_metrics().gauge("my_depth").value == 7.0
+
+    def test_extra_failure_counted_not_raised(self):
+        obs.enable()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        sampler = ResourceSampler(interval_s=60.0, extra=broken)
+        sampler.sample_once()  # must not raise
+        errors = obs.get_metrics().counter("resource_sampler_errors_total").value
+        assert errors == 1
+
+    def test_start_is_idempotent(self):
+        sampler = ResourceSampler(interval_s=30.0)
+        sampler.start()
+        thread_a = sampler._thread
+        sampler.start()
+        assert sampler._thread is thread_a
+        sampler.stop()

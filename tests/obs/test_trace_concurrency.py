@@ -1,0 +1,190 @@
+"""Concurrency tests for the Tracer: per-thread stacks, shared roots, graft.
+
+The serving stack opens ``request`` spans on many handler threads at
+once while the batcher thread opens ``serve_batch`` spans and the
+handler grafts stage subtrees — these tests pin down that spans stay
+well-formed under that interleaving.
+"""
+
+import threading
+
+from repro.obs.trace import Span, Tracer, span_rows
+
+
+def collect_paths(tracer: Tracer) -> list[str]:
+    return [path for path, _ in tracer.rows()]
+
+
+class TestThreadedSpans:
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(8)
+        errors: list[str] = []
+
+        def worker(i: int) -> None:
+            barrier.wait()
+            for j in range(50):
+                with tracer.span("outer", worker=i, j=j):
+                    if tracer.current().name != "outer":
+                        errors.append(f"w{i}: wrong current outer")
+                    with tracer.span("inner"):
+                        if tracer.current_path() != "outer/inner":
+                            errors.append(
+                                f"w{i}: path {tracer.current_path()!r}"
+                            )
+            if tracer.current() is not None:
+                errors.append(f"w{i}: stack not empty at exit")
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Every outer span is a root (8 workers x 50 iterations), and
+        # every root holds exactly its own inner child.
+        assert len(tracer.roots) == 8 * 50
+        for root in tracer.roots:
+            assert root.name == "outer"
+            assert [c.name for c in root.children] == ["inner"]
+            assert root.duration >= root.children[0].duration
+
+    def test_on_close_sees_every_span_exactly_once(self):
+        closed: list[str] = []
+        lock = threading.Lock()
+
+        def on_close(span: Span) -> None:
+            with lock:
+                closed.append(span.path)
+
+        tracer = Tracer(on_close=on_close)
+
+        def worker(i: int) -> None:
+            for _ in range(25):
+                with tracer.span(f"w{i}"):
+                    with tracer.span("leaf"):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(closed) == 4 * 25 * 2
+        for i in range(4):
+            assert closed.count(f"w{i}") == 25
+            assert closed.count(f"w{i}/leaf") == 25
+
+    def test_rows_well_formed_after_concurrent_recording(self):
+        tracer = Tracer()
+
+        def worker(i: int) -> None:
+            for _ in range(20):
+                with tracer.span("stage", worker=i):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        rows = span_rows(tracer.roots)
+        assert len(rows) == 6 * 20
+        assert all(path == "stage" and duration >= 0 for path, duration in rows)
+
+
+class TestGraftRoundTrip:
+    def _build_tree(self) -> Span:
+        source = Tracer()
+        with source.span("fold", index=3) as fold:
+            with source.span("fit"):
+                with source.span("train", epochs=5):
+                    pass
+            with source.span("score"):
+                pass
+        return fold
+
+    def test_to_dict_graft_preserves_structure(self):
+        fold = self._build_tree()
+        tree = fold.to_dict()
+        target = Tracer()
+        with target.span("cv"):
+            target.graft(tree)
+        paths = collect_paths(target)
+        assert paths == [
+            "cv",
+            "cv/fold",
+            "cv/fold/fit",
+            "cv/fold/fit/train",
+            "cv/fold/score",
+        ]
+        grafted = target.roots[0].children[0]
+        assert grafted.attrs == {"index": 3}
+        assert grafted.duration == fold.duration
+        assert grafted.children[0].children[0].attrs == {"epochs": 5}
+
+    def test_double_roundtrip_is_stable(self):
+        tree = self._build_tree().to_dict()
+        target = Tracer()
+        regrafted = target.graft(tree).to_dict()
+        assert regrafted == tree
+
+    def test_graft_with_explicit_parent_from_other_thread(self):
+        """A span opened on one thread can adopt trees grafted from another.
+
+        This is the serve pattern: the handler thread holds the open
+        ``request`` span and grafts stage dicts under it explicitly.
+        """
+        tracer = Tracer()
+        stage = {"name": "infer", "attrs": {"offset_s": 0.001}, "duration": 0.004}
+        done = threading.Event()
+
+        with tracer.span("request") as request:
+
+            def other_thread() -> None:
+                tracer.graft(stage, parent=request)
+                done.set()
+
+            threading.Thread(target=other_thread).start()
+            assert done.wait(timeout=5.0)
+        assert [c.name for c in request.children] == ["infer"]
+        assert collect_paths(tracer) == ["request", "request/infer"]
+
+    def test_concurrent_grafts_all_land(self):
+        tracer = Tracer()
+        trees = [
+            {"name": f"t{i}", "attrs": {}, "duration": 0.001, "children": []}
+            for i in range(64)
+        ]
+
+        def graft_some(chunk) -> None:
+            for tree in chunk:
+                tracer.graft(tree)  # no open span on this thread -> root
+
+        threads = [
+            threading.Thread(target=graft_some, args=(trees[i::4],))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(r.name for r in tracer.roots) == sorted(
+            f"t{i}" for i in range(64)
+        )
+
+    def test_graft_closes_children_before_parent(self):
+        order: list[str] = []
+        tracer = Tracer(on_close=lambda s: order.append(s.name))
+        tracer.graft(
+            {
+                "name": "parent",
+                "attrs": {},
+                "duration": 0.01,
+                "children": [
+                    {"name": "a", "attrs": {}, "duration": 0.004, "children": []},
+                    {"name": "b", "attrs": {}, "duration": 0.005, "children": []},
+                ],
+            }
+        )
+        assert order == ["a", "b", "parent"]

@@ -92,6 +92,13 @@ class TestAgainstLiveServer:
         assert result.mean_batch_size > 1.0
         assert result.batches is not None and result.batches >= 1
         assert result.percentile_ms(50) <= result.percentile_ms(99)
+        # The admission queue's high-water mark comes from the same
+        # atomic after-run metrics snapshot; with eight workers piling
+        # onto one inference thread the queue must have been non-empty.
+        assert result.queue_depth_peak is not None
+        assert result.queue_depth_peak >= 1
+        assert "admission queue high-water" in result.summary()
+        assert result.to_dict()["queue_depth_peak"] == result.queue_depth_peak
 
     def test_open_loop_paces_requests(self, live_server, train_data):
         graphs, _ = train_data

@@ -146,3 +146,99 @@ class TestObservability:
         assert code == 0
         out = capsys.readouterr().out
         assert "gram" in out
+
+
+def _ops_span(name, trace_id, duration, offset=None, **attrs):
+    record = {
+        "kind": "span",
+        "name": name,
+        "duration_s": duration,
+        "attrs": {"trace_id": trace_id, **attrs},
+    }
+    if offset is not None:
+        record["attrs"]["offset_s"] = offset
+    return record
+
+
+def _ops_access(status, duration_ms):
+    return {
+        "kind": "event",
+        "name": "http_access",
+        "attrs": {"method": "POST", "path": "/v1/predict",
+                  "status": status, "duration_ms": duration_ms},
+    }
+
+
+class TestOps:
+    """`repro ops` reconstructs traces and SLO summaries from run JSONL."""
+
+    @pytest.fixture
+    def run_file(self, tmp_path):
+        import json
+
+        records = [
+            _ops_span("queue_wait", "feedbeef00000001", 0.001, offset=0.0005),
+            _ops_span("infer", "feedbeef00000001", 0.004, offset=0.002),
+            _ops_span("serialize", "feedbeef00000001", 0.0005, offset=0.007),
+            _ops_span(
+                "request", "feedbeef00000001", 0.009,
+                endpoint="predict", model="default", status=200, batch_id="b3",
+            ),
+        ]
+        # Enough traffic to clear the SLO min-sample floor: 1/31 ~ 3.2%
+        # errors sits between the loose and tight targets below.
+        records += [_ops_access(200, 5.0)] * 30 + [_ops_access(429, 1.0)]
+        path = tmp_path / "serve.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return path
+
+    def test_ops_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ops"])
+
+    def test_help_epilog_documents_ops(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "repro ops trace" in out
+        assert "repro ops slo" in out
+
+    def test_trace_renders_waterfall(self, run_file, capsys):
+        assert main(["ops", "trace", "feedbeef00000001", str(run_file)]) == 0
+        out = capsys.readouterr().out
+        assert "feedbeef00000001" in out
+        assert "infer" in out and "serialize" in out
+        assert "accounted" in out
+
+    def test_trace_json_output(self, run_file, capsys):
+        import json
+
+        code = main(["ops", "trace", "feedbeef00000001", str(run_file), "--json"])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["batch_id"] == "b3"
+        assert [s["name"] for s in record["spans"]] == [
+            "queue_wait", "infer", "serialize",
+        ]
+
+    def test_trace_not_found_is_2(self, run_file, capsys):
+        assert main(["ops", "trace", "0123456789abcdef", str(run_file)]) == 2
+        assert "not found" in capsys.readouterr().out
+
+    def test_trace_without_source_is_2(self, capsys):
+        assert main(["ops", "trace", "feedbeef00000001"]) == 2
+        assert "RUN.jsonl" in capsys.readouterr().out
+
+    def test_traces_lists_requests(self, run_file, capsys):
+        assert main(["ops", "traces", str(run_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace_id" in out
+        assert "feedbeef00000001" in out and "predict" in out
+
+    def test_slo_ok_and_degraded_exit_codes(self, run_file, capsys):
+        code = main(["ops", "slo", str(run_file), "--error-rate-target", "0.05"])
+        assert code == 0
+        assert "SLO status: ok" in capsys.readouterr().out
+        # The default 1% error budget is tighter than the recorded 3.2%.
+        assert main(["ops", "slo", str(run_file)]) == 1
+        assert "DEGRADED" in capsys.readouterr().out
