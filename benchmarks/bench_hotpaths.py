@@ -14,18 +14,27 @@ replaced (kept in-tree as ``_reference_*``), checks the outputs are
 * ``batched_bfs`` — frontier-matrix APSP vs a queue per source
   (`graph/traversal.py` / `graph/shortest_paths.py`),
 * ``conv1d_forward`` / ``conv1d_backward`` — reshape-im2col GEMM and
-  fancy-index scatter vs the gather/np.add.at original (`nn/conv1d.py`).
+  fancy-index scatter vs the gather/np.add.at original (`nn/conv1d.py`),
+* ``gram_assembly`` — one-GEMM WL gram over stacked feature matrices vs
+  the per-pair dot loop (`kernels/base.py`),
+* ``fused_encode`` — the fused alignment/receptive-field/assemble path
+  (one lexsort over the disjoint union, flat gathers) vs the staged
+  per-graph composition (`core/pipeline.py`).
 
 Speedups are machine-relative (both sides run on the same box in the
 same process), so the JSON is comparable across machines;
-``scripts/check_bench_regression.py`` gates on it.  WL is expected to
-be the weakest stage: its cost is dominated by the blake2b label
-hashing that bitwise reproducibility pins in place.
+``scripts/check_bench_regression.py`` gates on it.  Equality checks:
+every stage asserts *bitwise* identity with its oracle except WL,
+which asserts *partition* equality — the splitmix64 radix remap
+replaced the blake2b color values (one documented break; see
+docs/PERFORMANCE.md) but may never move the partition.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the dataset and skips the speedup
-assertions — wiring checks only, for the `perf` test tier.  The full
-run asserts the tentpole acceptance: >= 3x on at least two of
-{receptive fields, WL feature maps, Conv1D forward} at MUTAG scale.
+assertions — wiring checks only, for the `perf`/`kernels` test tiers.
+The full run asserts the tentpole acceptance: >= 3x on at least two of
+{receptive fields, WL feature maps, Conv1D forward} at MUTAG scale,
+plus the per-stage floors in ``acceptance.floors`` (WL remap and gram
+assembly must each hold >= 3x on their own).
 
 Run with ``pytest benchmarks/bench_hotpaths.py -q`` or
 ``python benchmarks/bench_hotpaths.py``.
@@ -41,18 +50,23 @@ from pathlib import Path
 import numpy as np
 
 from benchmarks._common import print_header, print_table
-from repro.core.alignment import centrality_scores
+from repro.core.alignment import centrality_scores, union_vertex_order
+from repro.core.pipeline import _assemble_fused, _reference_encode_stages
 from repro.core.receptive_field import (
     _reference_all_receptive_fields,
     all_receptive_fields,
+    all_receptive_fields_many,
 )
 from repro.datasets import make_dataset
+from repro.features import extract_vertex_feature_matrices
 from repro.features.vertex_maps import (
     ShortestPathVertexFeatures,
+    WLVertexFeatures,
     _reference_sp_vertex_counts,
     _reference_wl_stable_colors,
     wl_stable_colors_many,
 )
+from repro.kernels.base import ExplicitFeatureKernel
 from repro.graph.shortest_paths import _reference_apsp_bfs, apsp_bfs
 from repro.nn.conv1d import (
     Conv1D,
@@ -71,6 +85,11 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / _ARTIFACT
 KEY_STAGES = ("receptive_fields", "wl_feature_maps", "conv1d_forward")
 MIN_SPEEDUP = 3.0
 MIN_STAGES = 2
+
+#: Per-stage floors each gated individually (this PR's hot paths): the
+#: WL radix remap and the one-GEMM gram assembly must hold on their own,
+#: not just as members of the any-2-of-3 headline gate above.
+STAGE_FLOORS = {"wl_feature_maps": 3.0, "gram_assembly": 3.0}
 
 #: MUTAG at scale 1.0 is the acceptance configuration (188 graphs).
 _SCALE = 0.05 if SMOKE else 1.0
@@ -124,6 +143,7 @@ def _flush() -> None:
             "key_stages": list(KEY_STAGES),
             "min_speedup": MIN_SPEEDUP,
             "min_stages": MIN_STAGES,
+            "floors": dict(STAGE_FLOORS),
         },
     }
     results.setdefault("stages", {}).update(_RESULTS)
@@ -153,6 +173,17 @@ def test_receptive_fields():
     _record("receptive_fields", ref_s, vec_s, graphs=len(graphs), r=r)
 
 
+def _same_partition(a: list, b: list) -> bool:
+    """True iff colorings ``a`` and ``b`` group positions identically
+    (a bijection between color values, checked both directions)."""
+    fwd: dict = {}
+    bwd: dict = {}
+    for x, y in zip(a, b):
+        if fwd.setdefault(x, y) != y or bwd.setdefault(y, x) != x:
+            return False
+    return True
+
+
 def test_wl_feature_maps():
     print_header("Hot path: WL stable-color refinement")
     graphs = _graphs()
@@ -167,7 +198,13 @@ def test_wl_feature_maps():
     vectorized()  # warmup
     vec_s, vec = _best_of(vectorized)
     ref_s, ref = _best_of(reference)
-    assert vec == ref
+    # The splitmix64 remap changed the color *values* (documented break);
+    # the *partition* must match the blake2b oracle jointly across the
+    # whole dataset at every iteration.
+    for it in range(h + 1):
+        joint_vec = [c for table in vec for c in table[it]]
+        joint_ref = [c for table in ref for c in table[it]]
+        assert _same_partition(joint_vec, joint_ref), f"iteration {it}"
     _record("wl_feature_maps", ref_s, vec_s, graphs=len(graphs), h=h)
 
 
@@ -258,6 +295,61 @@ def test_conv1d_backward():
     _record("conv1d_backward", ref_s, vec_s, batch=x.shape[0], length=x.shape[1])
 
 
+def test_gram_assembly():
+    print_header("Hot path: one-GEMM gram assembly (WL features)")
+    graphs = _graphs()
+    kernel = ExplicitFeatureKernel(WLVertexFeatures(h=3))
+    # Feature extraction is shared by both assemblies (and benched on its
+    # own as wl_feature_maps); time the assembly step alone.
+    phi = kernel.feature_map(graphs)
+
+    def vectorized():
+        return kernel._assemble_gram(phi)
+
+    def reference():
+        return kernel._reference_assemble_gram(phi)
+
+    vectorized()  # warmup
+    vec_s, vec = _best_of(vectorized)
+    ref_s, ref = _best_of(reference)
+    # Integer-valued counts < 2^53: the GEMM is bitwise-exact.
+    assert vec.tobytes() == ref.tobytes() and vec.dtype == ref.dtype
+    _record(
+        "gram_assembly", ref_s, vec_s,
+        graphs=len(graphs), h=3, feature_dim=int(phi.shape[1]),
+    )
+
+
+def test_fused_encode():
+    print_header("Hot path: fused encode (alignment -> fields -> assemble)")
+    graphs = _graphs()
+    r = 10
+    matrices, _ = extract_vertex_feature_matrices(
+        graphs, ShortestPathVertexFeatures()
+    )
+    matrices = list(matrices)
+    w = max(g.n for g in graphs)
+    m = matrices[0].shape[1]
+
+    def vectorized():
+        # The body of DeepMapEncoder.encode, minus cache/obs wrapping.
+        scores = [centrality_scores(g, "eigenvector") for g in graphs]
+        union = union_vertex_order(graphs, scores)
+        sequences = [union.sequence(gi)[:w] for gi in range(len(graphs))]
+        fields = all_receptive_fields_many(graphs, r, scores, union=union)
+        return _assemble_fused(matrices, sequences, fields, union, w, r, m)
+
+    def reference():
+        return _reference_encode_stages(graphs, matrices, w, r, m)
+
+    vectorized()  # warmup
+    vec_s, vec = _best_of(vectorized)
+    ref_s, ref = _best_of(reference)
+    assert vec[0].tobytes() == ref[0].tobytes()
+    assert vec[1].tobytes() == ref[1].tobytes()
+    _record("fused_encode", ref_s, vec_s, graphs=len(graphs), r=r, w=w, m=m)
+
+
 def test_acceptance_summary():
     """>= 3x on >= 2 key stages (full mode); always prints the table."""
     rows = [
@@ -273,6 +365,9 @@ def test_acceptance_summary():
         f"need >= {MIN_SPEEDUP}x on >= {MIN_STAGES} of {KEY_STAGES}, "
         f"got {[(s, round(_RESULTS.get(s, {}).get('speedup', 0), 2)) for s in KEY_STAGES]}"
     )
+    for stage, floor in STAGE_FLOORS.items():
+        got = _RESULTS.get(stage, {}).get("speedup", 0)
+        assert got >= floor, f"{stage}: speedup {got:.2f}x below floor {floor}x"
 
 
 def main() -> None:
@@ -282,6 +377,8 @@ def main() -> None:
     test_batched_bfs()
     test_conv1d_forward()
     test_conv1d_backward()
+    test_gram_assembly()
+    test_fused_encode()
     test_acceptance_summary()
     print(f"\nwrote {RESULT_PATH}")
 

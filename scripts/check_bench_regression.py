@@ -10,6 +10,11 @@ machine — has dropped by more than ``--tolerance`` (default 10%).
 Comparing the ratio rather than raw wall-clock keeps the gate
 machine-independent: a slower CI box slows both sides equally.
 
+On top of the relative-drop check, the gate enforces any *absolute*
+per-stage floors the current artifact declares under
+``config.acceptance.floors`` (e.g. the WL radix remap and one-GEMM gram
+assembly must each hold >= 3x regardless of what the baseline scored).
+
 Typical use::
 
     python benchmarks/bench_hotpaths.py          # rewrites BENCH_hotpaths.json
@@ -86,6 +91,26 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
             problems.append(
                 f"{stage}: speedup {cur['speedup']:.2f}x fell below "
                 f"{floor:.2f}x (baseline {base['speedup']:.2f}x - {tolerance:.0%})"
+            )
+    # Absolute floors declared by the current artifact itself: these are
+    # acceptance criteria, not relative drift, so no tolerance applies.
+    hard_floors = (
+        current.get("config", {}).get("acceptance", {}).get("floors", {})
+    )
+    for stage, hard in sorted(hard_floors.items()):
+        cur = cur_stages.get(stage)
+        if cur is None:
+            problems.append(f"{stage}: declared floor {hard}x but stage missing")
+            continue
+        status = "ok" if cur["speedup"] >= hard else "BELOW FLOOR"
+        print(
+            f"  {stage:<18s} absolute floor {hard:6.2f}x  "
+            f"current {cur['speedup']:6.2f}x  {status}"
+        )
+        if cur["speedup"] < hard:
+            problems.append(
+                f"{stage}: speedup {cur['speedup']:.2f}x below the "
+                f"absolute acceptance floor {hard:.2f}x"
             )
     return problems
 

@@ -10,14 +10,22 @@ on a tiny pinned-seed dataset and records the exact fold accuracies in
 against this file *exactly* (JSON float round-trips are lossless for
 IEEE doubles, so equality is bitwise).  Any drift in kernels, encoding,
 initialisation, optimisation, shuffling, or epoch selection fails the
-test; rerun this script only when such a change is intentional:
+test; rerun this script only when such a change is intentional.
 
-    PYTHONPATH=src python scripts/regen_golden.py
+Because the goldens are the repo's last line of defence against silent
+numeric drift, regeneration is deliberately awkward: the script refuses
+to run unless ``REPRO_GOLDEN_BREAK_OK=1`` is set, and it prints a
+per-variant digest diff (old vs new) so the commit message can state
+exactly which variants moved and why:
+
+    REPRO_GOLDEN_BREAK_OK=1 PYTHONPATH=src python scripts/regen_golden.py
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -66,7 +74,33 @@ def compute_results() -> dict:
     return results
 
 
+def _variant_digest(entry: dict) -> str:
+    """Content digest of one variant's golden numbers."""
+    blob = json.dumps(entry, sort_keys=True).encode()
+    return hashlib.blake2b(blob, digest_size=8).hexdigest()
+
+
+def _load_previous() -> dict:
+    if not EXPECTED_PATH.exists():
+        return {}
+    try:
+        return json.loads(EXPECTED_PATH.read_text()).get("results", {})
+    except (json.JSONDecodeError, OSError):
+        return {}
+
+
 def main() -> None:
+    # Gate FIRST: regenerating goldens rewrites the repo's drift oracle,
+    # so it must be an explicit, auditable decision — never a side effect
+    # of running the script out of habit.
+    if os.environ.get("REPRO_GOLDEN_BREAK_OK") != "1":
+        print(
+            "refusing to regenerate golden fixtures: set"
+            " REPRO_GOLDEN_BREAK_OK=1 to confirm the break is intentional",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    previous = _load_previous()
     results = compute_results()
     payload = {
         "dataset": DATASET,
@@ -78,6 +112,14 @@ def main() -> None:
     }
     EXPECTED_PATH.parent.mkdir(parents=True, exist_ok=True)
     EXPECTED_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print("digest diff (old -> new):")
+    for name, entry in results.items():
+        new_digest = _variant_digest(entry)
+        old_digest = _variant_digest(previous[name]) if name in previous else "(absent)"
+        marker = "  unchanged" if old_digest == new_digest else "  CHANGED"
+        print(f"  {name}: {old_digest} -> {new_digest}{marker}")
+    for name in previous.keys() - results.keys():
+        print(f"  {name}: {_variant_digest(previous[name])} -> (removed)")
     for name, entry in results.items():
         accs = ", ".join(f"{a:.4f}" for a in entry["fold_accuracies"])
         print(f"{name}: folds [{accs}] best_epoch={entry['best_epoch']}")

@@ -20,6 +20,13 @@
 #                                   regression gate on BENCH_obs.json
 #                                   are a separate manual step (see
 #                                   docs/OBSERVABILITY.md)
+#   ./scripts/test-tiers.sh kernels the kernel/gram tier: the differential
+#                                   equivalence harness (tests/equivalence),
+#                                   the kernel unit suite (tests/kernels),
+#                                   the fork-pool gram-parity and cache-key
+#                                   stability suites (tests/parallel), and a
+#                                   smoke-mode run of the hot-path bench so
+#                                   the gram/encode bench stages can't rot
 #   ./scripts/test-tiers.sh full    tier 1 + slow, then tier 1 again with
 #                                   REPRO_WORKERS=2 so every fold-parallel
 #                                   code path runs through the fork pool
@@ -66,8 +73,12 @@ case "$tier" in
         python -m pytest tests/equivalence/ "$@"
         REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_hotpaths.py "$@"
         ;;
+    kernels)
+        python -m pytest tests/equivalence/ tests/kernels/ tests/parallel/ "$@"
+        REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_hotpaths.py "$@"
+        ;;
     *)
-        echo "usage: $0 {fast|faults|serve|obs|full|perf} [pytest args...]" >&2
+        echo "usage: $0 {fast|faults|serve|obs|full|perf|kernels} [pytest args...]" >&2
         exit 2
         ;;
 esac

@@ -141,13 +141,24 @@ def dataset_fingerprint(graphs: list[Graph]) -> str:
 
 
 def extractor_fingerprint(extractor) -> str:
-    """Digest of an extractor's class + hyperparameters.
+    """Digest of an extractor's class + hyperparameters (+ algo version).
 
     Uses the extractor's ``cache_params()`` when available (the
     :class:`~repro.features.vertex_maps.VertexFeatureExtractor`
     contract) and falls back to its public instance attributes, so any
     hyperparameter change (``k``, ``h``, ``max_distance``, ``seed`` …)
     changes the digest.
+
+    An extractor class may additionally declare a ``CACHE_VERSION``
+    string: it is folded into the digest *only when present*, so
+    declaring one the first time an extractor's *output values* change
+    (while its hyperparameters do not) invalidates every payload cached
+    under the old scheme without disturbing any other extractor's keys.
+    ``WLVertexFeatures`` uses this for its color-scheme generation — the
+    integer radix remap produces partition-equivalent but numerically
+    different colors than the original blake2b hashing, and a stale
+    ``counts``/``vfm`` hit would mix old and new color keys across
+    train/predict extract calls.
     """
     if hasattr(extractor, "cache_params"):
         params = extractor.cache_params()
@@ -157,9 +168,11 @@ def extractor_fingerprint(extractor) -> str:
             for key, value in vars(extractor).items()
             if not key.startswith("_") and not key.endswith("_")
         }
-    return stable_hash(
-        {"class": type(extractor).__qualname__, "params": params}
-    )
+    payload = {"class": type(extractor).__qualname__, "params": params}
+    version = getattr(type(extractor), "CACHE_VERSION", None)
+    if version is not None:
+        payload["algo"] = version
+    return stable_hash(payload)
 
 
 def cache_key(namespace: str, *parts) -> str:

@@ -9,6 +9,8 @@ are zero.  This module produces the orderings; padding happens in
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.graph.canonical import canonical_ranking
@@ -21,7 +23,13 @@ from repro.graph.centrality import (
 )
 from repro.graph.graph import Graph
 
-__all__ = ["vertex_sequence", "centrality_scores", "ORDERINGS"]
+__all__ = [
+    "vertex_sequence",
+    "centrality_scores",
+    "union_vertex_order",
+    "UnionOrder",
+    "ORDERINGS",
+]
 
 #: Supported vertex orderings.  "eigenvector" is the paper's choice;
 #: the others are ablation alternatives
@@ -74,3 +82,71 @@ def vertex_sequence(
     # np.lexsort sorts ascending by the LAST key first.
     order = np.lexsort((np.arange(g.n), g.labels, -degrees, -scores))
     return order.astype(np.int64)
+
+
+@dataclass
+class UnionOrder:
+    """Shared tie-break ordering over the disjoint union of a graph list.
+
+    ``order`` holds *global* vertex ids (graph offsets applied) sorted by
+    ``(graph, -score, -degree, label, local id)``.  The graph index is
+    the primary key, so the block ``order[starts[g] : starts[g] +
+    sizes[g]]`` covers exactly graph ``g``'s vertices and — lexsort being
+    stable with per-block keys identical to :func:`vertex_sequence`'s —
+    lists them in exactly that graph's own sequence order.  ``rank``
+    inverts the ordering per graph: ``rank[starts[g] + u]`` is local
+    vertex ``u``'s position in graph ``g``'s sequence.
+
+    One instance serves both encoder stages that need the ordering
+    (alignment sequences and receptive-field tie-breaking), which is what
+    lets the fused encode path sort the whole dataset once.
+    """
+
+    order: np.ndarray
+    rank: np.ndarray
+    starts: np.ndarray
+    sizes: np.ndarray
+
+    def sequence(self, gi: int) -> np.ndarray:
+        """Local vertex sequence of graph ``gi`` (== vertex_sequence)."""
+        lo = int(self.starts[gi])
+        block = self.order[lo : lo + int(self.sizes[gi])]
+        return (block - lo).astype(np.int64)
+
+
+def union_vertex_order(
+    graphs: list[Graph], scores_list: list[np.ndarray]
+) -> UnionOrder:
+    """One lexsort ranking every vertex of every graph at once.
+
+    Bitwise-equivalent per graph to :func:`vertex_sequence` (pinned in
+    ``tests/equivalence/test_pipeline_equiv.py``): the sort keys within a
+    graph's block are the same values in the same precedence, with the
+    graph index prepended as the primary key.
+    """
+    n_graphs = len(graphs)
+    sizes = np.asarray([g.n for g in graphs], dtype=np.int64)
+    starts = np.zeros(n_graphs, dtype=np.int64)
+    if n_graphs:
+        starts[1:] = np.cumsum(sizes)[:-1]
+    total = int(sizes.sum()) if n_graphs else 0
+    for g, scores in zip(graphs, scores_list):
+        scores = np.asarray(scores)
+        if scores.shape != (g.n,):
+            raise ValueError(f"scores shape {scores.shape} mismatches n={g.n}")
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return UnionOrder(order=empty, rank=empty.copy(), starts=starts, sizes=sizes)
+    gid = np.repeat(np.arange(n_graphs), sizes)
+    labels_flat = np.concatenate([np.asarray(g.labels) for g in graphs])
+    deg_flat = np.concatenate([g.degrees() for g in graphs])
+    scores_flat = np.concatenate(
+        [np.asarray(s, dtype=np.float64) for s in scores_list]
+    )
+    id_local = np.concatenate([np.arange(g.n, dtype=np.int64) for g in graphs])
+    order = np.lexsort((id_local, labels_flat, -deg_flat, -scores_flat, gid))
+    rank = np.empty(total, dtype=np.int64)
+    rank[order] = np.arange(total, dtype=np.int64) - starts[gid[order]]
+    return UnionOrder(
+        order=order.astype(np.int64), rank=rank, starts=starts, sizes=sizes
+    )

@@ -7,6 +7,14 @@ field of ``r`` vertex feature-map rows, giving an input of shape
 field positions) are all-zero rows, which — combined with the bias-free
 convolutions of :mod:`repro.core.architecture` — guarantees they never
 contribute to the deep feature map (the paper's dummy-vertex property).
+
+The encode path is *fused*: one shared lexsort over the disjoint union
+of all graphs feeds both the alignment sequences and the
+receptive-field tie-breaking, and assembly gathers from a single
+stacked feature matrix straight into the output tensor — no per-graph
+intermediate is re-materialized between stages.  The pre-fusion staged
+composition survives as :func:`_reference_encode_stages`, the bitwise
+oracle for ``tests/equivalence/test_pipeline_equiv.py``.
 """
 
 from __future__ import annotations
@@ -16,8 +24,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
-from repro.core.alignment import centrality_scores, vertex_sequence
-from repro.core.receptive_field import DUMMY, all_receptive_fields
+from repro.core.alignment import (
+    UnionOrder,
+    centrality_scores,
+    union_vertex_order,
+    vertex_sequence,
+)
+from repro.core.receptive_field import (
+    DUMMY,
+    all_receptive_fields,
+    all_receptive_fields_many,
+)
 from repro.graph.graph import Graph
 from repro.utils.validation import check_positive
 
@@ -135,22 +152,21 @@ class DeepMapEncoder:
                 )
         with obs.span("encode", graphs=n, w=w, r=r, m=m):
             # Stage 1: centrality-based vertex alignment (Section 4.2).
+            # One lexsort over the disjoint union orders every graph at
+            # once; the same UnionOrder feeds stage 2's tie-breaking.
             with obs.span("alignment", ordering=self.ordering):
                 all_scores = [centrality_scores(g, self.ordering) for g in graphs]
-                sequences = [
-                    vertex_sequence(g, scores, self.ordering)[:w]
-                    for g, scores in zip(graphs, all_scores)
-                ]
+                union = union_vertex_order(graphs, all_scores)
+                sequences = [union.sequence(gi)[:w] for gi in range(n)]
             # Stage 2: BFS receptive fields around every vertex.
             with obs.span("receptive_field", r=r):
-                all_fields = [
-                    all_receptive_fields(g, r, scores)
-                    for g, scores in zip(graphs, all_scores)
-                ]
+                all_fields = all_receptive_fields_many(
+                    graphs, r, all_scores, union=union
+                )
             # Stage 3: assemble the (n, w*r, m) CNN input tensor.
             with obs.span("assemble"):
-                tensors, vertex_mask = _assemble(
-                    feature_matrices, sequences, all_fields, w, r, m
+                tensors, vertex_mask = _assemble_fused(
+                    feature_matrices, sequences, all_fields, union, w, r, m
                 )
             obs.counter("graphs_encoded_total").inc(n)
         if cache is not None and key is not None:
@@ -160,6 +176,82 @@ class DeepMapEncoder:
                 namespace="enc",
             )
         return EncodedDataset(tensors=tensors, vertex_mask=vertex_mask, w=w, r=r, m=m)
+
+
+def _assemble_fused(
+    feature_matrices: list[np.ndarray],
+    sequences: list[np.ndarray],
+    all_fields: list[np.ndarray],
+    union: UnionOrder,
+    w: int,
+    r: int,
+    m: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused tensor assembly: flat index computation, streaming placement.
+
+    The (slot, field-position) → source-row mapping for *every* graph is
+    computed in two flat fancy gathers over the stacked receptive-field
+    table (this is the per-graph work the staged path re-did graph by
+    graph).  The float64 rows themselves are then placed one graph at a
+    time — a gather from that graph's small feature matrix straight into
+    its contiguous destination slice — because the tensor is padded and
+    memory-bound: streaming real cells beats any whole-tensor gather
+    (padding can double the bytes) and keeps each gather cache-hot.
+
+    Bitwise-equal to :func:`_assemble` (and to
+    :func:`_reference_assemble`): feature rows are copied, never
+    recomputed, and dummy cells are exactly zero.
+    """
+    n = len(feature_matrices)
+    tensors = np.zeros((n, w * r, m), dtype=np.float64)
+    slots = np.asarray([len(seq) for seq in sequences], dtype=np.int64)
+    vertex_mask = (np.arange(w)[None, :] < slots[:, None]).astype(np.float64)
+    total_slots = int(slots.sum())
+    if total_slots == 0:
+        return tensors, vertex_mask
+    fields_stack = np.concatenate(all_fields, axis=0)  # (total_vertices, r)
+    g_of_slot = np.repeat(np.arange(n), slots)
+    vstart = union.starts[g_of_slot]
+    sel = fields_stack[vstart + np.concatenate(sequences)]  # (total_slots, r)
+    real = sel != DUMMY
+    src_local = np.where(real, sel, 0)
+    dummy = ~real
+    offs = 0
+    for gi, feats in enumerate(feature_matrices):
+        k = int(slots[gi])
+        if k == 0:
+            continue
+        block = feats[src_local[offs : offs + k]]  # (k, r, m)
+        block[dummy[offs : offs + k]] = 0.0
+        tensors[gi, : k * r] = block.reshape(k * r, m)
+        offs += k
+    return tensors, vertex_mask
+
+
+def _reference_encode_stages(
+    graphs: list[Graph],
+    feature_matrices: list[np.ndarray],
+    w: int,
+    r: int,
+    m: int,
+    ordering: str = "eigenvector",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-fusion staged encode (oracle for tests/equivalence).
+
+    Exactly the old pipeline body: per-graph vertex sequences, per-graph
+    receptive-field tables, then the per-graph assembly of
+    :func:`_assemble`.
+    """
+    all_scores = [centrality_scores(g, ordering) for g in graphs]
+    sequences = [
+        vertex_sequence(g, scores, ordering)[:w]
+        for g, scores in zip(graphs, all_scores)
+    ]
+    all_fields = [
+        all_receptive_fields(g, r, scores)
+        for g, scores in zip(graphs, all_scores)
+    ]
+    return _assemble(feature_matrices, sequences, all_fields, w, r, m)
 
 
 def _assemble(

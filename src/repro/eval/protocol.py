@@ -91,7 +91,15 @@ def _config_fingerprint(obj, _depth: int = 0):
             for key, value in getattr(obj, "__dict__", {}).items()
             if not key.startswith("_") and not key.endswith("_")
         }
-        return stable_hash({"class": type(obj).__qualname__, "params": params})
+        payload = {"class": type(obj).__qualname__, "params": params}
+        # Mirror repro.cache.extractor_fingerprint: a declared algorithm
+        # version (e.g. the WL color-scheme generation) rotates journal
+        # run keys, so a resumed run never mixes folds computed under
+        # different output schemes of the "same" configuration.
+        version = getattr(type(obj), "CACHE_VERSION", None)
+        if version is not None:
+            payload["algo"] = version
+        return stable_hash(payload)
 
 
 def _journaled_folds(

@@ -180,14 +180,22 @@ class WLVertexFeatures(VertexFeatureExtractor):
     """Weisfeiler-Lehman subtree features (DeepMap-WL).
 
     Vertex ``v`` receives one count for feature ``("wl", i, color_i(v))``
-    per refinement iteration ``i = 0 .. h``.  Colors are *stable hashes*
-    of the recursive (own color, sorted neighbor colors) signature, so the
-    same subtree pattern maps to the same feature key in every graph and
-    every dataset — making the extractor inductive: features computed on a
+    per refinement iteration ``i = 0 .. h``.  Colors are *content-stable
+    64-bit codes* of the recursive (own color, sorted neighbor colors)
+    signature (see :func:`wl_stable_colors_many`), so the same subtree
+    pattern maps to the same feature key in every graph and every
+    dataset — making the extractor inductive: features computed on a
     held-out graph align with a vocabulary built on training graphs.
     """
 
     name = "wl"
+
+    #: Color-scheme token folded into :func:`repro.cache.extractor_fingerprint`.
+    #: The integer radix remap produces different (partition-equivalent)
+    #: color values than the original blake2b signature hashing, so cached
+    #: ``counts``/``vfm`` payloads written under the old scheme must miss
+    #: rather than serve stale color keys.  Bump on any color-value change.
+    CACHE_VERSION = "wl-colors/mix64-v2"
 
     def __init__(self, h: int = 3) -> None:
         if h < 0:
@@ -226,14 +234,82 @@ class OneHotLabelFeatures(VertexFeatureExtractor):
 
 
 def wl_stable_colors(g: Graph, h: int) -> list[list[int]]:
-    """WL colors as stable 64-bit signature hashes, per iteration 0..h.
+    """WL colors as content-stable 64-bit codes, per iteration 0..h.
 
-    Iteration 0 uses the raw integer labels; iteration ``i`` hashes the
-    (own previous color, sorted neighbor previous colors) signature with
-    blake2b.  Hash values identify subtree patterns across graphs without
-    any shared dictionary (collisions are negligible at 64 bits).
+    Iteration 0 uses the raw integer labels; iteration ``i`` encodes the
+    (own previous color, sorted neighbor previous colors) signature as a
+    64-bit integer mix (:func:`_signature_codes`).  The codes are pure
+    functions of the signature — no shared dictionary, no dependence on
+    the dataset a graph happens to be batched with — so they identify
+    subtree patterns across graphs and across separate calls (collisions
+    are negligible at 64 bits), which is what keeps the WL extractor
+    inductive.
     """
     return wl_stable_colors_many([g], h)[0]
+
+
+# splitmix64 finalizer constants (Steele, Lea & Flood; same avalanche mix
+# used by java.util.SplittableRandom).  All arithmetic is uint64 with
+# silent wraparound, which numpy guarantees for *array* operands.
+_MIX_SEED = np.uint64(0x9E3779B97F4A7C15)
+_MIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_M2 = np.uint64(0x94D049BB133111EB)
+_SH30, _SH27, _SH31 = np.uint64(30), np.uint64(27), np.uint64(31)
+_COL_TWEAK = 0xD1B54A32D192ED03  # column tag multiplier (python int, mod 2^64)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 avalanche finalizer, elementwise over uint64 arrays."""
+    x = (x ^ (x >> _SH30)) * _MIX_M1
+    x = (x ^ (x >> _SH27)) * _MIX_M2
+    return x ^ (x >> _SH31)
+
+
+def _column_tweak(position: int) -> np.uint64:
+    """Position tag absorbed with signature column ``position`` (mod 2^64)."""
+    return np.uint64((_COL_TWEAK * (position + 1)) & 0xFFFFFFFFFFFFFFFF)
+
+
+def _signature_codes(
+    degs: np.ndarray,
+    colors: np.ndarray,
+    sorted_nb: np.ndarray,
+    seg_start: np.ndarray,
+    max_deg: int,
+) -> np.ndarray:
+    """Content-stable 64-bit code per vertex signature.
+
+    A vertex's signature is the sequence ``[degree, own color, sorted
+    neighbor colors]``; it is absorbed element by element into a
+    splitmix64 sponge (each element XOR-tagged with its position), and
+    the vertex's code is the sponge state after its *own* ``degree + 2``
+    elements.  Vertices still absorbing are selected with a degree mask,
+    so nothing batch-wide — in particular not the maximum degree of
+    whatever dataset the graph is batched with — ever enters a code: a
+    vertex codes identically alone or in any batch.  That content
+    stability is what makes the colors usable as vocabulary keys across
+    separate ``extract`` calls (training vs held-out graphs).
+
+    ``sorted_nb`` holds every vertex's neighbor colors sorted within its
+    CSR segment (``seg_start`` offsets); only distinct *states* advance
+    distinct codes, so equal signatures get equal codes by construction
+    (collisions between different signatures are negligible at 64 bits).
+    """
+    total = colors.shape[0]
+    state = np.full(total, _MIX_SEED, dtype=np.uint64)
+    state = _mix64(state ^ _mix64(degs ^ _column_tweak(0)))
+    state = _mix64(state ^ _mix64(colors ^ _column_tweak(1)))
+    codes = state.copy()  # degree-0 vertices are complete here
+    degs_i = degs.astype(np.int64)
+    for k in range(max_deg):
+        active = degs_i > k
+        if not active.any():
+            break
+        gathered = sorted_nb[seg_start[active] + k]
+        state_active = _mix64(state[active] ^ _mix64(gathered ^ _column_tweak(k + 2)))
+        state[active] = state_active
+        codes[active] = state_active
+    return codes
 
 
 def wl_stable_colors_many(graphs: list[Graph], h: int) -> list[list[list[int]]]:
@@ -241,12 +317,26 @@ def wl_stable_colors_many(graphs: list[Graph], h: int) -> list[list[list[int]]]:
 
     Returns one ``[iteration][vertex]`` color table per graph, identical
     to calling :func:`wl_stable_colors` per graph (the colors are pure
-    signature hashes, so batching cannot couple graphs).  All vertices of
-    all graphs share one flat CSR layout: neighbor colors are gathered
-    and sorted with a single lexsort per iteration, and blake2b runs only
-    once per *distinct* signature across the dataset (``np.unique`` over
-    padded signature rows) — on TU-shaped datasets most vertices share
-    signatures, which is where the speedup comes from.
+    signature codes, so batching cannot couple graphs).  All vertices of
+    all graphs share one flat CSR layout: per iteration, neighbor colors
+    are gathered and sorted with a single lexsort, then every vertex's
+    ``(degree, own color, sorted neighbors)`` signature is relabelled in
+    one vectorized integer pass by the splitmix64 sponge of
+    :func:`_signature_codes`.  No cryptographic hashing and no Python
+    per-signature loop runs here; blake2b survives only at the
+    :mod:`repro.cache` key boundary.
+
+    .. note::
+       The codes are *partition-equivalent* to — but numerically
+       different from — the blake2b hashes of
+       :func:`_reference_wl_stable_colors`, the pre-remap oracle kept
+       for the differential harness: per iteration, two vertices share a
+       code exactly when the oracle gives them equal hashes
+       (``tests/equivalence/test_wl_equiv.py`` pins this).  Downstream
+       gram matrices (WL subtree, WL optimal assignment) depend only on
+       the partition and are bitwise-unchanged; vocabulary column
+       *order* and the golden CNN fixtures changed once, explicitly,
+       when the remap landed.
     """
     sizes = [g.n for g in graphs]
     total = sum(sizes)
@@ -261,8 +351,8 @@ def wl_stable_colors_many(graphs: list[Graph], h: int) -> list[list[list[int]]]:
     ).astype(np.int64)
     seg = np.repeat(np.arange(total), degs)
     seg_start = np.concatenate(([0], np.cumsum(degs)[:-1]))
-    pos_in_seg = np.arange(flat_indices.size) - np.repeat(seg_start, degs)
     max_deg = int(degs.max()) if degs.size else 0
+    degs_u = degs.astype(np.uint64)
 
     colors = np.concatenate([g.labels for g in graphs]).astype(np.uint64)
     iterations = [colors]
@@ -270,31 +360,7 @@ def wl_stable_colors_many(graphs: list[Graph], h: int) -> list[list[list[int]]]:
         gathered = colors[flat_indices]
         order = np.lexsort((gathered, seg))  # sort neighbor colors per vertex
         sorted_nb = gathered[order]
-        # Signature rows: [degree, own color, sorted neighbor colors, 0-pad].
-        # The degree column keeps zero-padding from aliasing real colors.
-        padded = np.zeros((total, max_deg + 2), dtype=np.uint64)
-        padded[:, 0] = degs
-        padded[:, 1] = colors
-        if flat_indices.size:
-            padded[seg, 2 + pos_in_seg] = sorted_nb
-        uniq, inverse = np.unique(padded, axis=0, return_inverse=True)
-        blake2b = hashlib.blake2b
-        from_bytes = int.from_bytes
-        fresh = np.fromiter(
-            (
-                from_bytes(
-                    blake2b(
-                        repr((row[1], tuple(row[2 : 2 + row[0]]))).encode(),
-                        digest_size=8,
-                    ).digest(),
-                    "big",
-                )
-                for row in uniq.tolist()  # python ints: repr matches oracle
-            ),
-            dtype=np.uint64,
-            count=uniq.shape[0],
-        )
-        colors = fresh[inverse.ravel()]
+        colors = _signature_codes(degs_u, colors, sorted_nb, seg_start, max_deg)
         iterations.append(colors)
     return [
         [it[a:b].tolist() for it in iterations]
@@ -308,7 +374,15 @@ def wl_stable_colors_many(graphs: list[Graph], h: int) -> list[list[list[int]]]:
 # ----------------------------------------------------------------------
 
 def _reference_wl_stable_colors(g: Graph, h: int) -> list[list[int]]:
-    """Original per-vertex WL refinement (oracle for tests/equivalence)."""
+    """Original per-vertex blake2b WL refinement (oracle for tests/equivalence).
+
+    Since the integer radix remap, :func:`wl_stable_colors` produces
+    different color *values* than this oracle; the differential tests
+    assert *partition equality* per iteration instead of bitwise equality
+    (two vertices — in the same or different graphs — share a remapped
+    code iff they share a blake2b hash here).  Iteration 0 is still
+    compared exactly (raw labels on both sides).
+    """
     colors: list[int] = [int(l) for l in g.labels]
     out = [colors]
     for _ in range(h):

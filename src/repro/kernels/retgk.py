@@ -73,7 +73,71 @@ class ReturnProbabilityKernel(GraphKernel):
         self.gamma = gamma
         self.use_labels = use_labels
 
+    #: Row-block budget (vertices) for the stacked-GEMM gram assembly.
+    _BLOCK_VERTICES = 1024
+
     def gram(self, graphs: list[Graph]) -> np.ndarray:
+        """Stacked-GEMM gram assembly.
+
+        All RPF matrices are vstacked into one ``(total_vertices, steps)``
+        matrix; squared distances come from one GEMM per row block
+        (``_BLOCK_VERTICES`` rows at a time, bounding memory), and the
+        per-pair double sums collapse to two ``np.add.reduceat`` segment
+        reductions over the graph boundaries.  The result is symmetrized
+        explicitly (``(B + B^T) / 2``) because blocked BLAS products are
+        not exactly symmetric.
+
+        Values match :meth:`_reference_gram` to ulp precision only: BLAS
+        reassociates the GEMM and ``reduceat`` reassociates the sums, and
+        ``exp`` amplifies those last-bit differences.  The documented
+        bound (``tests/equivalence/test_gram_equiv.py``) is
+        ``rtol=1e-9``.
+        """
+        feats = [return_probability_features(g, self.steps) for g in graphs]
+        gamma = self.gamma if self.gamma is not None else self._median_gamma(feats)
+        n = len(graphs)
+        k = np.zeros((n, n), dtype=np.float64)
+        nonempty = [i for i in range(n) if graphs[i].n > 0]
+        if not nonempty:
+            return k
+        sizes = np.asarray([graphs[i].n for i in nonempty], dtype=np.int64)
+        stacked = np.concatenate([feats[i] for i in nonempty], axis=0)
+        labels = np.concatenate([graphs[i].labels for i in nonempty])
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        sq_norms = (stacked**2).sum(axis=1)
+        block = np.empty((len(nonempty), len(nonempty)), dtype=np.float64)
+        gi_lo = 0
+        while gi_lo < len(nonempty):
+            # Grow the row block graph by graph up to the vertex budget
+            # (always at least one graph, so oversized graphs still fit).
+            gi_hi = gi_lo + 1
+            while (
+                gi_hi < len(nonempty)
+                and starts[gi_hi] + sizes[gi_hi] - starts[gi_lo]
+                <= self._BLOCK_VERTICES
+            ):
+                gi_hi += 1
+            lo = int(starts[gi_lo])
+            hi = int(starts[gi_hi - 1] + sizes[gi_hi - 1])
+            sq = (
+                sq_norms[lo:hi, None]
+                + sq_norms[None, :]
+                - 2.0 * (stacked[lo:hi] @ stacked.T)
+            )
+            rbf = np.exp(-gamma * np.maximum(sq, 0.0))
+            if self.use_labels:
+                rbf *= labels[lo:hi, None] == labels[None, :]
+            # Collapse vertex rows/columns to graph blocks: one segment
+            # sum over columns, one over the block's own row segments.
+            cols = np.add.reduceat(rbf, starts, axis=1)  # (hi - lo, G)
+            block[gi_lo:gi_hi] = np.add.reduceat(cols, starts[gi_lo:gi_hi] - lo, axis=0)
+            gi_lo = gi_hi
+        block /= sizes[:, None] * sizes[None, :]
+        k[np.ix_(nonempty, nonempty)] = 0.5 * (block + block.T)
+        return k
+
+    def _reference_gram(self, graphs: list[Graph]) -> np.ndarray:
+        """Original per-pair assembly (oracle for tests/equivalence)."""
         feats = [return_probability_features(g, self.steps) for g in graphs]
         gamma = self.gamma if self.gamma is not None else self._median_gamma(feats)
         n = len(graphs)

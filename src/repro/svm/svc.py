@@ -5,6 +5,13 @@ The paper's graph-kernel baselines are evaluated with "a binary C-SVM
 using the training data from that fold".  :class:`KernelSVC` reproduces
 that classifier (one-vs-rest for the multi-class datasets) and
 :func:`select_c` reproduces the per-fold tuning via an internal split.
+
+Gram matrices arrive precomputed (assembled in one GEMM or count-matrix
+pass by the kernel layer); ``KernelSVC(validate=True)`` re-checks every
+training gram slice for symmetry and positive semidefiniteness via
+:func:`repro.kernels.base.validate_gram` before solving — a strict mode
+for tests and debugging, off by default because the eigendecomposition
+costs more than the SMO solve on small folds.
 """
 
 from __future__ import annotations
@@ -34,11 +41,13 @@ class KernelSVC:
         c: float = 1.0,
         tol: float = 1e-3,
         seed: int | None = 0,
+        validate: bool = False,
     ) -> None:
         check_positive("c", c)
         self.c = c
         self.tol = tol
         self.seed = seed
+        self.validate = validate
         self.classes_: np.ndarray | None = None
         self._dual_coef: np.ndarray | None = None  # (n_classes, n_train)
         self._bias: np.ndarray | None = None
@@ -51,6 +60,10 @@ class KernelSVC:
             raise ValueError(
                 f"kernel shape {kernel.shape} does not match {y.size} labels"
             )
+        if self.validate:
+            from repro.kernels.base import validate_gram
+
+            validate_gram(kernel)
         self.classes_ = np.unique(y)
         if self.classes_.size < 2:
             raise ValueError("need at least two classes")

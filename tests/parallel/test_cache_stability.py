@@ -1,16 +1,23 @@
-"""Cache keys must survive the hot-path vectorization unchanged.
+"""Cache keys across optimization PRs: stability where outputs are
+unchanged, deliberate rotation where they are not.
 
-Every hex constant below was captured by running the *original*
-(pre-vectorization) implementations.  The content-addressed keys hash
+Every hex constant below was captured by running the implementation
+*before* the optimization PR it guards.  The content-addressed keys hash
 only the cache *inputs* — graph structure, labels, extractor class and
-hyperparameters, encoder parameters — so an output-equivalent rewrite
-of the compute paths must reproduce them exactly.  If any assertion
-here fails, warm caches written before this PR would silently go cold
-(or worse, a key scheme change could alias distinct payloads).
+hyperparameters, encoder parameters, plus an explicit ``CACHE_VERSION``
+algorithm tag when an extractor declares one — so:
 
-The final test goes one step further and simulates a pre-PR on-disk
-``.npz`` entry at the pinned key: the vectorized extraction path must
-HIT it, not recompute.
+* GK and SP keys are pinned to the pre-vectorization captures and must
+  never change: their outputs are bitwise-identical across every PR, so
+  pre-PR warm caches must keep hitting;
+* WL keys *rotated exactly once*, when the WL colors switched from
+  blake2b digests to splitmix64 codes (``CACHE_VERSION =
+  "wl-colors/mix64-v2"``).  The old keys are kept here and asserted
+  retired — a stale pre-remap WL entry must be unreachable, never
+  silently served.
+
+The disk-hit simulations go one step further and place an ``.npz`` at
+the literal pinned key: the current lookup must HIT it, not recompute.
 """
 
 from __future__ import annotations
@@ -37,8 +44,9 @@ from repro.graph import Graph
 #: Fingerprint of `_pinned_dataset()` captured at the seed commit.
 PRE_PR_DATASET_FP = "ec7333c5e7572cf6fb5de54118daeadd"
 
-#: Per-extractor pins: (constructor, fingerprint, counts key, vfm key).
-PRE_PR_EXTRACTORS = [
+#: Stable extractors: (constructor, fingerprint, counts key, vfm key)
+#: captured pre-vectorization; bitwise-unchanged outputs, keys must hold.
+STABLE_EXTRACTORS = [
     (
         lambda: GraphletVertexFeatures(k=3, samples=5, seed=0),
         "2bf3e5d4cc3ead24d66fbdcfebd38aea",
@@ -51,20 +59,23 @@ PRE_PR_EXTRACTORS = [
         "c1ec41afb53c326176ecd447e7282389",
         "52ea30aa23bfa30a03534560ae5ef85b",
     ),
-    (
-        lambda: WLVertexFeatures(h=2),
-        "ddf25e900aa43fd4a4f8719a5345725e",
-        "e2125e7b4842bcd69df4a5984fc4e6c7",
-        "3cb68a72dc35c02e926e0013f018ab99",
-    ),
 ]
 
-#: Encoder tensor key for WL h=2 matrices with r=3, eigenvector, w=6.
-PRE_PR_MATRICES_HASH = "b2d3a5821f5d49c6a9231eca63f0a268"
-PRE_PR_ENC_KEY = "dd8947842e77113fce56bf0c5a76438d"
+#: WL h=2 keys before the color remap (blake2b color era) — retired.
+OLD_WL_FP = "ddf25e900aa43fd4a4f8719a5345725e"
+OLD_WL_COUNTS_KEY = "e2125e7b4842bcd69df4a5984fc4e6c7"
+OLD_WL_VFM_KEY = "3cb68a72dc35c02e926e0013f018ab99"
 
-#: The WL h=2 vertex-feature-map key, reused by the disk-hit simulation.
-PRE_PR_WL_VFM_KEY = PRE_PR_EXTRACTORS[2][3]
+#: WL h=2 keys under CACHE_VERSION "wl-colors/mix64-v2" (current).
+WL_FP = "796dcb8290b751cdc2f26884f494b834"
+WL_COUNTS_KEY = "e6cabf6742faee0d73d8ce4436320678"
+WL_VFM_KEY = "8003bed5f5614c3ddd5b66688bd68758"
+
+#: Encoder tensor key for SP matrices with r=3, eigenvector, w=6 —
+#: captured before the fused-encode PR; SP features are remap-immune, so
+#: this pin proves the encoder layer's key scheme (and output) held.
+PRE_PR_SP_MATRICES_HASH = "fa53fabde5f14ce436fd8816e0b184a6"
+PRE_PR_SP_ENC_KEY = "4d835c650cc3a18508da2d157b454dcd"
 
 
 def _pinned_dataset() -> list[Graph]:
@@ -80,29 +91,60 @@ class TestPinnedKeys:
 
     @pytest.mark.parametrize(
         "make,fp,counts_key,vfm_key",
-        PRE_PR_EXTRACTORS,
-        ids=["graphlet", "shortest_path", "wl"],
+        STABLE_EXTRACTORS,
+        ids=["graphlet", "shortest_path"],
     )
-    def test_extractor_keys_unchanged(self, make, fp, counts_key, vfm_key):
+    def test_stable_extractor_keys_unchanged(self, make, fp, counts_key, vfm_key):
         extractor = make()
         assert extractor_fingerprint(extractor) == fp
         ds = dataset_fingerprint(_pinned_dataset())
         assert cache_key("counts", ds, fp) == counts_key
         assert cache_key("vfm", ds, fp) == vfm_key
 
-    def test_encoder_key_unchanged(self):
+    def test_wl_keys_rotated_exactly_once(self):
+        """The remap changed WL outputs, so CACHE_VERSION must have
+        moved every WL key off its pre-remap address — and onto the
+        pinned current one, so the rotation itself is deterministic."""
+        fp = extractor_fingerprint(WLVertexFeatures(h=2))
+        assert fp == WL_FP
+        assert fp != OLD_WL_FP
+        ds = dataset_fingerprint(_pinned_dataset())
+        assert cache_key("counts", ds, fp) == WL_COUNTS_KEY != OLD_WL_COUNTS_KEY
+        assert cache_key("vfm", ds, fp) == WL_VFM_KEY != OLD_WL_VFM_KEY
+
+    def test_wl_fingerprint_tracks_cache_version(self):
+        """A CACHE_VERSION bump alone must rotate the fingerprint."""
+
+        class Bumped(WLVertexFeatures):
+            CACHE_VERSION = "wl-colors/test-v999"
+
+        assert extractor_fingerprint(Bumped(h=2)) != extractor_fingerprint(
+            WLVertexFeatures(h=2)
+        )
+
+    def test_sp_encoder_key_unchanged(self):
         graphs = _pinned_dataset()
-        matrices, _ = extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=2))
-        assert stable_hash(list(matrices)) == PRE_PR_MATRICES_HASH
+        matrices, _ = extract_vertex_feature_matrices(
+            graphs, ShortestPathVertexFeatures()
+        )
+        assert stable_hash(list(matrices)) == PRE_PR_SP_MATRICES_HASH
         key = cache_key(
             "enc", dataset_fingerprint(graphs), stable_hash(list(matrices)),
             3, "eigenvector", 6,
         )
-        assert key == PRE_PR_ENC_KEY
+        assert key == PRE_PR_SP_ENC_KEY
 
 
 class TestPrePrEntriesStillHit:
-    def test_simulated_pre_pr_npz_entry_hits(self, tmp_path):
+    @pytest.mark.parametrize(
+        "make,vfm_key",
+        [
+            (STABLE_EXTRACTORS[0][0], STABLE_EXTRACTORS[0][3]),
+            (STABLE_EXTRACTORS[1][0], STABLE_EXTRACTORS[1][3]),
+        ],
+        ids=["graphlet", "shortest_path"],
+    )
+    def test_simulated_pre_pr_npz_entry_hits(self, tmp_path, make, vfm_key):
         """A .npz written under the pre-PR key is served, not recomputed.
 
         The payload bytes are legitimate to synthesize with today's code:
@@ -112,10 +154,10 @@ class TestPrePrEntriesStillHit:
         check — the lookup lands on the literal pinned key.
         """
         graphs = _pinned_dataset()
-        extractor = WLVertexFeatures(h=2)
+        extractor = make()
         matrices, vocab = extract_vertex_feature_matrices(graphs, extractor)
 
-        path = tmp_path / PRE_PR_WL_VFM_KEY[:2] / f"{PRE_PR_WL_VFM_KEY}.npz"
+        path = tmp_path / vfm_key[:2] / f"{vfm_key}.npz"
         path.parent.mkdir(parents=True)
         boxed = np.empty(1, dtype=object)
         boxed[0] = vocab.keys()
@@ -132,15 +174,32 @@ class TestPrePrEntriesStillHit:
         for got, want in zip(got_matrices, matrices):
             assert got.tobytes() == want.tobytes()
 
-    def test_warm_cache_round_trips_through_vectorized_encode(self, tmp_path):
-        """Cold write then warm read of the full encode path, same bits."""
+    def test_stale_pre_remap_wl_entry_is_never_served(self, tmp_path):
+        """An entry parked at the OLD WL key must be ignored — the
+        rotated fingerprint makes it unreachable, forcing a recompute
+        under the new color scheme instead of serving stale colors."""
+        graphs = _pinned_dataset()
+        path = tmp_path / OLD_WL_VFM_KEY[:2] / f"{OLD_WL_VFM_KEY}.npz"
+        path.parent.mkdir(parents=True)
+        np.savez(path, poison=np.zeros(1))
+
+        cache = FeatureMapCache(cache_dir=tmp_path)
+        extract_vertex_feature_matrices(graphs, WLVertexFeatures(h=2), cache=cache)
+        assert cache.stats.disk_hits == 0
+        assert cache.stats.misses == 1
+        assert (tmp_path / WL_VFM_KEY[:2] / f"{WL_VFM_KEY}.npz").exists()
+
+    def test_warm_cache_round_trips_through_fused_encode(self, tmp_path):
+        """Cold write then warm read of the full encode path, same bits,
+        landing on the pre-PR SP encoder key."""
         graphs = _pinned_dataset()
         cache = FeatureMapCache(cache_dir=tmp_path)
         matrices, _ = extract_vertex_feature_matrices(
-            graphs, WLVertexFeatures(h=2), cache=cache
+            graphs, ShortestPathVertexFeatures(), cache=cache
         )
         cold = DeepMapEncoder(r=3).fit(graphs).encode(graphs, matrices, cache=cache)
-        assert (tmp_path / PRE_PR_ENC_KEY[:2] / f"{PRE_PR_ENC_KEY}.npz").exists()
+        enc_path = tmp_path / PRE_PR_SP_ENC_KEY[:2] / f"{PRE_PR_SP_ENC_KEY}.npz"
+        assert enc_path.exists()
 
         fresh = FeatureMapCache(cache_dir=tmp_path)  # disk tier only
         warm = DeepMapEncoder(r=3).fit(graphs).encode(graphs, matrices, cache=fresh)
