@@ -27,6 +27,17 @@
 #                                   stability suites (tests/parallel), and a
 #                                   smoke-mode run of the hot-path bench so
 #                                   the gram/encode bench stages can't rot
+#   ./scripts/test-tiers.sh stream  the streaming out-of-core tier:
+#                                   tests/stream (prefetcher semantics,
+#                                   shard store, mmap cache reads, fault
+#                                   injection at prefetch_worker) plus the
+#                                   streamed-vs-materialized bitwise
+#                                   equivalence suite, then a smoke-mode
+#                                   run of the stream bench so the
+#                                   harness can't rot; full-scale numbers
+#                                   + the regression gate on
+#                                   BENCH_stream.json are a separate
+#                                   manual step (see docs/STREAMING.md)
 #   ./scripts/test-tiers.sh full    tier 1 + slow, then tier 1 again with
 #                                   REPRO_WORKERS=2 so every fold-parallel
 #                                   code path runs through the fork pool
@@ -65,6 +76,10 @@ case "$tier" in
         python -m pytest tests/obs/ "$@"
         REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_obs_overhead.py "$@"
         ;;
+    stream)
+        python -m pytest tests/stream/ tests/equivalence/test_stream_equiv.py "$@"
+        REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_stream_pipeline.py "$@"
+        ;;
     full)
         python -m pytest tests/ "$@"
         REPRO_WORKERS=2 python -m pytest tests/ -m "not slow" "$@"
@@ -78,7 +93,7 @@ case "$tier" in
         REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_hotpaths.py "$@"
         ;;
     *)
-        echo "usage: $0 {fast|faults|serve|obs|full|perf|kernels} [pytest args...]" >&2
+        echo "usage: $0 {fast|faults|serve|obs|stream|full|perf|kernels} [pytest args...]" >&2
         exit 2
         ;;
 esac

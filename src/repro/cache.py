@@ -33,6 +33,7 @@ import hashlib
 import os
 import tempfile
 import threading
+import zipfile
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -192,6 +193,7 @@ class CacheStats:
     misses: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    mmap_hits: int = 0
     stores: int = 0
     evictions: int = 0
     errors: int = 0
@@ -203,6 +205,7 @@ class CacheStats:
             "misses": self.misses,
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "mmap_hits": self.mmap_hits,
             "stores": self.stores,
             "evictions": self.evictions,
             "errors": self.errors,
@@ -241,6 +244,58 @@ class CacheStats:
                 setattr(self, key, getattr(self, key) + value)
 
 
+def _mmap_npz(path: Path) -> dict[str, np.ndarray]:
+    """Memory-map every member of an uncompressed ``.npz`` in place.
+
+    ``np.load(..., mmap_mode="r")`` silently ignores ``mmap_mode`` for
+    ``.npz`` containers, so this walks the zip structure by hand: for
+    each ``ZIP_STORED`` member, the array data lives at a fixed span of
+    the archive file (local header + name + extra fields, then the
+    ``.npy`` header, then raw little-endian array bytes), which
+    ``np.memmap`` can map read-only with the right dtype/shape/offset.
+
+    Raises on anything that cannot be mapped — compressed members,
+    object dtypes, unknown npy versions, or structural damage (bad
+    magic, member span past EOF).  Callers treat a raise as "use the
+    copying reader instead".
+    """
+    payload: dict[str, np.ndarray] = {}
+    file_size = path.stat().st_size
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as fh:
+        for info in zf.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(f"{info.filename}: compressed member")
+            fh.seek(info.header_offset)
+            local = fh.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                raise ValueError(f"{info.filename}: bad local file header")
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            fh.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+            else:
+                raise ValueError(f"{info.filename}: npy format {version}")
+            if dtype.hasobject:
+                raise ValueError(f"{info.filename}: object dtype")
+            data_offset = fh.tell()
+            n_items = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            if data_offset + n_items * dtype.itemsize > file_size:
+                raise ValueError(f"{info.filename}: member extends past EOF")
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            arr = np.memmap(
+                path, dtype=dtype, mode="r", offset=data_offset, shape=shape,
+                order="F" if fortran else "C",
+            )
+            payload[name] = arr
+    return payload
+
+
 class FeatureMapCache:
     """Two-tier (memory LRU + optional disk) array-payload cache.
 
@@ -257,17 +312,30 @@ class FeatureMapCache:
         memory-only.
     memory_items:
         Max entries held by the in-memory LRU tier (0 disables it).
+    mmap_read:
+        Memory-map disk reads where safe (default True).  ``np.savez``
+        stores members uncompressed, so each ``.npy`` member can be
+        mapped in place (``np.memmap`` over the member's data span)
+        instead of copied into fresh arrays — a disk hit then costs
+        page-table entries, not resident bytes, which is what lets the
+        streaming pipeline hold "hot" encoded shards far beyond RAM.
+        Object-dtype members (pickled vocabularies/Counters) and any
+        file the mapper cannot parse fall back to ``np.load``; a file
+        neither path can read is still a miss, dropped and recomputed.
+        Mapped arrays are read-only views backed by the cache file.
     """
 
     def __init__(
         self,
         cache_dir: str | os.PathLike | None = None,
         memory_items: int = DEFAULT_MEMORY_ITEMS,
+        mmap_read: bool = True,
     ) -> None:
         if memory_items < 0:
             raise ValueError(f"memory_items must be >= 0, got {memory_items}")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.memory_items = memory_items
+        self.mmap_read = mmap_read
         self.stats = CacheStats()
         self._memory: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
         self._lock = threading.RLock()
@@ -298,8 +366,7 @@ class FeatureMapCache:
             path = self._path(key)
             if path.exists():
                 try:
-                    with np.load(path, allow_pickle=True) as npz:
-                        payload = {name: npz[name] for name in npz.files}
+                    payload = self._read_disk(path)
                 except Exception:
                     # Corrupted / truncated / unreadable: drop and recompute.
                     self.stats.errors += 1
@@ -315,6 +382,27 @@ class FeatureMapCache:
         self.stats.by_namespace[f"{namespace or 'any'}_misses"] += 1
         obs.counter("cache_misses_total").inc()
         return None
+
+    def _read_disk(self, path: Path) -> dict[str, np.ndarray]:
+        """Read a disk entry, memory-mapping members when possible.
+
+        The mmap attempt validates the full zip structure (central
+        directory, local headers, npy headers, member spans inside the
+        file), so a truncated or damaged entry fails *here* — cleanly,
+        at map time, never as a later SIGBUS — and the ``np.load``
+        fallback then fails on the same damage, turning the read into a
+        miss for the caller.
+        """
+        if self.mmap_read:
+            try:
+                payload = _mmap_npz(path)
+            except Exception:
+                pass  # not mappable (object dtype, compressed, damaged)
+            else:
+                self.stats.mmap_hits += 1
+                return payload
+        with np.load(path, allow_pickle=True) as npz:
+            return {name: npz[name] for name in npz.files}
 
     # -- write ----------------------------------------------------------
     def put(self, key: str, payload: dict[str, np.ndarray], namespace: str = "") -> None:

@@ -78,6 +78,21 @@ inference serving:
                                    throughput, the mean fused batch size, and
                                    the admission-queue high-water mark
 
+streaming / out-of-core training:
+  repro train --stream             train a single deepmap-* model out of core:
+                                   graphs are regenerated lazily from per-graph
+                                   seeds, encoded shard-by-shard behind a
+                                   bounded prefetcher, and spilled to the
+                                   feature-map cache (mmap'd back per batch);
+                                   peak RSS stays bounded at any --scale and
+                                   the result is bitwise-equal to the
+                                   materialized fit
+  repro train --stream --shard-size K --prefetch D
+                                   graphs per encoded shard (default 64) and
+                                   prefetch queue depth (default 2)
+  repro stats NAME --stream        one-pass streamed dataset statistics
+                                   without materializing the graphs
+
 request tracing and SLOs:
   repro serve --log-json RUN.jsonl stream every request's spans (queue_wait /
                                    batch_wait / infer / serialize), access-log
@@ -98,7 +113,8 @@ Instrumentation is off unless one of these flags is given (zero overhead
 by default).  Schema and metric names: docs/OBSERVABILITY.md; worker
 model and cache layout: docs/PARALLEL.md; checkpoint format, resume
 semantics and fault injection: docs/RESILIENCE.md; serving architecture
-and the backpressure contract: docs/SERVING.md.
+and the backpressure contract: docs/SERVING.md; streaming sampler design,
+memory model and the parity contract: docs/STREAMING.md.
 """
 
 MODEL_CHOICES = (
@@ -133,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("name")
     stats.add_argument("--scale", type=float, default=0.15)
     stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--stream",
+        action="store_true",
+        help="compute statistics in one streamed pass without "
+        "materializing the graph list",
+    )
 
     train = sub.add_parser("train", help="cross-validate a model")
     train.add_argument("--dataset", required=True)
@@ -177,6 +199,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resume",
         action="store_true",
         help="discard any existing fold journal instead of resuming from it",
+    )
+    train.add_argument(
+        "--stream",
+        action="store_true",
+        help="train a single deepmap-* model out of core: regenerate "
+        "graphs lazily, encode shard-by-shard, spill to the cache "
+        "(bitwise-equal to the materialized fit; no CV folds)",
+    )
+    train.add_argument(
+        "--shard-size",
+        type=int,
+        default=64,
+        metavar="K",
+        help="graphs per encoded shard in --stream mode (default 64)",
+    )
+    train.add_argument(
+        "--prefetch",
+        type=int,
+        default=2,
+        metavar="D",
+        help="bounded prefetch queue depth in --stream mode (default 2)",
     )
 
     cache = sub.add_parser(
@@ -419,7 +462,9 @@ def _cmd_list_datasets() -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.datasets import make_dataset
 
-    ds = make_dataset(args.name, scale=args.scale, seed=args.seed)
+    ds = make_dataset(
+        args.name, scale=args.scale, seed=args.seed, stream=args.stream
+    )
     s = ds.statistics()
     print(f"dataset:  {s.name}")
     print(f"graphs:   {s.size}")
@@ -487,6 +532,46 @@ def _print_extras(result) -> None:
         print(f"selected C per fold: {', '.join(f'{c:g}' for c in selected_c)}")
 
 
+def _run_stream_train(args: argparse.Namespace) -> int:
+    """One streamed out-of-core fit (no CV folds); bitwise-equal to fit."""
+    import time
+
+    from repro.datasets import make_dataset
+    from repro.obs.resources import sample_resources
+
+    if not args.model.startswith("deepmap-"):
+        print(
+            f"--stream supports deepmap-* models only (got {args.model})",
+            file=sys.stderr,
+        )
+        return 2
+    stream = make_dataset(
+        args.dataset, scale=args.scale, seed=args.seed, stream=True
+    )
+    factory = _make_model_factory(args.model, args.epochs)
+    assert factory is not None  # deepmap-* is always neural
+    model = factory(args.seed)
+    print(
+        f"{args.model} on {stream.name} ({len(stream)} graphs, streamed, "
+        f"shard size {args.shard_size}, prefetch depth {args.prefetch})..."
+    )
+    start = time.perf_counter()
+    model.fit_stream(
+        stream,
+        shard_size=args.shard_size,
+        prefetch_depth=args.prefetch,
+    )
+    elapsed = time.perf_counter() - start
+    sample = sample_resources()
+    print(f"train accuracy: {model.history_.train_accuracy[-1]:.4f}")
+    print(
+        f"throughput: {len(stream) / elapsed:.1f} graphs/sec sustained "
+        f"({elapsed:.2f}s, {args.epochs} epochs)"
+    )
+    print(f"peak RSS: {sample['peak_rss_bytes'] / 2**20:.1f} MiB")
+    return 0
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.datasets import make_dataset
@@ -505,43 +590,53 @@ def _cmd_train(args: argparse.Namespace) -> int:
             folds=args.folds,
             epochs=args.epochs,
             seed=args.seed,
+            stream=args.stream,
         )
     try:
         if args.cache_dir is not None:
             from repro.cache import configure
 
             configure(cache_dir=args.cache_dir)
-        ds = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        print(
-            f"{args.model} on {ds.name} ({len(ds)} graphs, {args.folds}-fold CV)..."
-        )
-        factory = _make_model_factory(args.model, args.epochs)
-        if factory is not None:
-            result = evaluate_neural_model(
-                factory,
-                ds,
-                n_splits=args.folds,
-                seed=args.seed,
-                name=args.model,
-                workers=args.workers,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=not args.no_resume,
-            )
-            print(f"accuracy: {result.formatted()}  (best epoch {result.best_epoch})")
+        if args.stream:
+            rc = _run_stream_train(args)
+            if rc != 0:
+                return rc
         else:
-            kernel = _make_kernel(args.model)
-            assert kernel is not None  # argparse choices guarantee it
-            result = evaluate_kernel_svm(
-                kernel,
-                ds,
-                n_splits=args.folds,
-                seed=args.seed,
-                workers=args.workers,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=not args.no_resume,
+            ds = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+            print(
+                f"{args.model} on {ds.name} "
+                f"({len(ds)} graphs, {args.folds}-fold CV)..."
             )
-            print(f"accuracy: {result.formatted()}")
-        _print_extras(result)
+            factory = _make_model_factory(args.model, args.epochs)
+            if factory is not None:
+                result = evaluate_neural_model(
+                    factory,
+                    ds,
+                    n_splits=args.folds,
+                    seed=args.seed,
+                    name=args.model,
+                    workers=args.workers,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=not args.no_resume,
+                )
+                print(
+                    f"accuracy: {result.formatted()}  "
+                    f"(best epoch {result.best_epoch})"
+                )
+            else:
+                kernel = _make_kernel(args.model)
+                assert kernel is not None  # argparse choices guarantee it
+                result = evaluate_kernel_svm(
+                    kernel,
+                    ds,
+                    n_splits=args.folds,
+                    seed=args.seed,
+                    workers=args.workers,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=not args.no_resume,
+                )
+                print(f"accuracy: {result.formatted()}")
+            _print_extras(result)
         from repro.cache import get_cache
 
         cache = get_cache()

@@ -199,6 +199,37 @@ class DeepMapClassifier:
                 )
         return self
 
+    def fit_stream(
+        self,
+        stream,
+        shard_size: int = 64,
+        prefetch_depth: int = 2,
+        max_restarts: int = 2,
+        epoch_callback=None,
+    ) -> "DeepMapClassifier":
+        """Out-of-core fit on a streamed dataset.
+
+        ``stream`` is a
+        :class:`~repro.datasets.streaming.StreamingGraphDataset`
+        (``make_dataset(..., stream=True)``).  Shards of ``shard_size``
+        graphs are regenerated from seeds, encoded once and spilled to
+        the feature-map cache; training gathers mini-batches shard by
+        shard.  The fitted model — weights, history, predictions — is
+        **bitwise-identical** to ``fit(stream.materialize().graphs,
+        stream.labels())``, at peak memory bounded by a few shards
+        instead of the whole dataset.  See ``docs/STREAMING.md``.
+        """
+        from repro.stream import fit_stream as _fit_stream
+
+        return _fit_stream(
+            self,
+            stream,
+            shard_size=shard_size,
+            prefetch_depth=prefetch_depth,
+            max_restarts=max_restarts,
+            epoch_callback=epoch_callback,
+        )
+
     # ------------------------------------------------------------------
     def _chunks(self, graphs: list[Graph], chunk_size: int | None):
         """Yield ``graphs`` in encode-sized chunks (one chunk when None).

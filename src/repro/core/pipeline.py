@@ -94,6 +94,42 @@ class DeepMapEncoder:
             self.w = max(g.n for g in graphs)
         return self
 
+    def fit_width(self, sizes) -> "DeepMapEncoder":
+        """Fix ``w`` from an iterable of graph sizes.
+
+        The streaming fit path sees graphs one shard at a time and
+        tracks the running maximum itself; this sets the same ``w``
+        :meth:`fit` would have derived from the full list.
+        """
+        w = max(sizes, default=0)
+        if w <= 0:
+            raise ValueError("need at least one positive graph size")
+        if self.w is None:
+            self.w = int(w)
+        return self
+
+    def encode_key(
+        self, graphs: list[Graph], feature_matrices: list[np.ndarray]
+    ) -> str:
+        """Content-addressed cache key of :meth:`encode`'s result.
+
+        Exposed so out-of-core consumers (the streaming shard store) can
+        re-load a previously encoded shard straight from the cache by
+        key — without regenerating the graphs the key was derived from.
+        """
+        if self.w is None:
+            raise ValueError("encoder is not fitted (w is None)")
+        from repro import cache as cache_mod
+
+        return cache_mod.cache_key(
+            "enc",
+            cache_mod.dataset_fingerprint(graphs),
+            cache_mod.stable_hash(list(feature_matrices)),
+            self.r,
+            self.ordering,
+            self.w,
+        )
+
     def encode(
         self,
         graphs: list[Graph],
@@ -133,14 +169,7 @@ class DeepMapEncoder:
         cache = cache if cache is not None else cache_mod.get_cache()
         key = None
         if cache is not None:
-            key = cache_mod.cache_key(
-                "enc",
-                cache_mod.dataset_fingerprint(graphs),
-                cache_mod.stable_hash(list(feature_matrices)),
-                r,
-                self.ordering,
-                w,
-            )
+            key = self.encode_key(graphs, feature_matrices)
             payload = cache.get(key, namespace="enc")
             if payload is not None:
                 return EncodedDataset(

@@ -11,10 +11,14 @@ from repro.datasets.molecules import MoleculeGenerator, molecule_dataset
 from repro.datasets.registry import (
     DATASET_NAMES,
     PAPER_STATS,
+    DatasetSpec,
+    dataset_spec,
     degree_labeled,
     make_dataset,
     paper_statistics,
+    sample_graph,
 )
+from repro.datasets.streaming import GraphShard, StreamingGraphDataset
 from repro.datasets.tu_format import load_tu_dataset, save_tu_dataset
 
 __all__ = [
@@ -29,6 +33,11 @@ __all__ = [
     "community_dataset",
     "DATASET_NAMES",
     "PAPER_STATS",
+    "DatasetSpec",
+    "dataset_spec",
+    "sample_graph",
+    "GraphShard",
+    "StreamingGraphDataset",
     "make_dataset",
     "paper_statistics",
     "degree_labeled",

@@ -17,13 +17,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.base import DatasetStatistics, GraphDataset
-from repro.datasets.communities import (
-    BrainNetworkGenerator,
-    SynthieGenerator,
-    community_dataset,
-)
-from repro.datasets.ego import EgoNetworkGenerator, ego_dataset
-from repro.datasets.molecules import MoleculeGenerator, molecule_dataset
+from repro.datasets.communities import BrainNetworkGenerator, SynthieGenerator
+from repro.datasets.ego import EgoNetworkGenerator
+from repro.datasets.molecules import MoleculeGenerator
 from repro.graph.graph import Graph
 from repro.utils.rng import as_rng
 
@@ -31,6 +27,9 @@ __all__ = [
     "DATASET_NAMES",
     "PAPER_STATS",
     "EXTRA_STATS",
+    "DatasetSpec",
+    "dataset_spec",
+    "sample_graph",
     "make_dataset",
     "degree_labeled",
 ]
@@ -92,9 +91,61 @@ def _scaled_size(name: str, scale: float) -> int:
     return max(_MIN_GRAPHS, int(round(stats.size * scale)))
 
 
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Everything needed to generate any single graph of a dataset.
+
+    ``generator.sample(cls, rng)`` must be stateless across calls (all
+    registry generators are: their only mutable-looking state — the
+    SYNTHIE seed atlas, the KKI community map — is fixed at
+    construction), so graph ``i`` of a dataset can be produced on its
+    own from its per-index seed without touching graphs ``0..i-1``.
+    This is what makes ``make_dataset(..., stream=True)`` bitwise-equal
+    to the materialized path.
+    """
+
+    name: str
+    num_classes: int
+    has_vertex_labels: bool
+    generator: object
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Construct the generation spec for a benchmark dataset."""
+    if name not in PAPER_STATS and name not in EXTRA_STATS:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from "
+            f"{DATASET_NAMES + tuple(EXTRA_STATS)}"
+        )
+    return _SPECS[name]()
+
+
+def graph_seeds(seed: int | None, n_graphs: int) -> np.ndarray:
+    """Per-graph generation seeds: one int64 block from the root stream.
+
+    Exactly the draw :func:`repro.utils.rng.spawn_rngs` performs, so a
+    consumer holding only ``seeds[i]`` reconstructs the identical
+    per-graph generator the eager builders used.
+    """
+    return as_rng(seed).integers(0, 2**63 - 1, size=n_graphs, dtype=np.int64)
+
+
+def sample_graph(spec: DatasetSpec, index: int, seed_value: int) -> Graph:
+    """Generate graph ``index`` of a dataset from its per-index seed.
+
+    Applies the degree-labeling policy for datasets without vertex
+    labels, matching what :func:`make_dataset` does for the full list.
+    """
+    cls = index % spec.num_classes
+    graph = spec.generator.sample(int(cls), np.random.default_rng(int(seed_value)))
+    if not spec.has_vertex_labels:
+        graph = graph.with_labels(graph.degrees().tolist())
+    return graph
+
+
 def make_dataset(
-    name: str, scale: float = 0.15, seed: int | None = 0
-) -> GraphDataset:
+    name: str, scale: float = 0.15, seed: int | None = 0, stream: bool = False
+):
     """Generate a benchmark dataset by name.
 
     Parameters
@@ -106,26 +157,34 @@ def make_dataset(
     seed:
         Generation seed; the same (name, scale, seed) triple always
         produces the identical dataset.
+    stream:
+        When True, return a
+        :class:`~repro.datasets.streaming.StreamingGraphDataset` — a
+        lazy view holding only the per-graph seed block (8 bytes per
+        graph) that generates graphs on demand.  Its ``materialize()``
+        is bitwise-identical to the eager result for the same
+        ``(name, scale, seed)`` triple, at any scale factor.
     """
-    if name not in PAPER_STATS and name not in EXTRA_STATS:
-        raise ValueError(
-            f"unknown dataset {name!r}; choose from "
-            f"{DATASET_NAMES + tuple(EXTRA_STATS)}"
-        )
+    spec = dataset_spec(name)
     if scale <= 0:
         raise ValueError(f"scale must be > 0, got {scale}")
     n_graphs = _scaled_size(name, scale)
-    rng = as_rng(seed)
-    builder = _BUILDERS[name]
-    graphs, y, has_labels = builder(n_graphs, rng)
-    if not has_labels:
-        graphs = degree_labeled(graphs)
+    seeds = graph_seeds(seed, n_graphs)
+    metadata = {"scale": scale, "seed": seed}
+    if stream:
+        from repro.datasets.streaming import StreamingGraphDataset
+
+        return StreamingGraphDataset(
+            name=name, spec=spec, seeds=seeds, metadata=metadata
+        )
+    graphs = [sample_graph(spec, i, int(s)) for i, s in enumerate(seeds)]
+    y = np.array([i % spec.num_classes for i in range(n_graphs)], dtype=np.int64)
     return GraphDataset(
         name=name,
         graphs=graphs,
         y=y,
-        has_vertex_labels=has_labels,
-        metadata={"scale": scale, "seed": seed},
+        has_vertex_labels=spec.has_vertex_labels,
+        metadata=metadata,
     )
 
 
@@ -143,23 +202,32 @@ def paper_statistics(name: str) -> DatasetStatistics:
 
 
 # ----------------------------------------------------------------------
-# Per-dataset builders: (n_graphs, rng) -> (graphs, y, has_vertex_labels)
+# Per-dataset spec factories: () -> DatasetSpec
 # ----------------------------------------------------------------------
 
-def _build_synthie(n_graphs: int, rng: np.random.Generator):
+def _build_synthie() -> DatasetSpec:
     nodes = max(12, int(PAPER_STATS["SYNTHIE"].avg_nodes * _NODE_SHRINK["SYNTHIE"]))
     gen = SynthieGenerator(seed_nodes=nodes, atlas_seed=1234)
-    graphs, y = community_dataset(gen, n_graphs, rng)
-    return graphs, y, False
+    return DatasetSpec(
+        name="SYNTHIE",
+        num_classes=gen.NUM_CLASSES,
+        has_vertex_labels=False,
+        generator=gen,
+    )
 
 
-def _build_kki(n_graphs: int, rng: np.random.Generator):
+def _build_kki() -> DatasetSpec:
     gen = BrainNetworkGenerator(atlas_size=190, regions_per_subject=27.0)
-    graphs, y = community_dataset(gen, n_graphs, rng)
-    return graphs, y, True
+    return DatasetSpec(
+        name="KKI",
+        num_classes=gen.NUM_CLASSES,
+        has_vertex_labels=True,
+        generator=gen,
+    )
 
 
 def _molecule_builder(
+    name: str,
     avg_nodes: float,
     num_labels: int,
     num_classes: int = 2,
@@ -169,7 +237,7 @@ def _molecule_builder(
     motif_strength: float = 0.7,
     label_tilt: float = 0.35,
 ):
-    def build(n_graphs: int, rng: np.random.Generator):
+    def build() -> DatasetSpec:
         gen = MoleculeGenerator(
             avg_nodes=avg_nodes,
             num_labels=num_labels,
@@ -180,71 +248,82 @@ def _molecule_builder(
             motif_strength=motif_strength,
             label_tilt=label_tilt,
         )
-        graphs, y = molecule_dataset(gen, n_graphs, rng)
-        return graphs, y, True
+        return DatasetSpec(
+            name=name,
+            num_classes=num_classes,
+            has_vertex_labels=True,
+            generator=gen,
+        )
 
     return build
 
 
-def _ego_builder(profiles, avg_nodes: float):
-    def build(n_graphs: int, rng: np.random.Generator):
+def _ego_builder(name: str, profiles, avg_nodes: float):
+    def build() -> DatasetSpec:
         gen = EgoNetworkGenerator(class_profiles=profiles, avg_nodes=avg_nodes)
-        graphs, y = ego_dataset(gen, n_graphs, rng)
-        return graphs, y, False
+        return DatasetSpec(
+            name=name,
+            num_classes=gen.num_classes,
+            has_vertex_labels=False,
+            generator=gen,
+        )
 
     return build
 
 
-_BUILDERS = {
+_SPECS = {
     "SYNTHIE": _build_synthie,
     "KKI": _build_kki,
     "BZR_MD": _molecule_builder(
-        21.3, 8, complete=True, motif_strength=0.25, label_tilt=0.02
+        "BZR_MD", 21.3, 8, complete=True, motif_strength=0.25, label_tilt=0.02
     ),
     "COX2_MD": _molecule_builder(
-        26.3, 7, complete=True, motif_strength=0.28, label_tilt=0.02
+        "COX2_MD", 26.3, 7, complete=True, motif_strength=0.28, label_tilt=0.02
     ),
     "DHFR": _molecule_builder(
-        42.4, 9, ring_rate=0.25, motif_strength=0.62, label_tilt=0.05
+        "DHFR", 42.4, 9, ring_rate=0.25, motif_strength=0.62, label_tilt=0.05
     ),
     "NCI1": _molecule_builder(
-        17.9, 37, ring_rate=0.4, motif_strength=0.70, label_tilt=0.15
+        "NCI1", 17.9, 37, ring_rate=0.4, motif_strength=0.70, label_tilt=0.15
     ),
     "PTC_MM": _molecule_builder(
-        14.0, 20, ring_rate=0.15, motif_strength=0.36, label_tilt=0.10
+        "PTC_MM", 14.0, 20, ring_rate=0.15, motif_strength=0.36, label_tilt=0.10
     ),
     "PTC_MR": _molecule_builder(
-        14.3, 18, ring_rate=0.15, motif_strength=0.33, label_tilt=0.09
+        "PTC_MR", 14.3, 18, ring_rate=0.15, motif_strength=0.33, label_tilt=0.09
     ),
     "PTC_FM": _molecule_builder(
-        14.1, 18, ring_rate=0.15, motif_strength=0.34, label_tilt=0.09
+        "PTC_FM", 14.1, 18, ring_rate=0.15, motif_strength=0.34, label_tilt=0.09
     ),
     "PTC_FR": _molecule_builder(
-        14.6, 19, ring_rate=0.15, motif_strength=0.36, label_tilt=0.10
+        "PTC_FR", 14.6, 19, ring_rate=0.15, motif_strength=0.36, label_tilt=0.10
     ),
     "ENZYMES": _molecule_builder(
-        32.6, 3, num_classes=6, ring_rate=0.5, extra_edge_rate=0.78,
+        "ENZYMES", 32.6, 3, num_classes=6, ring_rate=0.5, extra_edge_rate=0.78,
         motif_strength=0.65, label_tilt=0.3,
     ),
     "PROTEINS": _molecule_builder(
-        39.1, 3, ring_rate=0.5, extra_edge_rate=0.72, motif_strength=0.52,
-        label_tilt=0.12,
+        "PROTEINS", 39.1, 3, ring_rate=0.5, extra_edge_rate=0.72,
+        motif_strength=0.52, label_tilt=0.12,
     ),
     # IMDB: Action = few large ensembles; Romance = more small casts.
     "IMDB-BINARY": _ego_builder(
-        [(2.2, 9.5, 0.11), (3.3, 7.0, 0.13)], avg_nodes=19.8
+        "IMDB-BINARY", [(2.2, 9.5, 0.11), (3.3, 7.0, 0.13)], avg_nodes=19.8
     ),
     "IMDB-MULTI": _ego_builder(
-        [(1.7, 7.5, 0.10), (2.4, 5.5, 0.12), (2.0, 6.5, 0.11)], avg_nodes=13.0
+        "IMDB-MULTI",
+        [(1.7, 7.5, 0.10), (2.4, 5.5, 0.12), (2.0, 6.5, 0.11)],
+        avg_nodes=13.0,
     ),
     # COLLAB: High-Energy (huge collaborations), Condensed Matter (small
     # teams), Astro (medium) — shrunk vertex counts (see _NODE_SHRINK).
     "COLLAB": _ego_builder(
+        "COLLAB",
         [(2.2, 20.0, 0.30), (7.0, 6.0, 0.20), (4.0, 11.0, 0.25)],
         avg_nodes=74.5 * _NODE_SHRINK["COLLAB"],
     ),
     # Extra (non-Table-1) benchmark: nitroaromatic mutagenicity.
     "MUTAG": _molecule_builder(
-        17.9, 7, ring_rate=0.6, motif_strength=0.65, label_tilt=0.15
+        "MUTAG", 17.9, 7, ring_rate=0.6, motif_strength=0.65, label_tilt=0.15
     ),
 }

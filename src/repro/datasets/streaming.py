@@ -1,0 +1,185 @@
+"""Lazy, index-addressable view of a synthetic benchmark dataset.
+
+``make_dataset(name, scale, seed, stream=True)`` returns a
+:class:`StreamingGraphDataset` instead of materializing every graph.
+The only per-dataset state it holds is the per-graph seed block (one
+``int64`` per graph — 8 bytes) drawn exactly as the eager builders draw
+it, so graph ``i`` is regenerated on demand from ``seeds[i]`` and the
+stateless dataset generator, and is **bitwise-identical** to graph ``i``
+of the materialized dataset for the same ``(name, scale, seed)`` triple.
+That identity is what lets the streaming pipeline (``repro.stream``)
+promise bitwise streamed-vs-materialized training parity at any scale
+factor — see ``docs/STREAMING.md`` and
+``tests/equivalence/test_stream_equiv.py``.
+
+Shard iteration (:meth:`StreamingGraphDataset.iter_shards`) yields
+contiguous :class:`GraphShard` windows; only one shard of graphs exists
+in memory at a time unless the caller keeps references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import DatasetStatistics, GraphDataset
+from repro.datasets.registry import DatasetSpec, sample_graph
+from repro.graph.graph import Graph
+from repro.utils.validation import check_positive
+
+__all__ = ["GraphShard", "StreamingGraphDataset"]
+
+
+@dataclass
+class GraphShard:
+    """One contiguous window ``[start, stop)`` of a streamed dataset."""
+
+    start: int
+    stop: int
+    graphs: list[Graph]
+    y: np.ndarray
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Global graph indices covered by this shard."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+@dataclass
+class StreamingGraphDataset:
+    """A dataset that generates its graphs on demand.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (e.g. "PTC_MR").
+    spec:
+        The :class:`~repro.datasets.registry.DatasetSpec` (stateless
+        generator + class/label policy).
+    seeds:
+        ``(n,)`` int64 per-graph generation seeds.
+    metadata:
+        The same ``{"scale": ..., "seed": ...}`` dict the materialized
+        dataset carries.
+    """
+
+    name: str
+    spec: DatasetSpec
+    seeds: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.seeds = np.asarray(self.seeds, dtype=np.int64)
+
+    # -- sizing ---------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.seeds.size)
+
+    @property
+    def num_classes(self) -> int:
+        return self.spec.num_classes
+
+    @property
+    def has_vertex_labels(self) -> bool:
+        return self.spec.has_vertex_labels
+
+    # -- labels (cheap: no graph generation needed) ---------------------
+    def label(self, index: int) -> int:
+        """Class label of graph ``index`` (labels are ``i % C``)."""
+        return int(index % self.spec.num_classes)
+
+    def labels(self) -> np.ndarray:
+        """The full ``(n,)`` int64 label vector, without generating graphs.
+
+        Bitwise-identical to the materialized dataset's ``y``.
+        """
+        return np.array(
+            [i % self.spec.num_classes for i in range(len(self))], dtype=np.int64
+        )
+
+    # -- graphs ---------------------------------------------------------
+    def graph(self, index: int) -> Graph:
+        """Generate graph ``index`` (identical to the materialized one)."""
+        n = len(self)
+        if not -n <= index < n:
+            raise IndexError(f"graph index {index} out of range for {n} graphs")
+        index = index % n
+        return sample_graph(self.spec, index, int(self.seeds[index]))
+
+    def iter_graphs(self):
+        """Yield every graph in order, one at a time."""
+        for index in range(len(self)):
+            yield self.graph(index)
+
+    def __iter__(self):
+        return self.iter_graphs()
+
+    # -- shards ---------------------------------------------------------
+    def num_shards(self, shard_size: int) -> int:
+        check_positive("shard_size", shard_size)
+        return -(-len(self) // shard_size)
+
+    def shard(self, start: int, stop: int) -> GraphShard:
+        """Materialize the window ``[start, stop)`` as a :class:`GraphShard`."""
+        if not 0 <= start <= stop <= len(self):
+            raise IndexError(
+                f"shard [{start}, {stop}) out of range for {len(self)} graphs"
+            )
+        graphs = [self.graph(i) for i in range(start, stop)]
+        y = np.array(
+            [i % self.spec.num_classes for i in range(start, stop)], dtype=np.int64
+        )
+        return GraphShard(start=start, stop=stop, graphs=graphs, y=y)
+
+    def iter_shards(self, shard_size: int):
+        """Yield contiguous :class:`GraphShard` windows of ``shard_size``."""
+        check_positive("shard_size", shard_size)
+        for start in range(0, len(self), shard_size):
+            yield self.shard(start, min(start + shard_size, len(self)))
+
+    # -- conversions ----------------------------------------------------
+    def materialize(self) -> GraphDataset:
+        """The full eager dataset — bitwise-equal to
+        ``make_dataset(name, scale, seed, stream=False)``."""
+        shard = self.shard(0, len(self))
+        return GraphDataset(
+            name=self.name,
+            graphs=shard.graphs,
+            y=shard.y,
+            has_vertex_labels=self.spec.has_vertex_labels,
+            metadata=dict(self.metadata),
+        )
+
+    def statistics(self, shard_size: int = 256) -> DatasetStatistics:
+        """Table 1 statistics in one bounded-memory streaming pass.
+
+        Matches :meth:`repro.datasets.base.GraphDataset.statistics`
+        exactly (same float64 mean over per-graph values)."""
+        total = len(self)
+        sizes = np.empty(total, dtype=np.float64)
+        edges = np.empty(total, dtype=np.float64)
+        labels: set[int] = set()
+        for shard in self.iter_shards(shard_size):
+            for offset, g in enumerate(shard.graphs):
+                sizes[shard.start + offset] = g.n
+                edges[shard.start + offset] = g.num_edges
+                labels.update(int(l) for l in g.labels)
+        y = self.labels()
+        return DatasetStatistics(
+            name=self.name,
+            size=total,
+            num_classes=int(np.unique(y).size),
+            avg_nodes=float(sizes.mean()) if sizes.size else 0.0,
+            avg_edges=float(edges.mean()) if edges.size else 0.0,
+            num_labels=len(labels),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingGraphDataset({self.name!r}, n={len(self)}, "
+            f"classes={self.spec.num_classes})"
+        )

@@ -33,6 +33,15 @@ __all__ = [
 ]
 
 Inputs = np.ndarray | tuple[np.ndarray, ...]
+# An input may also be any object exposing ``shape`` and
+# ``take_rows(idx)`` — the streaming pipeline's duck-typed row source
+# (repro.stream.StreamEncodedInputs).  ``take_rows`` must return exactly
+# what fancy-indexing the materialized array would, so the training loop
+# below is bitwise-oblivious to which one it was given.
+
+#: Seconds between resource samples while training on streamed inputs
+#: (<= 0 disables the background sampler; epoch-boundary samples remain).
+STREAM_RESOURCE_INTERVAL_ENV = "REPRO_STREAM_RESOURCE_INTERVAL_S"
 
 
 @dataclass
@@ -79,12 +88,19 @@ def _as_tuple(inputs: Inputs) -> tuple[np.ndarray, ...]:
 
 
 def _take(inputs: Inputs, idx: np.ndarray) -> Inputs:
-    parts = tuple(a[idx] for a in _as_tuple(inputs))
+    parts = tuple(
+        a.take_rows(idx) if hasattr(a, "take_rows") else a[idx]
+        for a in _as_tuple(inputs)
+    )
     return parts if isinstance(inputs, tuple) else parts[0]
 
 
 def _num_rows(inputs: Inputs) -> int:
     return _as_tuple(inputs)[0].shape[0]
+
+
+def _is_streamed(inputs: Inputs) -> bool:
+    return any(hasattr(a, "take_rows") for a in _as_tuple(inputs))
 
 
 class Trainer:
@@ -193,62 +209,89 @@ class Trainer:
             obs.counter("trainer_resumes_total").inc()
             obs.event("trainer_resume", start_epoch=start_epoch)
 
-        for epoch in range(start_epoch, self.epochs):
-            order = rng.permutation(n)
-            epoch_loss = 0.0
-            correct = 0
-            batch_norms: list[float] = []
-            for start in range(0, n, self.batch_size):
-                idx = order[start : start + self.batch_size]
-                batch_x = _take(inputs, idx)
-                batch_y = y[idx]
-                logits = network.forward(batch_x, training=True)
-                loss = loss_fn.forward(logits, batch_y)
-                network.zero_grad()
-                network.backward(loss_fn.backward())
-                if self.max_grad_norm is not None:
-                    batch_norms.append(
-                        clip_gradients(network.parameters(), self.max_grad_norm)
-                    )
-                optimizer.step()
-                epoch_loss += loss * idx.size
-                correct += int((logits.argmax(axis=1) == batch_y).sum())
-            epoch_loss /= n
-            history.loss.append(epoch_loss)
-            history.train_accuracy.append(correct / n)
-            history.lr.append(optimizer.lr)
-            # Pre-clip gradient norm: batch mean under clipping, else the
-            # final batch's norm (the gradients are still in place).
-            if batch_norms:
-                history.grad_norm.append(float(np.mean(batch_norms)))
-            else:
-                history.grad_norm.append(global_grad_norm(network.parameters()))
-            if validation is not None:
-                val_x, val_y = validation
-                val_pred = predict_labels(network, val_x, self.batch_size)
-                history.val_accuracy.append(
-                    float(np.mean(val_pred == check_labels(val_y)))
-                )
-            scheduler.step(epoch_loss)
-            # lr is passed explicitly: the telemetry event reports the
-            # rate *after* any ReduceLROnPlateau decay.
-            telemetry(epoch, history, lr=optimizer.lr)
-            if epoch_callback is not None:
-                epoch_callback(epoch, history)
-            # The stop decision is made *before* the checkpoint so the
-            # early-stopping counters inside the snapshot are exactly
-            # those of an uninterrupted run at this boundary.
-            stop = self.early_stopping is not None and self.early_stopping.should_stop(
-                history
+        # Streamed inputs: watch peak RSS while the epoch is consumed as
+        # a stream — the background sampler covers long epochs, the
+        # epoch-boundary publish guarantees the gauges move even when
+        # the sampler is disabled.  Materialized runs skip all of it.
+        streamed = _is_streamed(inputs)
+        sampler = None
+        if streamed:
+            import os
+
+            from repro.obs.resources import ResourceSampler, publish_resources
+
+            interval = float(
+                os.environ.get(STREAM_RESOURCE_INTERVAL_ENV, "1.0") or 0.0
             )
-            if checkpoint_cb is not None:
-                checkpoint_cb(
-                    epoch,
-                    self._snapshot(epoch, network, optimizer, scheduler, rng, history),
+            sampler = ResourceSampler(
+                interval_s=interval, extra=getattr(inputs, "gauges", None)
+            ).start()
+
+        try:
+            for epoch in range(start_epoch, self.epochs):
+                order = rng.permutation(n)
+                epoch_loss = 0.0
+                correct = 0
+                batch_norms: list[float] = []
+                for start in range(0, n, self.batch_size):
+                    idx = order[start : start + self.batch_size]
+                    batch_x = _take(inputs, idx)
+                    batch_y = y[idx]
+                    logits = network.forward(batch_x, training=True)
+                    loss = loss_fn.forward(logits, batch_y)
+                    network.zero_grad()
+                    network.backward(loss_fn.backward())
+                    if self.max_grad_norm is not None:
+                        batch_norms.append(
+                            clip_gradients(network.parameters(), self.max_grad_norm)
+                        )
+                    optimizer.step()
+                    epoch_loss += loss * idx.size
+                    correct += int((logits.argmax(axis=1) == batch_y).sum())
+                epoch_loss /= n
+                history.loss.append(epoch_loss)
+                history.train_accuracy.append(correct / n)
+                history.lr.append(optimizer.lr)
+                # Pre-clip gradient norm: batch mean under clipping, else the
+                # final batch's norm (the gradients are still in place).
+                if batch_norms:
+                    history.grad_norm.append(float(np.mean(batch_norms)))
+                else:
+                    history.grad_norm.append(global_grad_norm(network.parameters()))
+                if validation is not None:
+                    val_x, val_y = validation
+                    val_pred = predict_labels(network, val_x, self.batch_size)
+                    history.val_accuracy.append(
+                        float(np.mean(val_pred == check_labels(val_y)))
+                    )
+                scheduler.step(epoch_loss)
+                # lr is passed explicitly: the telemetry event reports the
+                # rate *after* any ReduceLROnPlateau decay.
+                telemetry(epoch, history, lr=optimizer.lr)
+                if streamed:
+                    publish_resources()
+                if epoch_callback is not None:
+                    epoch_callback(epoch, history)
+                # The stop decision is made *before* the checkpoint so the
+                # early-stopping counters inside the snapshot are exactly
+                # those of an uninterrupted run at this boundary.
+                stop = self.early_stopping is not None and self.early_stopping.should_stop(
+                    history
                 )
-            faults.check("epoch", epoch)
-            if stop:
-                break
+                if checkpoint_cb is not None:
+                    checkpoint_cb(
+                        epoch,
+                        self._snapshot(
+                            epoch, network, optimizer, scheduler, rng, history
+                        ),
+                    )
+                faults.check("epoch", epoch)
+                if stop:
+                    break
+        finally:
+            if sampler is not None:
+                sampler.stop()
+                publish_resources()
         return history
 
     def _snapshot(

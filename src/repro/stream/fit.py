@@ -1,0 +1,184 @@
+"""Streamed out-of-core training, bitwise-equal to materialized fit.
+
+:func:`fit_stream` trains a :class:`~repro.core.model.DeepMapClassifier`
+on a :class:`~repro.datasets.streaming.StreamingGraphDataset` without
+ever materializing the full graph list or the full ``(n, w*r, m)``
+tensor.  It mirrors ``DeepMapClassifier.fit`` stage for stage:
+
+1. **Vocabulary pass** — shards are regenerated from seeds (behind the
+   bounded prefetcher) and their vertex feature counts extracted; the
+   substructure totals, the ``max_features`` truncation and the frozen
+   vocabulary come out identical to the materialized path because the
+   extractors are batch-independent, integer totals are order-exact,
+   and ``FeatureVocabulary.freeze`` sorts keys (insertion order never
+   matters).  The same pass tracks ``max(g.n)`` for the encoder width.
+2. **Encode pass** — each shard's tensor is built once and spilled to
+   the feature-map cache (:class:`~repro.stream.shards.EncodedShardStore`);
+   per-shard encodes equal slices of the full encode (the pipeline's
+   documented chunk invariance).
+3. **Training** — the Trainer consumes a
+   :class:`~repro.stream.shards.StreamEncodedInputs`: identical RNG
+   choreography (network init, then the trainer's shuffle seed drawn
+   from the same stream), identical shuffle permutations, and
+   ``take_rows`` gathers bitwise-equal batches, so weights, history and
+   predictions match the materialized fit exactly.
+   ``tests/equivalence/test_stream_equiv.py`` asserts all of this.
+
+Peak RSS stays bounded by (LRU-resident shards + one batch + the CNN);
+the Trainer's streaming mode samples it into the ``resource_*`` obs
+gauges throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import cache as cache_mod
+from repro import obs
+from repro.core.architecture import build_deepmap_cnn
+from repro.core.pipeline import DeepMapEncoder
+from repro.datasets.streaming import StreamingGraphDataset
+from repro.features.vertex_maps import cached_vertex_counts
+from repro.features.vocabulary import FeatureVocabulary
+from repro.nn.model import Trainer
+from repro.stream.prefetch import ShardPrefetcher
+from repro.stream.shards import (
+    EncodedShardStore,
+    StreamEncodedInputs,
+    make_spool_cache,
+)
+from repro.utils.rng import as_rng
+
+__all__ = ["fit_stream"]
+
+
+def fit_stream(
+    model,
+    stream: StreamingGraphDataset,
+    shard_size: int = 64,
+    prefetch_depth: int = 2,
+    max_restarts: int = 2,
+    epoch_callback=None,
+    cache=None,
+):
+    """Train ``model`` on ``stream`` out of core; returns ``model``.
+
+    Parameters
+    ----------
+    model:
+        An unfitted :class:`~repro.core.model.DeepMapClassifier`.
+    stream:
+        ``make_dataset(name, scale, seed, stream=True)``.
+    shard_size:
+        Graphs per encoded shard (the unit of regeneration, caching and
+        prefetch).
+    prefetch_depth:
+        Bounded prefetch queue capacity for both passes.
+    max_restarts:
+        Prefetch-worker deaths tolerated before synchronous degradation.
+    cache:
+        Disk-backed :class:`~repro.cache.FeatureMapCache`; defaults to
+        ``model.cache``, then the process cache, then a private
+        temp-dir spool removed when the fit returns.
+    """
+    y = stream.labels()
+    cache = cache if cache is not None else model.cache
+    cache = cache if cache is not None else cache_mod.get_cache()
+    spool = None
+    if cache is None or cache.cache_dir is None:
+        cache, spool = make_spool_cache()
+    try:
+        with obs.span(
+            "fit_stream",
+            model=f"deepmap-{model.extractor.name}",
+            graphs=len(stream),
+            shard_size=shard_size,
+        ):
+            model.classes_ = np.unique(y)
+            class_index = {int(c): i for i, c in enumerate(model.classes_)}
+            targets = np.array([class_index[int(v)] for v in y])
+
+            # Pass 1: streamed vocabulary + encoder width.
+            totals: dict = {}
+            max_nodes = 0
+            num_shards = stream.num_shards(shard_size)
+
+            def produce_counts(s: int):
+                start = s * shard_size
+                shard = stream.shard(start, min(start + shard_size, len(stream)))
+                counts = cached_vertex_counts(
+                    model.extractor, shard.graphs, cache=cache
+                )
+                return counts, max(g.n for g in shard.graphs)
+
+            with obs.span(
+                "stream_vocab_fit", extractor=model.extractor.name, shards=num_shards
+            ):
+                prefetcher = ShardPrefetcher(
+                    produce_counts,
+                    num_shards,
+                    depth=prefetch_depth,
+                    max_restarts=max_restarts,
+                )
+                with prefetcher:
+                    for _, (counts, shard_max) in prefetcher:
+                        max_nodes = max(max_nodes, shard_max)
+                        for vertex_counts in counts:
+                            for counter in vertex_counts:
+                                for key, value in counter.items():
+                                    totals[key] = totals.get(key, 0) + value
+            keys = totals.keys()
+            if model.max_features is not None and len(totals) > model.max_features:
+                # Same most-frequent truncation (and tie-break) as the
+                # materialized ``_feature_matrices_inner``.
+                keys = sorted(totals, key=lambda k: (-totals[k], repr(k)))
+                keys = keys[: model.max_features]
+            vocab = FeatureVocabulary()
+            vocab.add_all(keys)
+            model.vocabulary_ = vocab.freeze()
+            model.encoder_ = DeepMapEncoder(
+                r=model.r, ordering=model.ordering
+            ).fit_width([max_nodes])
+
+            # Pass 2: encode every shard once, spilling to the cache.
+            store = EncodedShardStore(
+                stream,
+                model.extractor,
+                model.vocabulary_,
+                model.encoder_,
+                shard_size,
+                cache=cache,
+            )
+            store.warm(prefetch_depth=prefetch_depth, max_restarts=max_restarts)
+            inputs = StreamEncodedInputs(store)
+
+            # Training: identical RNG choreography to the materialized
+            # ``DeepMapClassifier.fit`` (init rng, then the trainer's
+            # shuffle seed from the same stream).
+            rng = as_rng(model.seed)
+            model.network_ = build_deepmap_cnn(
+                m=store.m,
+                r=model.r,
+                num_classes=model.classes_.size,
+                readout=model.readout,
+                w=store.w,
+                rng=rng,
+            )
+            trainer = Trainer(
+                batch_size=model.batch_size,
+                epochs=model.epochs,
+                seed=rng.integers(0, 2**31 - 1),
+            )
+            with obs.span(
+                "train",
+                epochs=model.epochs,
+                batch_size=model.batch_size,
+                streamed=True,
+            ):
+                model.history_ = trainer.fit(
+                    model.network_, inputs, targets, epoch_callback=epoch_callback
+                )
+    finally:
+        if spool is not None:
+            spool.cleanup()
+    return model

@@ -1,0 +1,214 @@
+"""Bounded-prefetch background producer with crash requeue + degradation.
+
+:class:`ShardPrefetcher` runs ``produce(index)`` for ``index = 0..n-1``
+on a single background thread, buffering at most ``depth`` results in a
+blocking queue (backpressure: the worker stalls once the consumer falls
+``depth`` items behind, so prefetching never holds more than
+``depth + 1`` produced-but-unconsumed items alive).  The consumer
+iterates ``(index, value)`` pairs strictly in index order.
+
+Failure semantics mirror the fold-pool idiom of
+:mod:`repro.parallel` (worker death → requeue unfinished work → bounded
+retries → degrade to the caller's thread):
+
+* The worker advances its position only *after* a result is safely in
+  the queue, so a crash at position ``p`` loses nothing — every result
+  ``< p`` is either consumed or buffered, and a fresh worker resumes at
+  exactly ``p`` (requeue-from-first-unproduced).
+* After ``max_restarts`` worker deaths beyond the first, the prefetcher
+  **degrades to synchronous iteration**: remaining items are produced
+  inline on the consumer's thread, which cannot die silently.  The
+  stream still completes, in order, with identical values — callers pay
+  latency, never correctness.
+* Deaths are only ever observed at queue boundaries, so results are
+  deterministic for any interleaving: the value stream is identical
+  with prefetching on, off, restarted, or degraded.
+
+The worker body is a ``prefetch_worker`` injection point for the
+:mod:`repro.resilience.faults` DSL, matched on the item index:
+``raise@prefetch_worker:2`` crashes the worker as it starts item 2
+(recorded as an error), and ``kill@prefetch_worker:2`` simulates
+abrupt, silent thread death (no traceback, no cleanup) via the DSL's
+``kill_action`` hook — a thread cannot ``os._exit`` alone.  Injected
+faults fire only in the background worker; the degraded inline path
+deliberately skips the check so an epoch always completes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro import obs
+from repro.resilience import faults
+from repro.utils.validation import check_positive
+
+__all__ = ["FAULT_POINT", "ShardPrefetcher"]
+
+#: Faults-DSL injection point fired at the top of each worker iteration.
+FAULT_POINT = "prefetch_worker"
+
+
+class _WorkerKilled(BaseException):
+    """Abrupt worker death injected by a ``kill@prefetch_worker`` fault.
+
+    A ``BaseException`` (like the process-level ``os._exit`` it stands
+    in for) so no defensive ``except Exception`` inside ``produce`` can
+    absorb it; the worker loop catches it silently — death without a
+    recorded error is exactly what distinguishes ``kill`` from
+    ``raise``.
+    """
+
+
+def _kill_worker(spec) -> None:
+    raise _WorkerKilled(spec.spec_id)
+
+
+class ShardPrefetcher:
+    """Iterate ``produce(0..n-1)`` with bounded background prefetch.
+
+    Parameters
+    ----------
+    produce:
+        Callable ``index -> value``; must be pure per index (it is
+        retried after a worker death and used inline after
+        degradation).
+    num_items:
+        Number of items to produce.
+    depth:
+        Queue capacity — the maximum number of finished items waiting
+        for the consumer.
+    max_restarts:
+        Worker deaths tolerated before degrading to synchronous
+        production (the first start is not a restart).
+    """
+
+    def __init__(
+        self,
+        produce,
+        num_items: int,
+        depth: int = 2,
+        max_restarts: int = 2,
+    ) -> None:
+        check_positive("depth", depth)
+        if num_items < 0:
+            raise ValueError(f"num_items must be >= 0, got {num_items}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.produce = produce
+        self.num_items = num_items
+        self.depth = depth
+        self.max_restarts = max_restarts
+        self.restarts = 0
+        self.degraded = False
+        #: High-water mark of produced-but-unconsumed items (backpressure
+        #: proof: never exceeds ``depth + 1`` — the queue plus the one
+        #: result in the worker's hands).
+        self.max_ahead = 0
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._next_pos = 0  # first index not yet successfully enqueued
+        self._delivered = 0  # items handed to the consumer
+        self._closed = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._poll_s = 0.02
+
+    # -- lifecycle ------------------------------------------------------
+    def _start_worker(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-stream-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop the worker and release the queue (idempotent)."""
+        self._closed.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ShardPrefetcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker ---------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            while not self._closed.is_set():
+                pos = self._next_pos
+                if pos >= self.num_items:
+                    return
+                faults.check(FAULT_POINT, pos, kill_action=_kill_worker)
+                value = self.produce(pos)
+                while True:
+                    if self._closed.is_set():
+                        return
+                    try:
+                        self._queue.put((pos, value), timeout=self._poll_s)
+                        break
+                    except queue.Full:
+                        continue
+                self._next_pos = pos + 1
+                self.max_ahead = max(self.max_ahead, self._next_pos - self._delivered)
+                obs.counter("stream_shards_prefetched_total").inc()
+        except _WorkerKilled:
+            return  # abrupt silent death: no error recorded, by design
+        except BaseException:
+            obs.counter("stream_prefetch_worker_errors_total").inc()
+            return
+
+    # -- consumer -------------------------------------------------------
+    def _on_worker_death(self) -> None:
+        self._thread = None
+        self.restarts += 1
+        if self.restarts > self.max_restarts:
+            self.degraded = True
+            obs.counter("stream_prefetch_degradations_total").inc()
+            obs.event(
+                "prefetch_degraded",
+                restarts=self.restarts,
+                position=self._next_pos,
+                remaining=self.num_items - self._next_pos,
+            )
+        else:
+            obs.counter("stream_prefetch_restarts_total").inc()
+            obs.event(
+                "prefetch_worker_restarted",
+                attempt=self.restarts,
+                position=self._next_pos,
+            )
+            self._start_worker()
+
+    def __iter__(self) -> "ShardPrefetcher":
+        return self
+
+    def __next__(self):
+        if self._delivered >= self.num_items:
+            self.close()
+            raise StopIteration
+        if self._thread is None and not self.degraded:
+            self._start_worker()
+        while not self.degraded:
+            thread = self._thread
+            try:
+                pos, value = self._queue.get(timeout=self._poll_s)
+            except queue.Empty:
+                if thread is not None and thread.is_alive():
+                    continue
+                if self._queue.qsize() > 0:
+                    continue  # a result landed between the two checks
+                # Queue drained and the worker is gone.  A clean exit only
+                # happens with every item enqueued, so an undelivered
+                # remainder means the worker died at ``_next_pos``.
+                self._on_worker_death()
+            else:
+                assert pos == self._delivered, (pos, self._delivered)
+                self._delivered += 1
+                return pos, value
+        # Degraded: produce inline, in order, on the consumer's thread.
+        pos = self._delivered
+        value = self.produce(pos)
+        self._delivered += 1
+        return pos, value

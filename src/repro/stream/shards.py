@@ -1,0 +1,223 @@
+"""Out-of-core encoded shards behind the two-tier feature-map cache.
+
+:class:`EncodedShardStore` turns a :class:`StreamingGraphDataset` plus a
+fitted vocabulary/encoder into a row-addressable tensor source:
+
+* :meth:`warm` encodes every shard once — graphs are regenerated from
+  their seeds, vertex feature maps extracted, and the ``(k, w*r, m)``
+  tensor built by :class:`~repro.core.pipeline.DeepMapEncoder` — routing
+  everything through a :class:`~repro.cache.FeatureMapCache` under the
+  **unchanged** content-addressed key scheme (``counts``/``enc``
+  namespaces, keyed by shard content).  The store records each shard's
+  ``enc`` key, which is all it needs to reload the tensor later.
+* :meth:`tensors` serves a shard by key: memory-LRU hit → the in-memory
+  payload; disk hit → a *memory-mapped* read-only view of the ``.npz``
+  entry (resident cost ≈ the pages a batch actually touches); evicted
+  or corrupted entry → regenerate + re-encode the shard from seeds (a
+  cache miss is never an error, exactly as everywhere else in the
+  repo).
+* :class:`StreamEncodedInputs` is the duck-typed Trainer input: it
+  exposes ``shape`` and ``take_rows(idx)``, gathering arbitrary row
+  subsets by grouping indices per shard — bitwise-identical to fancy
+  indexing the fully materialized ``(n, w*r, m)`` tensor.
+
+Peak memory is therefore bounded by ``memory_items`` shard payloads
+(the cache's LRU tier) plus one mini-batch, independent of dataset
+size.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import obs
+from repro.cache import FeatureMapCache
+from repro.core.pipeline import DeepMapEncoder, EncodedDataset
+from repro.datasets.streaming import StreamingGraphDataset
+from repro.features.vertex_maps import cached_vertex_counts
+from repro.stream.prefetch import ShardPrefetcher
+from repro.utils.validation import check_positive
+
+__all__ = ["EncodedShardStore", "StreamEncodedInputs", "make_spool_cache"]
+
+#: Memory-LRU capacity (shard payloads) for a store-owned spool cache.
+#: Two is the sweet spot measured in benchmarks/bench_stream_pipeline.py:
+#: evicted payloads reload as mmap views (cheap), while a deeper LRU
+#: pins whole shard tensors resident for no throughput gain.
+DEFAULT_RESIDENT_SHARDS = 2
+
+
+def make_spool_cache(memory_items: int = DEFAULT_RESIDENT_SHARDS):
+    """A private disk-backed cache in a temp dir, plus its holder.
+
+    Used when no process cache with a disk tier is configured: streaming
+    out of core *requires* a disk tier to spill encoded shards to.
+    Returns ``(cache, tmpdir)`` — keep ``tmpdir`` referenced for the
+    cache's lifetime (its destructor removes the directory).
+    """
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-stream-spool-")
+    return FeatureMapCache(cache_dir=tmpdir.name, memory_items=memory_items), tmpdir
+
+
+class EncodedShardStore:
+    """Encoded ``(shard, w*r, m)`` tensors, cached and reloadable by key.
+
+    Parameters
+    ----------
+    stream:
+        The lazy dataset.
+    extractor:
+        Vertex feature extractor (must be batch-independent, which all
+        repo extractors are — a shard's features equal the same graphs'
+        features inside the full dataset).
+    vocabulary:
+        The frozen :class:`~repro.features.vocabulary.FeatureVocabulary`
+        from the streamed vocabulary pass.
+    encoder:
+        A fitted :class:`~repro.core.pipeline.DeepMapEncoder` (``w``
+        fixed).
+    shard_size:
+        Graphs per shard.
+    cache:
+        A :class:`~repro.cache.FeatureMapCache` **with a disk tier**.
+    """
+
+    def __init__(
+        self,
+        stream: StreamingGraphDataset,
+        extractor,
+        vocabulary,
+        encoder: DeepMapEncoder,
+        shard_size: int,
+        cache: FeatureMapCache,
+    ) -> None:
+        check_positive("shard_size", shard_size)
+        if cache.cache_dir is None:
+            raise ValueError(
+                "EncodedShardStore needs a disk-backed cache to spill shards "
+                "to (see make_spool_cache)"
+            )
+        assert encoder.w is not None, "encoder must be fitted before sharding"
+        self.stream = stream
+        self.extractor = extractor
+        self.vocabulary = vocabulary
+        self.encoder = encoder
+        self.shard_size = shard_size
+        self.cache = cache
+        self.n = len(stream)
+        self.num_shards = stream.num_shards(shard_size)
+        self.w = int(encoder.w)
+        self.r = int(encoder.r)
+        self.m = int(vocabulary.size)
+        self._keys: list[str | None] = [None] * self.num_shards
+        self.reencodes = 0  # shards regenerated after a cache miss
+
+    # -- per-shard encode ------------------------------------------------
+    def _bounds(self, s: int) -> tuple[int, int]:
+        if not 0 <= s < self.num_shards:
+            raise IndexError(f"shard {s} out of range for {self.num_shards}")
+        start = s * self.shard_size
+        return start, min(start + self.shard_size, self.n)
+
+    def encode_shard(self, s: int) -> EncodedDataset:
+        """Generate, featurize and encode shard ``s`` (cache-routed).
+
+        Records the shard's ``enc`` cache key so later :meth:`tensors`
+        calls can reload the payload without regenerating graphs.
+        """
+        start, stop = self._bounds(s)
+        with obs.span("stream_encode_shard", shard=s, graphs=stop - start):
+            shard = self.stream.shard(start, stop)
+            counts = cached_vertex_counts(
+                self.extractor, shard.graphs, cache=self.cache
+            )
+            matrices = [self.vocabulary.vectorize_rows(vc) for vc in counts]
+            self._keys[s] = self.encoder.encode_key(shard.graphs, matrices)
+            encoded = self.encoder.encode(shard.graphs, matrices, cache=self.cache)
+        obs.counter("stream_graphs_encoded_total").inc(stop - start)
+        return encoded
+
+    def warm(self, prefetch_depth: int = 2, max_restarts: int = 2) -> "EncodedShardStore":
+        """Encode every shard once, through the bounded prefetcher.
+
+        The background worker does the expensive regenerate+encode while
+        the consumer thread merely records keys; worker death degrades
+        to inline encoding after ``max_restarts`` (see
+        :class:`~repro.stream.prefetch.ShardPrefetcher`).  Tensors are
+        *not* retained — they live in the cache tiers only.
+        """
+        with obs.span(
+            "stream_warm", shards=self.num_shards, shard_size=self.shard_size
+        ):
+            prefetcher = ShardPrefetcher(
+                lambda s: self.encode_shard(s).tensors.shape,
+                self.num_shards,
+                depth=prefetch_depth,
+                max_restarts=max_restarts,
+            )
+            with prefetcher:
+                for _ in prefetcher:
+                    pass
+        return self
+
+    # -- row access ------------------------------------------------------
+    def tensors(self, s: int) -> np.ndarray:
+        """The ``(k, w*r, m)`` tensor of shard ``s`` (cache-first)."""
+        key = self._keys[s]
+        if key is not None:
+            payload = self.cache.get(key, namespace="enc")
+            if payload is not None:
+                return payload["tensors"]
+        # Evicted from both tiers (or corrupted, or never warmed):
+        # regenerate from seeds and re-encode — a miss, not an error.
+        self.reencodes += 1
+        obs.counter("stream_shard_reencodes_total").inc()
+        return self.encode_shard(s).tensors
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedShardStore(n={self.n}, shards={self.num_shards}x"
+            f"{self.shard_size}, w={self.w}, r={self.r}, m={self.m})"
+        )
+
+
+class StreamEncodedInputs:
+    """Row-addressable encoded dataset backed by an :class:`EncodedShardStore`.
+
+    Duck-types the slice of the ndarray protocol the Trainer uses:
+    ``shape`` (for row counts) and ``take_rows(idx)`` (for mini-batch
+    gathers).  ``take_rows`` groups the requested rows by shard, loads
+    each touched shard once (memory LRU → mmap'd disk → regenerate) and
+    scatters rows into a fresh float64 batch — bitwise what
+    ``full_tensor[idx]`` returns, at ``O(batch + touched shards)``
+    memory instead of ``O(dataset)``.
+    """
+
+    def __init__(self, store: EncodedShardStore) -> None:
+        self.store = store
+        self.shape = (store.n, store.w * store.r, store.m)
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def take_rows(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        out = np.empty((idx.size, self.shape[1], self.shape[2]), dtype=np.float64)
+        if idx.size == 0:
+            return out
+        shard_of = idx // self.store.shard_size
+        for s in np.unique(shard_of):
+            mask = shard_of == s
+            block = self.store.tensors(int(s))
+            out[mask] = block[idx[mask] - int(s) * self.store.shard_size]
+        obs.counter("stream_rows_gathered_total").inc(int(idx.size))
+        return out
+
+    def gauges(self) -> dict:
+        """Live gauges for the resource sampler's ``extra`` hook."""
+        return {
+            "stream_resident_shard_payloads": float(len(self.store.cache)),
+            "stream_shard_reencodes": float(self.store.reencodes),
+        }

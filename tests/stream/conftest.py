@@ -1,0 +1,51 @@
+"""Fixtures for the streaming out-of-core pipeline suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import cache as cache_mod
+from repro import obs
+from repro.parallel import WORKERS_ENV
+from repro.resilience import faults
+
+
+# Every test in this directory belongs to the `stream` tier.
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.stream)
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch):
+    """No inherited fault plan, cache, worker env, or obs state leaks."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_STATE_ENV, raising=False)
+    monkeypatch.delenv(cache_mod.CACHE_DIR_ENV, raising=False)
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    faults.clear()
+    cache_mod.reset_default_cache()
+    yield
+    faults.clear()
+    cache_mod.reset_default_cache()
+    obs.disable()
+    obs.reset()
+
+
+def model_fingerprint(model) -> bytes:
+    """Bitwise fingerprint of a fitted model: history series + weights.
+
+    Two models with equal fingerprints trained identically — same loss
+    curve, same accuracy curve, same final parameters, bit for bit.
+    """
+    hist = model.history_
+    parts = [
+        np.asarray(hist.loss, dtype=np.float64).tobytes(),
+        np.asarray(hist.train_accuracy, dtype=np.float64).tobytes(),
+        np.asarray(hist.lr, dtype=np.float64).tobytes(),
+        np.asarray(hist.grad_norm, dtype=np.float64).tobytes(),
+    ]
+    for param in model.network_.parameters():
+        parts.append(param.value.tobytes())
+    return b"".join(parts)

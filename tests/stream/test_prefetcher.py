@@ -1,0 +1,116 @@
+"""ShardPrefetcher: ordering, backpressure, restart, degradation."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience import faults
+from repro.stream import FAULT_POINT, ShardPrefetcher
+
+
+def collect(prefetcher):
+    with prefetcher:
+        return list(prefetcher)
+
+
+def test_yields_every_item_in_order():
+    pf = ShardPrefetcher(lambda i: i * i, 17, depth=3)
+    assert collect(pf) == [(i, i * i) for i in range(17)]
+    assert pf.restarts == 0
+    assert not pf.degraded
+
+
+def test_zero_items_is_an_empty_iterator():
+    assert collect(ShardPrefetcher(lambda i: i, 0)) == []
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4])
+def test_backpressure_bounds_lookahead(depth):
+    # A fast producer against a slow consumer: the worker may only ever
+    # be depth (queued) + 1 (in hand) items ahead of the consumer.
+    pf = ShardPrefetcher(lambda i: i, 25, depth=depth)
+    out = []
+    with pf:
+        for item in pf:
+            time.sleep(0.002)  # let the producer run far ahead if it can
+            out.append(item)
+    assert out == [(i, i) for i in range(25)]
+    assert pf.max_ahead <= depth + 1
+
+
+def test_produce_runs_on_a_background_thread():
+    seen = set()
+
+    def produce(i):
+        seen.add(threading.current_thread().name)
+        return i
+
+    pf = ShardPrefetcher(produce, 5, depth=2)
+    collect(pf)
+    assert seen == {"repro-stream-prefetch"}
+
+
+def test_raise_fault_restarts_worker_and_loses_nothing():
+    faults.install(f"raise@{FAULT_POINT}:3")
+    calls = []
+
+    def produce(i):
+        calls.append(i)
+        return i * 10
+
+    pf = ShardPrefetcher(produce, 8, depth=2, max_restarts=2)
+    assert collect(pf) == [(i, i * 10) for i in range(8)]
+    assert pf.restarts == 1
+    assert not pf.degraded
+    # The worker died *before* producing item 3, so the restarted worker
+    # resumed exactly there: every index produced once, in order.
+    assert calls == list(range(8))
+
+
+def test_kill_fault_is_silent_abrupt_death_with_requeue():
+    faults.install(f"kill@{FAULT_POINT}:2")
+    pf = ShardPrefetcher(lambda i: i, 6, depth=2, max_restarts=2)
+    assert collect(pf) == [(i, i) for i in range(6)]
+    assert pf.restarts == 1
+    assert not pf.degraded
+
+
+def test_repeated_deaths_degrade_to_synchronous_iteration():
+    # The fault re-fires at index 0 on every (re)start; after
+    # max_restarts deaths beyond the first the prefetcher degrades and
+    # produces inline — the degraded path skips injection, so the
+    # stream still completes, in order.
+    faults.install(f"raise@{FAULT_POINT}:0x99")
+    pf = ShardPrefetcher(lambda i: -i, 7, depth=2, max_restarts=2)
+    assert collect(pf) == [(i, -i) for i in range(7)]
+    assert pf.degraded
+    assert pf.restarts == pf.max_restarts + 1
+
+
+def test_degraded_mid_stream_preserves_the_tail():
+    # Die twice at index 4: items 0-3 arrive prefetched, the rest inline.
+    faults.install(f"kill@{FAULT_POINT}:4x99")
+    pf = ShardPrefetcher(lambda i: i + 100, 9, depth=2, max_restarts=1)
+    assert collect(pf) == [(i, i + 100) for i in range(9)]
+    assert pf.degraded
+
+
+def test_close_is_idempotent_and_stops_the_worker():
+    pf = ShardPrefetcher(lambda i: i, 100, depth=1)
+    it = iter(pf)
+    assert next(it) == (0, 0)
+    pf.close()
+    pf.close()
+    assert pf._thread is None
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ShardPrefetcher(lambda i: i, 3, depth=0)
+    with pytest.raises(ValueError):
+        ShardPrefetcher(lambda i: i, -1)
+    with pytest.raises(ValueError):
+        ShardPrefetcher(lambda i: i, 3, max_restarts=-1)

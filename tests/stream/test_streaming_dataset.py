@@ -1,0 +1,101 @@
+"""StreamingGraphDataset: lazy source parity with the eager registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import StreamingGraphDataset, dataset_spec, make_dataset
+from repro.datasets.registry import graph_seeds
+
+
+def assert_graphs_equal(a, b, context: str = "") -> None:
+    assert a.n == b.n, f"{context}: node count {a.n} != {b.n}"
+    ea, eb = np.asarray(a.edges), np.asarray(b.edges)
+    assert ea.shape == eb.shape and ea.tobytes() == eb.tobytes(), (
+        f"{context}: edge lists differ"
+    )
+    la, lb = np.asarray(a.labels), np.asarray(b.labels)
+    assert la.tobytes() == lb.tobytes(), f"{context}: vertex labels differ"
+
+
+@pytest.mark.parametrize("name", ["MUTAG", "SYNTHIE", "KKI", "IMDB-BINARY"])
+def test_materialize_matches_eager_dataset(name):
+    eager = make_dataset(name, scale=0.03, seed=5)
+    stream = make_dataset(name, scale=0.03, seed=5, stream=True)
+    assert isinstance(stream, StreamingGraphDataset)
+    assert len(stream) == len(eager)
+    mat = stream.materialize()
+    assert mat.name == eager.name
+    assert mat.y.dtype == eager.y.dtype
+    assert mat.y.tobytes() == eager.y.tobytes()
+    for i, (a, b) in enumerate(zip(mat.graphs, eager.graphs)):
+        assert_graphs_equal(a, b, context=f"{name}[{i}]")
+
+
+def test_random_access_matches_iteration():
+    stream = make_dataset("MUTAG", scale=0.03, seed=1, stream=True)
+    via_iter = list(stream)
+    for i in range(len(stream)):
+        assert_graphs_equal(stream.graph(i), via_iter[i], context=f"graph({i})")
+    # Negative indices and repeated access are stable (stateless generators).
+    assert_graphs_equal(stream.graph(-1), via_iter[-1], context="graph(-1)")
+    assert_graphs_equal(stream.graph(3), stream.graph(3), context="repeat")
+
+
+def test_labels_are_lazy_and_exact():
+    stream = make_dataset("MUTAG", scale=0.03, seed=0, stream=True)
+    y = stream.labels()
+    assert y.dtype == np.int64
+    assert all(stream.label(i) == y[i] for i in range(len(stream)))
+    assert (y == np.arange(len(stream)) % stream.num_classes).all()
+
+
+@pytest.mark.parametrize("shard_size", [1, 3, 7, 10_000])
+def test_shards_partition_the_dataset(shard_size):
+    stream = make_dataset("MUTAG", scale=0.03, seed=2, stream=True)
+    n = len(stream)
+    shards = list(stream.iter_shards(shard_size))
+    assert len(shards) == stream.num_shards(shard_size)
+    covered = np.concatenate([s.indices for s in shards])
+    assert covered.tobytes() == np.arange(n, dtype=np.int64).tobytes()
+    flat = [g for s in shards for g in s.graphs]
+    assert len(flat) == n
+    for i, (a, b) in enumerate(zip(flat, stream)):
+        assert_graphs_equal(a, b, context=f"shard graph {i}")
+    ys = np.concatenate([s.y for s in shards])
+    assert ys.tobytes() == stream.labels().tobytes()
+
+
+@pytest.mark.parametrize("shard_size", [1, 5, 64])
+def test_streamed_statistics_match_materialized(shard_size):
+    eager = make_dataset("SYNTHIE", scale=0.05, seed=3)
+    stream = make_dataset("SYNTHIE", scale=0.05, seed=3, stream=True)
+    a, b = eager.statistics(), stream.statistics(shard_size=shard_size)
+    assert a == b
+
+
+def test_out_of_range_graph_raises():
+    stream = make_dataset("MUTAG", scale=0.03, seed=0, stream=True)
+    with pytest.raises(IndexError):
+        stream.graph(len(stream))
+    with pytest.raises(IndexError):
+        stream.graph(-len(stream) - 1)
+
+
+def test_seeds_reproduce_the_spawn_rngs_draw():
+    # The per-graph seed table is one vectorized draw from the dataset
+    # seed — the exact integers spawn_rngs would hand each graph.
+    seeds = graph_seeds(9, 8)
+    assert seeds.dtype == np.int64
+    assert seeds.shape == (8,)
+    again = graph_seeds(9, 8)
+    assert seeds.tobytes() == again.tobytes()
+    spec = dataset_spec("MUTAG")
+    stream = StreamingGraphDataset(name="MUTAG", spec=spec, seeds=seeds)
+    assert len(stream) == 8
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises((KeyError, ValueError)):
+        make_dataset("NOT-A-DATASET", stream=True)
