@@ -1,0 +1,166 @@
+"""Distributed CV over loopback socket workers: scaling + parity bench.
+
+Measures, and records to ``BENCH_dist.json`` in the repo root, serial
+``evaluate_kernel_svm`` wall time against coordinator-scheduled
+distributed CV at 1, 2, and 4 subprocess workers (the real deployment
+shape: ``repro dist worker`` processes speaking the length-prefixed
+wire protocol over 127.0.0.1).
+
+Distribution pays a real tax — process spawn, gram assembly per worker,
+serialized fold shipping — so the speedup assertion only arms on
+machines with at least as many CPUs as workers; on smaller boxes the
+numbers are still recorded honestly (with ``cpu_count``).  The *parity*
+assertion always runs: fold accuracies and selected C values from every
+worker count must equal the serial run's exactly.  A wrong answer is
+never an acceptable price for speed.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the dataset and writes
+``BENCH_dist.smoke.json`` instead (ignored by the regression gate).
+
+Run with ``pytest benchmarks/bench_dist_cv.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import timeit
+from pathlib import Path
+
+import pytest
+
+from repro.dist import DistCoordinator, run_spec
+from repro.dist.protocol import dataset_from_spec, kernel_for
+from repro.eval import evaluate_kernel_svm
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = str(REPO_ROOT / "src")
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+_ARTIFACT = "BENCH_dist.smoke.json" if SMOKE else "BENCH_dist.json"
+RESULT_PATH = REPO_ROOT / _ARTIFACT
+
+_SCALE = 0.05 if SMOKE else 0.15
+_FOLDS = 3 if SMOKE else 6
+MODEL = "wl-svm"
+DATASET = "PTC_MR"
+WORKER_COUNTS = (1, 2, 4)
+#: Required speedup at the largest worker count, when cores allow it.
+MIN_SPEEDUP = 1.5
+
+_cores = os.cpu_count() or 1
+
+_LISTEN_RE = re.compile(r"listening on ([\d.]+):(\d+) \(shard (\d+)/(\d+)\)")
+
+
+def _spec() -> dict:
+    return run_spec(
+        MODEL, DATASET, scale=_SCALE, dataset_seed=0, n_splits=_FOLDS, seed=0
+    )
+
+
+def _spawn_worker(shard_index: int, num_shards: int):
+    """Launch a ``repro dist worker`` subprocess; returns (proc, address)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "dist", "worker",
+            "--shard", f"{shard_index}/{num_shards}", "--port", "0",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    match = _LISTEN_RE.search(line)
+    if match is None:
+        proc.kill()
+        raise RuntimeError(f"worker failed to announce itself: {line!r}")
+    return proc, (match.group(1), int(match.group(2)))
+
+
+def _time(fn) -> tuple[float, object]:
+    start = timeit.default_timer()
+    value = fn()
+    return timeit.default_timer() - start, value
+
+
+def _record(stages: dict) -> None:
+    results = {
+        "config": {
+            "dataset": DATASET,
+            "model": MODEL,
+            "scale": _SCALE,
+            "folds": _FOLDS,
+            "smoke": SMOKE,
+            "cpu_count": _cores,
+        },
+        "stages": stages,
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def test_dist_cv_scaling():
+    spec = _spec()
+    dataset = dataset_from_spec(spec["dataset"]).materialize()
+    kernel = kernel_for(MODEL)
+    print(
+        f"\ndistributed CV bench: {MODEL} on {DATASET} scale={_SCALE} "
+        f"folds={_FOLDS} cpus={_cores} smoke={SMOKE}"
+    )
+
+    evaluate_kernel_svm(kernel, dataset, n_splits=_FOLDS, seed=0)  # warmup
+    serial_s, serial = _time(
+        lambda: evaluate_kernel_svm(kernel, dataset, n_splits=_FOLDS, seed=0)
+    )
+    print(f"  serial: {serial_s:.2f}s  accuracy {serial.mean:.4f}")
+
+    stages: dict[str, dict] = {}
+    for count in WORKER_COUNTS:
+        procs, addresses = [], []
+        try:
+            for index in range(count):
+                proc, address = _spawn_worker(index, count)
+                procs.append(proc)
+                addresses.append(address)
+            with DistCoordinator(addresses) as coordinator:
+                dist_s, report = _time(lambda: coordinator.run(spec))
+                coordinator.shutdown_workers()
+            for proc in procs:
+                proc.wait(timeout=15)
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+        speedup = serial_s / dist_s if dist_s > 0 else float("inf")
+        armed = _cores >= count and count > 1
+        print(
+            f"  {count} worker(s): {dist_s:.2f}s  speedup {speedup:.2f}x  "
+            f"(assertion armed: {armed})"
+        )
+        # Parity before anything else: every worker count, every time.
+        assert report.result.fold_accuracies == serial.fold_accuracies
+        assert report.result.extra["selected_c"] == serial.extra["selected_c"]
+        assert report.completed_remote == _FOLDS
+        assert not report.degraded_folds
+        stages[f"dist_cv_{count}w"] = {
+            "workers": count,
+            "serial_s": serial_s,
+            "dist_s": dist_s,
+            "speedup": speedup,
+            "speedup_armed": armed,
+            "accuracy": serial.mean,
+        }
+        if armed and count == max(WORKER_COUNTS):
+            assert speedup >= MIN_SPEEDUP
+
+    _record(stages)
+    print(f"  wrote {RESULT_PATH.name}")
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v", "-s"]))

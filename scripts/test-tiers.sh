@@ -38,6 +38,17 @@
 #                                   + the regression gate on
 #                                   BENCH_stream.json are a separate
 #                                   manual step (see docs/STREAMING.md)
+#   ./scripts/test-tiers.sh dist    the distributed-CV tier: tests/dist
+#                                   (wire format, shard store parity, KV
+#                                   fallthrough, coordinator scheduling,
+#                                   subprocess worker e2e incl. kill-fault
+#                                   reassignment) plus the fold-claims
+#                                   race suite, then a smoke-mode run of
+#                                   the dist scaling bench so the harness
+#                                   can't rot; full-scale numbers + the
+#                                   regression gate on BENCH_dist.json
+#                                   are a separate manual step (see
+#                                   docs/DISTRIBUTED.md)
 #   ./scripts/test-tiers.sh full    tier 1 + slow, then tier 1 again with
 #                                   REPRO_WORKERS=2 so every fold-parallel
 #                                   code path runs through the fork pool
@@ -80,6 +91,10 @@ case "$tier" in
         python -m pytest tests/stream/ tests/equivalence/test_stream_equiv.py "$@"
         REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_stream_pipeline.py "$@"
         ;;
+    dist)
+        python -m pytest tests/dist/ tests/resilience/test_journal_claims.py "$@"
+        REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_dist_cv.py "$@"
+        ;;
     full)
         python -m pytest tests/ "$@"
         REPRO_WORKERS=2 python -m pytest tests/ -m "not slow" "$@"
@@ -93,7 +108,7 @@ case "$tier" in
         REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_hotpaths.py "$@"
         ;;
     *)
-        echo "usage: $0 {fast|faults|serve|obs|stream|full|perf|kernels} [pytest args...]" >&2
+        echo "usage: $0 {fast|faults|serve|obs|stream|dist|full|perf|kernels} [pytest args...]" >&2
         exit 2
         ;;
 esac

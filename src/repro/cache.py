@@ -194,6 +194,7 @@ class CacheStats:
     memory_hits: int = 0
     disk_hits: int = 0
     mmap_hits: int = 0
+    remote_hits: int = 0
     stores: int = 0
     evictions: int = 0
     errors: int = 0
@@ -206,6 +207,7 @@ class CacheStats:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "mmap_hits": self.mmap_hits,
+            "remote_hits": self.remote_hits,
             "stores": self.stores,
             "evictions": self.evictions,
             "errors": self.errors,
@@ -258,10 +260,16 @@ def _mmap_npz(path: Path) -> dict[str, np.ndarray]:
     object dtypes, unknown npy versions, or structural damage (bad
     magic, member span past EOF).  Callers treat a raise as "use the
     copying reader instead".
+
+    Everything — stat, zip parse, and the maps themselves — goes
+    through ONE open handle.  Opening the path per member would let a
+    concurrent atomic replace swap the inode mid-read and hand back a
+    payload stitched from two different writes.
     """
     payload: dict[str, np.ndarray] = {}
-    file_size = path.stat().st_size
-    with zipfile.ZipFile(path) as zf, open(path, "rb") as fh:
+    with open(path, "rb") as fh:
+        file_size = os.fstat(fh.fileno()).st_size
+        zf = zipfile.ZipFile(fh)
         for info in zf.infolist():
             if info.compress_type != zipfile.ZIP_STORED:
                 raise ValueError(f"{info.filename}: compressed member")
@@ -289,7 +297,7 @@ def _mmap_npz(path: Path) -> dict[str, np.ndarray]:
             if name.endswith(".npy"):
                 name = name[: -len(".npy")]
             arr = np.memmap(
-                path, dtype=dtype, mode="r", offset=data_offset, shape=shape,
+                fh, dtype=dtype, mode="r", offset=data_offset, shape=shape,
                 order="F" if fortran else "C",
             )
             payload[name] = arr
@@ -323,6 +331,13 @@ class FeatureMapCache:
         file the mapper cannot parse fall back to ``np.load``; a file
         neither path can read is still a miss, dropped and recomputed.
         Mapped arrays are read-only views backed by the cache file.
+    remote:
+        Optional third tier consulted after memory and disk miss: any
+        object with ``fetch(key, namespace) -> payload | None`` (the
+        dist KV client, :class:`repro.dist.client.RemoteCacheClient`).
+        A remote hit is copied into the local tiers so it is paid for
+        once; remote errors are swallowed and count as misses — the
+        cache never raises into the pipeline, network or not.
     """
 
     def __init__(
@@ -330,12 +345,14 @@ class FeatureMapCache:
         cache_dir: str | os.PathLike | None = None,
         memory_items: int = DEFAULT_MEMORY_ITEMS,
         mmap_read: bool = True,
+        remote=None,
     ) -> None:
         if memory_items < 0:
             raise ValueError(f"memory_items must be >= 0, got {memory_items}")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.memory_items = memory_items
         self.mmap_read = mmap_read
+        self.remote = remote
         self.stats = CacheStats()
         self._memory: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
         self._lock = threading.RLock()
@@ -354,8 +371,15 @@ class FeatureMapCache:
         return self.cache_dir / key[:2] / f"{key}.npz"
 
     # -- read -----------------------------------------------------------
-    def get(self, key: str, namespace: str = "") -> dict[str, np.ndarray] | None:
-        """Payload stored under ``key``, or ``None`` (a miss, recompute)."""
+    def get(
+        self, key: str, namespace: str = "", local_only: bool = False
+    ) -> dict[str, np.ndarray] | None:
+        """Payload stored under ``key``, or ``None`` (a miss, recompute).
+
+        ``local_only`` skips the remote tier — the dist KV server
+        answers peer lookups with local-only reads so two workers that
+        both miss can never recurse into each other.
+        """
         with self._lock:
             payload = self._memory.get(key)
             if payload is not None:
@@ -378,6 +402,24 @@ class FeatureMapCache:
                     self._memory_store(key, payload)
                     self._record_hit(namespace, memory=False)
                     return payload
+        if self.remote is not None and not local_only:
+            try:
+                payload = self.remote.fetch(key, namespace)
+            except Exception:
+                payload = None  # a dead peer is a miss, never an error
+                self.stats.errors += 1
+            if payload is not None:
+                # Pay the network cost once: land the payload in both
+                # local tiers (disk write best-effort, like any put).
+                self._memory_store(key, payload)
+                if self.cache_dir is not None:
+                    self._write_disk(key, payload)
+                self.stats.hits += 1
+                self.stats.remote_hits += 1
+                self.stats.by_namespace[f"{namespace or 'any'}_hits"] += 1
+                obs.counter("cache_hits_total").inc()
+                obs.counter("cache_remote_hits_total").inc()
+                return payload
         self.stats.misses += 1
         self.stats.by_namespace[f"{namespace or 'any'}_misses"] += 1
         obs.counter("cache_misses_total").inc()
@@ -410,34 +452,48 @@ class FeatureMapCache:
         self._memory_store(key, payload)
         if self.cache_dir is not None:
             # Fault-injection point: InjectedFault is a BaseException, so
-            # the best-effort ``except Exception`` below cannot swallow a
-            # deliberately injected crash (tests/resilience relies on
-            # this); "corrupt" mode tears the file post-rename instead.
+            # the best-effort ``except Exception`` inside _write_disk
+            # cannot swallow a deliberately injected crash
+            # (tests/resilience relies on this); "corrupt" mode tears the
+            # file post-rename instead.
             mode = faults.check("cache_write", self._next_write_index())
-            try:
-                path = self._path(key)
-                path.parent.mkdir(parents=True, exist_ok=True)
-                fd, tmp = tempfile.mkstemp(
-                    dir=path.parent, prefix=".tmp-", suffix=".npz"
-                )
-                try:
-                    with os.fdopen(fd, "wb") as fh:
-                        np.savez(fh, **payload)
-                    os.replace(tmp, path)  # atomic: readers never see partial files
-                except BaseException:
-                    try:
-                        os.unlink(tmp)
-                    except OSError:
-                        pass
-                    raise
-                if mode == "corrupt":
-                    with open(path, "r+b") as fh:
-                        fh.truncate(max(1, path.stat().st_size // 2))
-            except Exception:
-                self.stats.errors += 1  # a failed write must never crash a run
+            if not self._write_disk(key, payload, corrupt=mode == "corrupt"):
                 return
         self.stats.stores += 1
         self.stats.by_namespace[f"{namespace or 'any'}_stores"] += 1
+
+    def _write_disk(
+        self, key: str, payload: dict[str, np.ndarray], corrupt: bool = False
+    ) -> bool:
+        """Atomically write one disk entry; False on (swallowed) failure.
+
+        The remote-hit backfill path calls this directly — without the
+        ``cache_write`` fault point or store accounting, which belong to
+        caller-initiated :meth:`put` only.
+        """
+        try:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npz"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, **payload)
+                os.replace(tmp, path)  # atomic: readers never see partial files
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            if corrupt:
+                with open(path, "r+b") as fh:
+                    fh.truncate(max(1, path.stat().st_size // 2))
+        except Exception:
+            self.stats.errors += 1  # a failed write must never crash a run
+            return False
+        return True
 
     def _memory_store(self, key: str, payload: dict[str, np.ndarray]) -> None:
         if self.memory_items <= 0:

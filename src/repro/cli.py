@@ -23,6 +23,10 @@ Commands
 ``ops trace|traces|slo``
     Reconstruct per-request trace waterfalls and SLO summaries from a
     serve ``--log-json`` run file (or a live server via ``--url``).
+``dist worker --shard I/N [--port P]``
+    Run one shard-owning distributed CV worker (socket protocol).
+``dist run --dataset NAME --model M --workers HOST:PORT,...``
+    Coordinate a distributed cross-validation over running workers.
 """
 
 from __future__ import annotations
@@ -109,12 +113,34 @@ request tracing and SLOs:
                                    objectives behind /healthz degradation and
                                    slo_breach alert events
 
+distributed cross-validation:
+  repro dist worker --shard 0/2 --port 9101
+                                   run one shard-owning worker: serves its
+                                   local feature-map cache as a KV tensor
+                                   store to peers and executes CV folds on
+                                   demand; --port 0 picks an ephemeral port
+                                   (parse the printed "listening on" line)
+  repro dist run --dataset PTC_MR --model wl-svm \\
+                 --workers 127.0.0.1:9101,127.0.0.1:9102
+                                   coordinate a distributed CV over running
+                                   workers: heartbeat liveness, dead-worker
+                                   fold reassignment, serial degradation
+                                   when the fleet is gone; results are
+                                   bitwise-equal to repro train
+  repro dist run --checkpoint-dir DIR
+                                   journal finished folds (exactly-once via
+                                   O_EXCL fold claims); a rerun after any
+                                   crash recomputes zero completed folds,
+                                   and the same journal resumes a serial
+                                   repro train run and vice versa
+
 Instrumentation is off unless one of these flags is given (zero overhead
 by default).  Schema and metric names: docs/OBSERVABILITY.md; worker
 model and cache layout: docs/PARALLEL.md; checkpoint format, resume
 semantics and fault injection: docs/RESILIENCE.md; serving architecture
 and the backpressure contract: docs/SERVING.md; streaming sampler design,
-memory model and the parity contract: docs/STREAMING.md.
+memory model and the parity contract: docs/STREAMING.md; dist protocol,
+shard/KV architecture and the exactly-once contract: docs/DISTRIBUTED.md.
 """
 
 MODEL_CHOICES = (
@@ -443,6 +469,73 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--out", required=True)
     export.add_argument("--scale", type=float, default=0.15)
     export.add_argument("--seed", type=int, default=0)
+
+    dist = sub.add_parser(
+        "dist", help="distributed CV: shard workers + coordinator"
+    )
+    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
+
+    dist_worker = dist_sub.add_parser(
+        "worker", help="run one shard-owning dist worker"
+    )
+    dist_worker.add_argument("--host", default="127.0.0.1")
+    dist_worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (0 = ephemeral; parse the 'listening on' line)",
+    )
+    dist_worker.add_argument(
+        "--shard",
+        default="0/1",
+        metavar="I/N",
+        help="this worker's shard: index/num_shards (e.g. 1/4)",
+    )
+    dist_worker.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="back the worker's feature-map cache with this directory",
+    )
+    dist_worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable identifier in logs and reports (default shard<I>)",
+    )
+
+    dist_run = dist_sub.add_parser(
+        "run", help="coordinate a distributed CV over running workers"
+    )
+    dist_run.add_argument("--dataset", required=True)
+    dist_run.add_argument(
+        "--model", choices=MODEL_CHOICES, default="wl-svm"
+    )
+    dist_run.add_argument(
+        "--workers",
+        required=True,
+        metavar="HOST:PORT,...",
+        help="comma-separated addresses of running dist workers",
+    )
+    dist_run.add_argument("--scale", type=float, default=0.1)
+    dist_run.add_argument("--folds", type=int, default=3)
+    dist_run.add_argument("--epochs", type=int, default=15)
+    dist_run.add_argument("--seed", type=int, default=0)
+    dist_run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="journal finished folds (exactly-once, crash-resumable)",
+    )
+    dist_run.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="discard any previous fold journal before running",
+    )
+    dist_run.add_argument(
+        "--shutdown-workers",
+        action="store_true",
+        help="ask the workers to exit after the run completes",
+    )
     return parser
 
 
@@ -476,45 +569,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _make_model_factory(model: str, epochs: int):
-    from repro.baselines import (
-        DCNNClassifier,
-        DGCNNClassifier,
-        GATClassifier,
-        GCNClassifier,
-        GINClassifier,
-        NGFClassifier,
-        PatchySanClassifier,
-    )
-    from repro.core import deepmap_gk, deepmap_sp, deepmap_wl
+    # Canonical registry lives in repro.dist.protocol so a dist worker
+    # handed a model name builds the identical model this CLI would.
+    from repro.dist.protocol import model_factory_for
 
-    neural = {
-        "deepmap-wl": lambda f: deepmap_wl(h=3, r=5, epochs=epochs, seed=f),
-        "deepmap-sp": lambda f: deepmap_sp(r=5, epochs=epochs, seed=f),
-        "deepmap-gk": lambda f: deepmap_gk(k=4, samples=10, r=5, epochs=epochs, seed=f),
-        "gin": lambda f: GINClassifier(epochs=epochs, seed=f),
-        "gcn": lambda f: GCNClassifier(epochs=epochs, seed=f),
-        "gat": lambda f: GATClassifier(epochs=epochs, seed=f),
-        "dgcnn": lambda f: DGCNNClassifier(epochs=epochs, seed=f),
-        "dcnn": lambda f: DCNNClassifier(epochs=epochs, seed=f),
-        "ngf": lambda f: NGFClassifier(epochs=epochs, seed=f),
-        "patchysan": lambda f: PatchySanClassifier(epochs=epochs, seed=f),
-    }
-    return neural.get(model)
+    return model_factory_for(model, epochs)
 
 
 def _make_kernel(model: str):
-    from repro.kernels import (
-        GraphletKernel,
-        ShortestPathKernel,
-        WeisfeilerLehmanKernel,
-    )
+    from repro.dist.protocol import kernel_for
 
-    kernels = {
-        "wl-svm": WeisfeilerLehmanKernel(3),
-        "sp-svm": ShortestPathKernel(),
-        "gk-svm": GraphletKernel(k=4, samples=10, seed=0),
-    }
-    return kernels.get(model)
+    return kernel_for(model)
 
 
 def _print_extras(result) -> None:
@@ -869,6 +934,124 @@ def _cmd_ops(args: argparse.Namespace) -> int:
     return 0 if summary["status"] == "ok" else 1
 
 
+def _parse_shard(spec: str) -> tuple[int, int]:
+    try:
+        index_s, num_s = spec.split("/", 1)
+        index, num = int(index_s), int(num_s)
+    except ValueError:
+        raise SystemExit(f"--shard must look like I/N, got {spec!r}") from None
+    if not 0 <= index < num:
+        raise SystemExit(f"--shard index {index} out of range for {num} shards")
+    return index, num
+
+
+def _parse_worker_addresses(spec: str) -> list[tuple[str, int]]:
+    addresses = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            host, port_s = part.rsplit(":", 1)
+            addresses.append((host, int(port_s)))
+        except ValueError:
+            raise SystemExit(
+                f"--workers entries must look like HOST:PORT, got {part!r}"
+            ) from None
+    if not addresses:
+        raise SystemExit("--workers needs at least one HOST:PORT address")
+    return addresses
+
+
+def _cmd_dist_worker(args: argparse.Namespace) -> int:
+    from repro.cache import FeatureMapCache
+    from repro.dist import DistWorker
+
+    shard_index, num_shards = _parse_shard(args.shard)
+    cache = FeatureMapCache(cache_dir=args.cache_dir)
+    worker = DistWorker(
+        args.host,
+        args.port,
+        shard_index=shard_index,
+        num_shards=num_shards,
+        cache=cache,
+        worker_id=args.worker_id,
+    )
+    host, port = worker.start()
+    # The exact "listening on" line is the startup contract the dist
+    # test harness (and any launcher script) parses for the port.
+    print(
+        f"dist worker {worker.worker_id} listening on {host}:{port} "
+        f"(shard {shard_index}/{num_shards})",
+        flush=True,
+    )
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down...", flush=True)
+    finally:
+        worker.stop()
+    return 0
+
+
+def _cmd_dist_run(args: argparse.Namespace) -> int:
+    from repro.dist import DistCoordinator, run_spec
+
+    addresses = _parse_worker_addresses(args.workers)
+    spec = run_spec(
+        args.model,
+        args.dataset,
+        scale=args.scale,
+        dataset_seed=args.seed,
+        n_splits=args.folds,
+        seed=args.seed,
+        epochs=args.epochs,
+    )
+    print(
+        f"{args.model} on {args.dataset} ({args.folds}-fold CV, "
+        f"{len(addresses)} workers)..."
+    )
+    with DistCoordinator(addresses) as coordinator:
+        report = coordinator.run(
+            spec,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=not args.no_resume,
+        )
+        if args.shutdown_workers:
+            coordinator.shutdown_workers()
+    result = report.result
+    if result.best_epoch is not None:
+        print(f"accuracy: {result.formatted()}  (best epoch {result.best_epoch})")
+    else:
+        print(f"accuracy: {result.formatted()}")
+    _print_extras(result)
+    by_worker = ", ".join(
+        f"{worker}={sorted(folds)}"
+        for worker, folds in sorted(report.folds_by_worker.items())
+    )
+    print(
+        f"dist: {report.completed_remote} folds remote"
+        + (f" ({by_worker})" if by_worker else "")
+        + (
+            f", {report.completed_from_journal} from journal"
+            if report.completed_from_journal
+            else ""
+        )
+        + (
+            f", {len(report.degraded_folds)} degraded to serial"
+            if report.degraded_folds
+            else ""
+        )
+        + (
+            f", {report.worker_deaths} worker deaths, "
+            f"{report.reassignments} reassignments"
+            if report.worker_deaths
+            else ""
+        )
+    )
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.datasets import make_dataset
     from repro.datasets.tu_format import save_tu_dataset
@@ -902,6 +1085,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_loadtest(args)
     if args.command == "ops":
         return _cmd_ops(args)
+    if args.command == "dist":
+        if args.dist_command == "worker":
+            return _cmd_dist_worker(args)
+        return _cmd_dist_run(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -25,7 +25,7 @@ import pickle
 from pathlib import Path
 
 from repro.core.model import DeepMapClassifier
-from repro.resilience.checkpoint import blake2b_hexdigest
+from repro.utils.wire import blake2b_hexdigest
 from repro.utils.validation import check_fitted
 
 __all__ = ["ModelPersistenceError", "save_model", "load_model"]

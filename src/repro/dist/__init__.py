@@ -1,0 +1,49 @@
+"""repro.dist — sharded feature store + distributed CV over socket workers.
+
+The distributed runtime runs the paper's evaluation protocols across
+worker *processes* that talk a checksummed socket protocol
+(:mod:`repro.utils.wire`) instead of sharing memory through ``fork``:
+
+* each :class:`DistWorker` owns one contiguous shard of the run's
+  streaming dataset and serves its local feature-map cache as a KV
+  tensor store to its peers;
+* the :class:`DistCoordinator` schedules CV folds onto workers with
+  heartbeat liveness, reassigns folds off dead workers, and degrades to
+  serial execution when the fleet is gone — mirroring
+  :mod:`repro.parallel`'s crash semantics;
+* the :mod:`repro.resilience` journal is the commit log: folds complete
+  exactly once (O_EXCL claims), and a rerun after a crash recomputes
+  zero finished folds.
+
+Everything is loopback-testable on one machine, but the protocol is
+host-agnostic: workers are addressed by ``host:port`` and reconstruct
+all state from run specs — nothing is fork-inherited.  Results are
+bitwise-equal to :func:`repro.eval.protocol.evaluate_kernel_svm` /
+``evaluate_neural_model`` (``tests/dist/`` locks this down).
+
+See ``docs/DISTRIBUTED.md`` for the architecture tour.
+"""
+
+from repro.dist.client import (
+    DistError,
+    RemoteCacheClient,
+    WorkerClient,
+    WorkerRejected,
+)
+from repro.dist.coordinator import DistCoordinator, DistReport, run_spec
+from repro.dist.store import shard_graphs, sharded_gram, warm_shard_counts
+from repro.dist.worker import DistWorker
+
+__all__ = [
+    "DistError",
+    "WorkerRejected",
+    "WorkerClient",
+    "RemoteCacheClient",
+    "DistCoordinator",
+    "DistReport",
+    "run_spec",
+    "DistWorker",
+    "shard_graphs",
+    "sharded_gram",
+    "warm_shard_counts",
+]

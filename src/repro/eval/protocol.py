@@ -46,7 +46,17 @@ from repro.svm.svc import DEFAULT_C_GRID, KernelSVC, select_c
 from repro.utils.rng import as_rng
 from repro.utils.timing import Timer
 
-__all__ = ["CVResult", "evaluate_kernel_svm", "evaluate_neural_model"]
+__all__ = [
+    "CVResult",
+    "evaluate_kernel_svm",
+    "evaluate_neural_model",
+    "kernel_fold_payloads",
+    "neural_fold_payloads",
+    "kernel_run_config",
+    "neural_run_config",
+    "kernel_cv_result",
+    "neural_cv_result",
+]
 
 
 @dataclass
@@ -150,6 +160,100 @@ def _journaled_folds(
     return [by_fold[fold] for fold in range(len(payloads))]
 
 
+# ----------------------------------------------------------------------
+# Shared protocol pieces
+#
+# The distributed coordinator (repro.dist) runs the *same* protocols with
+# folds farmed out over sockets.  Everything that defines a run — the
+# per-fold payloads (splits + spawned seeds), the journal run_config, and
+# the outcome→CVResult reduction — is factored here so serial, fork-pool,
+# and distributed execution agree bitwise *and* share journal run keys
+# (a serial run's journal resumes a distributed one and vice versa).
+# ----------------------------------------------------------------------
+
+def kernel_fold_payloads(y, n_splits: int, seed) -> list[tuple]:
+    """The kernel protocol's ``(fold, train_idx, test_idx, fold_seed)`` list.
+
+    One rng, spawned up front: splits first, then per-fold seeds — the
+    exact draw order of :func:`evaluate_kernel_svm`, which is what makes
+    any executor bitwise-equal to serial.
+    """
+    rng = as_rng(seed)
+    splits = stratified_kfold(y, n_splits=n_splits, seed=rng)
+    fold_seeds = rng.integers(0, 2**31 - 1, size=n_splits)
+    return [
+        (fold, train_idx, test_idx, int(fold_seeds[fold]))
+        for fold, (train_idx, test_idx) in enumerate(splits)
+    ]
+
+
+def neural_fold_payloads(y, n_splits: int, seed) -> list[tuple]:
+    """The neural protocol's ``(fold, train_idx, test_idx)`` list."""
+    rng = as_rng(seed)
+    splits = stratified_kfold(y, n_splits=n_splits, seed=rng)
+    return [
+        (fold, train_idx, test_idx)
+        for fold, (train_idx, test_idx) in enumerate(splits)
+    ]
+
+
+def kernel_run_config(
+    kernel, dataset_fp: str, y, n_splits: int, seed, c_grid, normalize: bool
+) -> dict:
+    """The journal ``run_config`` of a kernel-SVM run (hashed to the run key)."""
+    return {
+        "protocol": "kernel-svm",
+        "kernel": [kernel.name, _config_fingerprint(kernel)],
+        "dataset": dataset_fp,
+        "y": y,
+        "n_splits": n_splits,
+        "seed": seed,
+        "c_grid": list(c_grid),
+        "normalize": normalize,
+    }
+
+
+def neural_run_config(name: str, dataset_fp: str, y, n_splits: int, seed) -> dict:
+    """The journal ``run_config`` of a neural run (hashed to the run key)."""
+    return {
+        "protocol": "neural",
+        "model": name,
+        "dataset": dataset_fp,
+        "y": y,
+        "n_splits": n_splits,
+        "seed": seed,
+    }
+
+
+def kernel_cv_result(name: str, outcomes: list[dict]) -> CVResult:
+    """Reduce per-fold kernel outcomes to the paper's :class:`CVResult`."""
+    return CVResult(
+        name=name,
+        fold_accuracies=[o["accuracy"] for o in outcomes],
+        extra={
+            "selected_c": [o["selected_c"] for o in outcomes],
+            "fold_seconds": [o["seconds"] for o in outcomes],
+        },
+    )
+
+
+def neural_cv_result(name: str, outcomes: list[dict]) -> CVResult:
+    """Reduce per-fold curves via GIN-style epoch selection."""
+    curves = np.stack([o["curve"] for o in outcomes])  # (folds, epochs)
+    best_epoch = int(np.argmax(curves.mean(axis=0)))
+    accuracies = curves[:, best_epoch].tolist()
+    return CVResult(
+        name=name,
+        fold_accuracies=accuracies,
+        best_epoch=best_epoch,
+        extra={
+            "mean_curve": curves.mean(axis=0).tolist(),
+            "fold_val_curves": curves.tolist(),
+            "fold_seconds": [o["seconds"] for o in outcomes],
+        },
+    )
+
+
 def _kernel_fold(context, payload):
     """One kernel-SVM fold; top-level so the fork pool can address it."""
     gram, y, c_grid = context
@@ -188,13 +292,7 @@ def evaluate_kernel_svm(
             gram = kernel.gram(dataset.graphs)
         if normalize:
             gram = normalize_gram(gram)
-        rng = as_rng(seed)
-        splits = stratified_kfold(dataset.y, n_splits=n_splits, seed=rng)
-        fold_seeds = rng.integers(0, 2**31 - 1, size=n_splits)
-        payloads = [
-            (fold, train_idx, test_idx, int(fold_seeds[fold]))
-            for fold, (train_idx, test_idx) in enumerate(splits)
-        ]
+        payloads = kernel_fold_payloads(dataset.y, n_splits, seed)
         outcomes = _journaled_folds(
             _kernel_fold,
             payloads,
@@ -202,25 +300,17 @@ def evaluate_kernel_svm(
             workers=workers,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
-            run_config={
-                "protocol": "kernel-svm",
-                "kernel": [kernel.name, _config_fingerprint(kernel)],
-                "dataset": dataset_fingerprint(dataset.graphs),
-                "y": dataset.y,
-                "n_splits": n_splits,
-                "seed": seed,
-                "c_grid": list(c_grid),
-                "normalize": normalize,
-            },
+            run_config=kernel_run_config(
+                kernel,
+                dataset_fingerprint(dataset.graphs),
+                dataset.y,
+                n_splits,
+                seed,
+                c_grid,
+                normalize,
+            ),
         )
-    return CVResult(
-        name=kernel.name,
-        fold_accuracies=[o["accuracy"] for o in outcomes],
-        extra={
-            "selected_c": [o["selected_c"] for o in outcomes],
-            "fold_seconds": [o["seconds"] for o in outcomes],
-        },
-    )
+    return kernel_cv_result(kernel.name, outcomes)
 
 
 def _neural_fold(context, payload):
@@ -268,13 +358,8 @@ def evaluate_neural_model(
     run key covers ``name`` — the factory itself cannot be hashed, so
     distinct models sharing a checkpoint dir must use distinct names.
     """
-    rng = as_rng(seed)
-    splits = stratified_kfold(dataset.y, n_splits=n_splits, seed=rng)
+    payloads = neural_fold_payloads(dataset.y, n_splits, seed)
     with obs.span("cv", protocol="neural", model=name or "?", folds=n_splits):
-        payloads = [
-            (fold, train_idx, test_idx)
-            for fold, (train_idx, test_idx) in enumerate(splits)
-        ]
         outcomes = _journaled_folds(
             _neural_fold,
             payloads,
@@ -282,25 +367,12 @@ def evaluate_neural_model(
             workers=workers,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
-            run_config={
-                "protocol": "neural",
-                "model": name or "neural",
-                "dataset": dataset_fingerprint(dataset.graphs),
-                "y": dataset.y,
-                "n_splits": n_splits,
-                "seed": seed,
-            },
+            run_config=neural_run_config(
+                name or "neural",
+                dataset_fingerprint(dataset.graphs),
+                dataset.y,
+                n_splits,
+                seed,
+            ),
         )
-    curves = np.stack([o["curve"] for o in outcomes])  # (folds, epochs)
-    best_epoch = int(np.argmax(curves.mean(axis=0)))
-    accuracies = curves[:, best_epoch].tolist()
-    return CVResult(
-        name=name or "neural",
-        fold_accuracies=accuracies,
-        best_epoch=best_epoch,
-        extra={
-            "mean_curve": curves.mean(axis=0).tolist(),
-            "fold_val_curves": curves.tolist(),
-            "fold_seconds": [o["seconds"] for o in outcomes],
-        },
-    )
+    return neural_cv_result(name or "neural", outcomes)

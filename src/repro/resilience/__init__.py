@@ -35,7 +35,7 @@ from repro.resilience.faults import (
     InjectedFault,
     parse_plan,
 )
-from repro.resilience.journal import FoldJournal
+from repro.resilience.journal import FoldClaims, FoldJournal
 
 __all__ = [
     "FORMAT_VERSION",
@@ -48,5 +48,6 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "parse_plan",
+    "FoldClaims",
     "FoldJournal",
 ]

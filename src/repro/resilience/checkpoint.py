@@ -24,7 +24,6 @@ truncates the file after the rename so the rollback path is provable.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import re
@@ -36,6 +35,11 @@ import numpy as np
 
 from repro import obs
 from repro.resilience import faults
+
+# Canonical home is repro.utils.wire (shared with persistence, serve and
+# the dist protocol); re-exported here because checkpoints grew it first
+# and external callers import it from this module.
+from repro.utils.wire import blake2b_hexdigest
 
 __all__ = [
     "FORMAT_VERSION",
@@ -90,18 +94,6 @@ def _unflatten(value, arrays: dict[str, np.ndarray]):
     return value
 
 
-def blake2b_hexdigest(chunks, digest_size: int = 16) -> str:
-    """BLAKE2b hex digest over an iterable of byte chunks.
-
-    The shared content-checksum primitive for self-verifying artifacts:
-    checkpoints digest their arrays through it, and
-    :mod:`repro.core.persistence` digests the pickled model payload so
-    :mod:`repro.serve` only ever loads byte-exact models.
-    """
-    h = hashlib.blake2b(digest_size=digest_size)
-    for chunk in chunks:
-        h.update(chunk)
-    return h.hexdigest()
 
 
 def _array_chunks(arrays: dict[str, np.ndarray]):

@@ -20,18 +20,36 @@ Robustness properties:
 Float values survive the JSON round trip exactly (``repr`` ↔ parse is
 lossless for IEEE doubles), which is what keeps resumed accuracies
 bitwise-identical to uninterrupted runs.
+
+**Claims** (:class:`FoldClaims`) extend the journal for *concurrent*
+writers: the journal records what finished, claims arbitrate who may
+run a fold in the first place.  A claim is an ``O_CREAT|O_EXCL`` file —
+the filesystem's own mutual exclusion, safe across unrelated processes
+and (on a shared filesystem) across hosts — holding the owner id, pid,
+and a heartbeat timestamp the owner refreshes while it works.  A claim
+whose heartbeat has gone stale (owner died mid-fold) is *stolen* by
+renaming it aside: ``os.rename`` succeeds for exactly one stealer, so
+even the takeover is single-winner.  The dist coordinator claims a fold
+before dispatching it and releases on completion; two coordinators (or
+a coordinator and a straggler) can therefore never double-run a fold —
+the exactly-once prerequisite.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+import time
 from pathlib import Path
 
 from repro import obs
 from repro.obs.events import jsonable
 
-__all__ = ["FoldJournal"]
+__all__ = ["FoldJournal", "FoldClaims", "DEFAULT_CLAIM_TTL_S"]
+
+#: Heartbeat staleness (seconds) after which a claim may be stolen.
+DEFAULT_CLAIM_TTL_S = 30.0
 
 
 class FoldJournal:
@@ -81,5 +99,143 @@ class FoldJournal:
         except FileNotFoundError:
             pass
 
+    def claims(
+        self, owner: str, ttl_s: float = DEFAULT_CLAIM_TTL_S
+    ) -> "FoldClaims":
+        """A :class:`FoldClaims` arbitrating this journal's folds."""
+        return FoldClaims(self.path.parent / "claims", owner, ttl_s=ttl_s)
+
     def __repr__(self) -> str:
         return f"FoldJournal({self.path})"
+
+
+class FoldClaims:
+    """Exclusive, heartbeat-leased fold ownership via O_EXCL claim files.
+
+    One file per fold under ``directory``; creation with
+    ``O_CREAT | O_EXCL`` is the atomic acquire (exactly one process can
+    win it, whatever host or process tree it belongs to).  The file body
+    is JSON — ``{"owner", "pid", "ts"}`` — and the owner rewrites it
+    (tmp + ``os.replace``, atomic for readers) as its heartbeat.  When a
+    contender finds an existing claim whose ``ts`` is older than
+    ``ttl_s``, the owner is presumed dead: the contender renames the
+    claim to a unique tombstone — a rename exactly one contender can win
+    — and retries the acquire.  A live owner's refresh keeps ``ts``
+    fresh, so only actually-dead owners are ever evicted.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        owner: str,
+        ttl_s: float = DEFAULT_CLAIM_TTL_S,
+    ) -> None:
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl_s}")
+        self.directory = Path(directory)
+        self.owner = str(owner)
+        self.ttl_s = float(ttl_s)
+        self._steals = 0
+
+    def _path(self, fold: int) -> Path:
+        return self.directory / f"fold-{int(fold):04d}.claim"
+
+    def _body(self) -> bytes:
+        return json.dumps(
+            {"owner": self.owner, "pid": os.getpid(), "ts": time.time()}
+        ).encode()
+
+    # -- acquire ---------------------------------------------------------
+    def claim(self, fold: int) -> bool:
+        """Try to acquire ``fold``; True iff this owner now holds it."""
+        path = self._path(fold)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                if not self._try_steal(fold):
+                    obs.counter("fold_claims_contended_total").inc()
+                    return False
+                continue  # stale claim evicted: retry the O_EXCL acquire
+            try:
+                os.write(fd, self._body())
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            obs.counter("fold_claims_acquired_total").inc()
+            return True
+
+    def _try_steal(self, fold: int) -> bool:
+        """Evict a stale claim; True iff the caller should retry claiming.
+
+        Exactly one contender's rename succeeds, so a steal never turns
+        into a double-acquire; an unreadable claim file (torn write) is
+        treated as stale — its writer cannot be heartbeating it.
+        """
+        path = self._path(fold)
+        holder = self.holder(fold)
+        if holder is None:
+            return True  # vanished (released/stolen) meanwhile: retry
+        ts = holder.get("ts")
+        if isinstance(ts, (int, float)) and time.time() - ts <= self.ttl_s:
+            return False  # live heartbeat: respect the claim
+        tombstone = path.with_suffix(f".stale-{os.getpid()}-{self._steals}")
+        self._steals += 1
+        try:
+            os.rename(path, tombstone)
+        except OSError:
+            return True  # another contender won the steal: retry acquire
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        obs.counter("fold_claims_stolen_total").inc()
+        return True
+
+    # -- lease maintenance ----------------------------------------------
+    def refresh(self, fold: int) -> None:
+        """Re-stamp the heartbeat on a claim this owner holds."""
+        path = self._path(fold)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=".hb-")
+        try:
+            os.write(fd, self._body())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        try:
+            os.replace(tmp, path)  # atomic: readers see old or new, never torn
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def release(self, fold: int) -> None:
+        """Drop a claim (done or abandoned); missing file is fine."""
+        try:
+            os.unlink(self._path(fold))
+        except FileNotFoundError:
+            pass
+
+    # -- introspection ---------------------------------------------------
+    def holder(self, fold: int) -> dict | None:
+        """The claim body for ``fold``, or ``None`` if unclaimed.
+
+        An unreadable/torn body reports as ``{"owner": None, "ts": None}``
+        rather than raising — contenders treat it as stale.
+        """
+        try:
+            raw = self._path(fold).read_bytes()
+        except OSError:
+            return None
+        try:
+            body = json.loads(raw)
+            if not isinstance(body, dict):
+                raise ValueError(body)
+        except ValueError:
+            return {"owner": None, "pid": None, "ts": None}
+        return body
+
+    def __repr__(self) -> str:
+        return f"FoldClaims({self.directory}, owner={self.owner!r})"

@@ -14,6 +14,7 @@ from repro.stream.shards import (
     EncodedShardStore,
     StreamEncodedInputs,
     make_spool_cache,
+    partition_bounds,
 )
 
 __all__ = [
@@ -22,5 +23,6 @@ __all__ = [
     "EncodedShardStore",
     "StreamEncodedInputs",
     "make_spool_cache",
+    "partition_bounds",
     "fit_stream",
 ]

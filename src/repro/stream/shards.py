@@ -40,7 +40,29 @@ from repro.features.vertex_maps import cached_vertex_counts
 from repro.stream.prefetch import ShardPrefetcher
 from repro.utils.validation import check_positive
 
-__all__ = ["EncodedShardStore", "StreamEncodedInputs", "make_spool_cache"]
+__all__ = [
+    "EncodedShardStore",
+    "StreamEncodedInputs",
+    "make_spool_cache",
+    "partition_bounds",
+]
+
+
+def partition_bounds(n: int, num_parts: int, index: int) -> tuple[int, int]:
+    """Bounds ``[start, stop)`` of contiguous partition ``index`` of ``n``.
+
+    The balanced split ``(i*n//P, (i+1)*n//P)``: parts differ in size by
+    at most one, cover ``range(n)`` exactly, and depend only on
+    ``(n, num_parts, index)`` — a dist worker handed ``index/num_parts``
+    derives its shard of a :class:`StreamingGraphDataset` without any
+    state from the process that launched it (host-agnostic handoff).
+    """
+    check_positive("num_parts", num_parts)
+    if not 0 <= index < num_parts:
+        raise IndexError(f"partition {index} out of range for {num_parts}")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return index * n // num_parts, (index + 1) * n // num_parts
 
 #: Memory-LRU capacity (shard payloads) for a store-owned spool cache.
 #: Two is the sweet spot measured in benchmarks/bench_stream_pipeline.py:

@@ -1,0 +1,145 @@
+"""Fixtures for the distributed-CV tests.
+
+Two worker flavours:
+
+* **In-process** workers (:func:`worker_fleet`) — real sockets over
+  loopback, but the worker accept loops run as threads in the test
+  process.  Fast, and sufficient for protocol/scheduling semantics.
+* **Subprocess** workers (:func:`spawn_worker`) — the real deployment
+  shape, launched via ``python -m repro dist worker`` and addressed by
+  parsing the printed ``listening on`` contract line.  Used by the
+  acceptance tests (bitwise parity, kill-fault reassignment) where an
+  injected ``kill`` must take a whole worker *process* down.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+#: The ``repro dist worker`` startup contract line.
+LISTEN_RE = re.compile(r"listening on ([\d.]+):(\d+) \(shard (\d+)/(\d+)\)")
+
+
+@pytest.fixture
+def worker_fleet():
+    """Factory: ``fleet(n)`` starts n in-process workers, yields addresses."""
+    from repro.dist import DistWorker
+
+    started: list = []
+
+    def fleet(num_shards: int, **worker_kwargs):
+        workers = [
+            DistWorker(shard_index=i, num_shards=num_shards, **worker_kwargs)
+            for i in range(num_shards)
+        ]
+        addresses = [w.start() for w in workers]
+        started.extend(workers)
+        return workers, addresses
+
+    yield fleet
+    for worker in started:
+        worker.stop()
+
+
+class WorkerProcess:
+    """Handle on one ``repro dist worker`` subprocess."""
+
+    def __init__(self, proc: subprocess.Popen, host: str, port: int) -> None:
+        self.proc = proc
+        self.host = host
+        self.port = port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    def wait(self, timeout: float = 15.0) -> int:
+        return self.proc.wait(timeout=timeout)
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=15.0)
+
+
+@pytest.fixture
+def spawn_worker():
+    """Factory: launch a worker subprocess and parse its contract line."""
+    spawned: list[WorkerProcess] = []
+
+    def spawn(
+        shard_index: int,
+        num_shards: int,
+        *,
+        cache_dir: str | None = None,
+        env: dict | None = None,
+    ) -> WorkerProcess:
+        run_env = dict(os.environ)
+        run_env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + run_env["PYTHONPATH"] if run_env.get("PYTHONPATH") else ""
+        )
+        if env:
+            run_env.update(env)
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "dist",
+            "worker",
+            "--shard",
+            f"{shard_index}/{num_shards}",
+            "--port",
+            "0",
+        ]
+        if cache_dir is not None:
+            argv += ["--cache-dir", cache_dir]
+        proc = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=run_env,
+        )
+        line = proc.stdout.readline()
+        match = LISTEN_RE.search(line)
+        if not match:
+            proc.kill()
+            rest = proc.stdout.read()
+            raise AssertionError(f"no contract line from worker: {line!r}{rest!r}")
+        handle = WorkerProcess(proc, match.group(1), int(match.group(2)))
+        spawned.append(handle)
+        return handle
+
+    yield spawn
+    for handle in spawned:
+        handle.kill()
+
+
+def strip_timing(result: dict) -> dict:
+    """A fold result minus its wall-clock field.
+
+    Everything else in a journaled result is deterministic and must be
+    bitwise-equal across executors; ``seconds`` is honest wall time and
+    differs even between two serial runs.
+    """
+    return {k: v for k, v in result.items() if k != "seconds"}
+
+
+def journal_contents(checkpoint_dir) -> dict[int, dict]:
+    """All journaled folds under a checkpoint dir, timing stripped."""
+    import json
+
+    contents: dict[int, dict] = {}
+    for path in Path(checkpoint_dir).rglob("folds.jsonl"):
+        for line in path.read_text().splitlines():
+            entry = json.loads(line)
+            contents[int(entry["fold"])] = strip_timing(entry["result"])
+    return contents

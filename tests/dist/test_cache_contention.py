@@ -1,0 +1,198 @@
+"""Multi-process FeatureMapCache contention on a shared cache directory.
+
+Distributed workers on one host share a disk cache; the invariant under
+contention is *miss-or-complete*: a reader sees either the full payload
+or a clean miss — never a torn entry, never an exception into the
+pipeline.  These tests drive real concurrent processes at one cache
+directory and check exactly that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.cache import FeatureMapCache, cache_key
+from repro.parallel import fork_available
+from repro.resilience import faults
+
+pytestmark = [pytest.mark.dist, pytest.mark.slow]
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+KEY = cache_key("counts", "aaaabbbb", "ccccdddd")
+
+
+def _payload(fill: float) -> dict[str, np.ndarray]:
+    return {
+        "counts": np.full((64, 8), fill, dtype=np.float64),
+        "ids": np.full(64, fill, dtype=np.int64),
+    }
+
+
+def _writer(cache_dir, fill, barrier, rounds):
+    cache = FeatureMapCache(cache_dir)
+    cache.put(KEY, _payload(fill), namespace="counts")  # pre-seed: reads hit
+    barrier.wait()
+    for _ in range(rounds):
+        cache.put(KEY, _payload(fill), namespace="counts")
+
+
+def _reader(cache_dir, barrier, rounds, queue):
+    # memory_items=0 forces every get through the disk tier, which is
+    # where the contention lives; mmap reads validate the zip structure.
+    cache = FeatureMapCache(cache_dir, memory_items=0)
+    barrier.wait()
+    outcomes = []
+    for _ in range(rounds):
+        payload = cache.get(KEY, namespace="counts")
+        if payload is None:
+            outcomes.append(None)
+            continue
+        counts = np.asarray(payload["counts"])
+        ids = np.asarray(payload["ids"])
+        fill = counts.flat[0]
+        consistent = (
+            counts.shape == (64, 8)
+            and ids.shape == (64,)
+            and bool(np.all(counts == fill))
+            and bool(np.all(ids == int(fill)))
+        )
+        outcomes.append(float(fill) if consistent else "TORN")
+    queue.put(outcomes)
+
+
+@needs_fork
+def test_concurrent_put_get_is_miss_or_complete(tmp_path):
+    """Readers racing writers over one key never observe a torn payload."""
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(4)
+    queue = ctx.Queue()
+    writers = [
+        ctx.Process(target=_writer, args=(tmp_path, float(fill), barrier, 40))
+        for fill in (1, 2)
+    ]
+    readers = [
+        ctx.Process(target=_reader, args=(tmp_path, barrier, 80, queue))
+        for _ in range(2)
+    ]
+    procs = writers + readers
+    for p in procs:
+        p.start()
+    results = [queue.get(timeout=60) for _ in readers]
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    seen = {outcome for outcomes in results for outcome in outcomes}
+    assert "TORN" not in seen
+    # The key existed for most of the run: some reads must have hit.
+    assert seen & {1.0, 2.0}
+
+
+def _racing_writer(cache_dir, fill, barrier, queue):
+    cache = FeatureMapCache(cache_dir)
+    barrier.wait()  # all writers hit os.replace on the same path together
+    cache.put(KEY, _payload(fill), namespace="counts")
+    queue.put(fill)
+
+
+@needs_fork
+def test_atomic_rename_race_leaves_one_whole_payload(tmp_path):
+    """N simultaneous writers: the surviving file is one writer's payload
+    in full, never an interleaving of several."""
+    ctx = multiprocessing.get_context("fork")
+    contenders = 4
+    barrier = ctx.Barrier(contenders)
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_racing_writer, args=(tmp_path, float(i + 1), barrier, queue)
+        )
+        for i in range(contenders)
+    ]
+    for p in procs:
+        p.start()
+    fills = {queue.get(timeout=60) for _ in procs}
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    reader = FeatureMapCache(tmp_path, memory_items=0)
+    payload = reader.get(KEY, namespace="counts")
+    assert payload is not None
+    fill = float(np.asarray(payload["counts"]).flat[0])
+    assert fill in fills
+    np.testing.assert_array_equal(payload["counts"], _payload(fill)["counts"])
+    np.testing.assert_array_equal(payload["ids"], _payload(fill)["ids"])
+    # Exactly the one entry remains; no temp-file litter from the race.
+    leftovers = [p.name for p in tmp_path.rglob(".tmp-*")]
+    assert leftovers == []
+
+
+def test_corrupt_write_reads_as_clean_miss(tmp_path):
+    """A torn disk entry (corrupt-mode fault) is a miss, then self-heals."""
+    cache = FeatureMapCache(tmp_path)
+    faults.install("corrupt@cache_write:0")
+    try:
+        cache.put(KEY, _payload(7.0), namespace="counts")
+    finally:
+        faults.clear()
+    # The entry is on disk but torn; a fresh cache (no memory tier copy)
+    # must treat it as a miss and drop the damaged file.
+    reader = FeatureMapCache(tmp_path, memory_items=0)
+    assert reader.get(KEY, namespace="counts") is None
+    assert reader.stats.errors == 1
+    assert reader.stats.misses == 1
+    assert not list(tmp_path.rglob("*.npz"))  # damaged entry was unlinked
+    # A clean rewrite restores service.
+    cache.put(KEY, _payload(7.0), namespace="counts")
+    healed = reader.get(KEY, namespace="counts")
+    assert healed is not None
+    np.testing.assert_array_equal(healed["counts"], _payload(7.0)["counts"])
+
+
+def _corrupting_writer(cache_dir, barrier, state_dir):
+    faults.install("corrupt@cache_write:0", state_dir=state_dir)
+    try:
+        cache = FeatureMapCache(cache_dir)
+        barrier.wait()
+        for fill in (3.0, 4.0):  # first write torn, second clean
+            cache.put(KEY, _payload(fill), namespace="counts")
+    finally:
+        faults.clear()
+
+
+@needs_fork
+def test_interleaved_corruption_never_surfaces_to_readers(tmp_path):
+    """Readers racing a writer whose first write is torn still only ever
+    see miss-or-complete."""
+    ctx = multiprocessing.get_context("fork")
+    cache_dir = tmp_path / "cache"
+    barrier = ctx.Barrier(3)
+    queue = ctx.Queue()
+    writer = ctx.Process(
+        target=_corrupting_writer,
+        args=(cache_dir, barrier, str(tmp_path / "faults-state")),
+    )
+    readers = [
+        ctx.Process(target=_reader, args=(cache_dir, barrier, 60, queue))
+        for _ in range(2)
+    ]
+    procs = [writer] + readers
+    for p in procs:
+        p.start()
+    results = [queue.get(timeout=60) for _ in readers]
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    seen = {outcome for outcomes in results for outcome in outcomes}
+    assert "TORN" not in seen
+    # After the dust settles the clean rewrite is readable.
+    final = FeatureMapCache(cache_dir, memory_items=0).get(
+        KEY, namespace="counts"
+    )
+    assert final is not None
+    assert float(np.asarray(final["counts"]).flat[0]) == 4.0

@@ -1,0 +1,160 @@
+"""Coordinator scheduling semantics with in-process loopback workers."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.dist import DistCoordinator, DistWorker, WorkerRejected, run_spec
+from repro.dist.protocol import dataset_from_spec, kernel_for
+from repro.eval.protocol import evaluate_kernel_svm
+
+pytestmark = pytest.mark.dist
+
+SPEC = run_spec("wl-svm", "PTC_MR", scale=0.05, dataset_seed=0, n_splits=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    dataset = dataset_from_spec(SPEC["dataset"]).materialize()
+    return evaluate_kernel_svm(kernel_for("wl-svm"), dataset, n_splits=3, seed=0)
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def test_two_worker_parity(worker_fleet, serial_reference):
+    _, addresses = worker_fleet(2)
+    with DistCoordinator(addresses) as coordinator:
+        report = coordinator.run(SPEC)
+    assert report.result.fold_accuracies == serial_reference.fold_accuracies
+    assert report.result.extra["selected_c"] == serial_reference.extra["selected_c"]
+    assert report.completed_remote == 3
+    assert not report.degraded_folds
+    scheduled = sorted(f for folds in report.folds_by_worker.values() for f in folds)
+    assert scheduled == [0, 1, 2]
+
+
+def test_single_worker_runs_all_folds(worker_fleet, serial_reference):
+    _, addresses = worker_fleet(1)
+    with DistCoordinator(addresses) as coordinator:
+        report = coordinator.run(SPEC)
+    assert report.result.fold_accuracies == serial_reference.fold_accuracies
+    assert report.folds_by_worker == {"shard0": [0, 1, 2]}
+
+
+def test_dead_address_at_registration_degrades_gracefully(
+    worker_fleet, serial_reference
+):
+    _, addresses = worker_fleet(1)
+    with DistCoordinator(addresses + [("127.0.0.1", _free_port())]) as coordinator:
+        report = coordinator.run(SPEC)
+    assert report.result.fold_accuracies == serial_reference.fold_accuracies
+    assert report.worker_deaths == 1
+    assert report.completed_remote == 3  # the live worker absorbed everything
+
+
+def test_all_workers_dead_runs_serially(serial_reference):
+    with DistCoordinator([("127.0.0.1", _free_port())]) as coordinator:
+        report = coordinator.run(SPEC)
+    # Full degradation: every fold computed locally, same answer.
+    assert report.result.fold_accuracies == serial_reference.fold_accuracies
+    assert sorted(report.degraded_folds) == [0, 1, 2]
+    assert report.completed_remote == 0
+
+
+def test_inconsistent_shard_geometry_is_rejected():
+    workers = [
+        DistWorker(shard_index=0, num_shards=2),
+        DistWorker(shard_index=0, num_shards=3),  # wrong num_shards
+    ]
+    addresses = [w.start() for w in workers]
+    try:
+        with DistCoordinator(addresses) as coordinator:
+            with pytest.raises(ValueError, match="geometry"):
+                coordinator.run(SPEC)
+    finally:
+        for w in workers:
+            w.stop()
+
+
+def test_duplicate_shard_ownership_is_rejected():
+    workers = [
+        DistWorker(shard_index=0, num_shards=2, worker_id="a"),
+        DistWorker(shard_index=0, num_shards=2, worker_id="b"),
+    ]
+    addresses = [w.start() for w in workers]
+    try:
+        with DistCoordinator(addresses) as coordinator:
+            with pytest.raises(ValueError, match="geometry"):
+                coordinator.run(SPEC)
+    finally:
+        for w in workers:
+            w.stop()
+
+
+def test_deterministic_worker_error_aborts_not_retries(worker_fleet):
+    """An unknown model fails identically everywhere: abort, no retry."""
+    _, addresses = worker_fleet(1)
+    bad = dict(SPEC, model="no-such-model")
+    with DistCoordinator(addresses) as coordinator:
+        with pytest.raises(WorkerRejected, match="no-such-model"):
+            coordinator.run(bad)
+
+
+def test_empty_worker_list_is_rejected():
+    with pytest.raises(ValueError, match="at least one worker"):
+        DistCoordinator([])
+
+
+def test_journal_completes_and_resumes_with_zero_dispatch(
+    worker_fleet, serial_reference, tmp_path
+):
+    _, addresses = worker_fleet(2)
+    with DistCoordinator(addresses) as coordinator:
+        first = coordinator.run(SPEC, checkpoint_dir=tmp_path)
+    assert first.result.fold_accuracies == serial_reference.fold_accuracies
+    journal_files = list(tmp_path.rglob("folds.jsonl"))
+    assert len(journal_files) == 1
+    # No claim files linger once every fold is released.
+    assert not list(tmp_path.rglob("*.claim"))
+    with DistCoordinator(addresses) as coordinator:
+        second = coordinator.run(SPEC, checkpoint_dir=tmp_path)
+    assert second.dispatched == 0
+    assert second.completed_from_journal == 3
+    assert second.result.fold_accuracies == serial_reference.fold_accuracies
+
+
+def test_no_resume_discards_the_journal(worker_fleet, tmp_path):
+    _, addresses = worker_fleet(2)
+    with DistCoordinator(addresses) as coordinator:
+        coordinator.run(SPEC, checkpoint_dir=tmp_path)
+        report = coordinator.run(SPEC, checkpoint_dir=tmp_path, resume=False)
+    assert report.completed_from_journal == 0
+    assert report.dispatched == 3
+
+
+def test_serial_journal_resumes_distributed_run(
+    worker_fleet, serial_reference, tmp_path
+):
+    """Run keys are shared: a serial journal short-circuits a dist run."""
+    dataset = dataset_from_spec(SPEC["dataset"]).materialize()
+    serial = evaluate_kernel_svm(
+        kernel_for("wl-svm"),
+        dataset,
+        n_splits=3,
+        seed=0,
+        checkpoint_dir=tmp_path,
+    )
+    _, addresses = worker_fleet(2)
+    with DistCoordinator(addresses) as coordinator:
+        report = coordinator.run(SPEC, checkpoint_dir=tmp_path)
+    assert report.dispatched == 0
+    assert report.completed_from_journal == 3
+    assert report.result.fold_accuracies == serial.fold_accuracies

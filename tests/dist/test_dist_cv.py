@@ -1,0 +1,201 @@
+"""Acceptance: distributed CV is bitwise-equal to serial, faults included.
+
+Subprocess workers (the real deployment shape) at 2 and 4 loopback
+workers, for all three kernel variants and a DeepMap neural model:
+
+* fold accuracies AND journal contents equal serial execution bitwise
+  (modulo the honest wall-clock ``seconds`` field, which differs even
+  between two serial runs);
+* a ``kill``-action fault (faults DSL) taking a worker process down
+  mid-fold changes nothing: the fold is reassigned and the answers stay
+  bitwise-equal;
+* a rerun against the journal resumes with **zero** recomputed folds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.dist import DistCoordinator, run_spec
+from repro.dist.protocol import (
+    dataset_from_spec,
+    kernel_for,
+    model_factory_for,
+)
+from repro.eval.protocol import evaluate_kernel_svm, evaluate_neural_model
+from repro.resilience.faults import KILL_EXIT_CODE
+from tests.dist.conftest import journal_contents, strip_timing
+
+pytestmark = [pytest.mark.dist, pytest.mark.slow]
+
+SCALE = 0.05
+FOLDS = 3
+
+
+def _spec(model: str) -> dict:
+    return run_spec(
+        model, "PTC_MR", scale=SCALE, dataset_seed=0, n_splits=FOLDS, seed=0,
+        epochs=2,
+    )
+
+
+def _serial(model: str, checkpoint_dir=None):
+    spec = _spec(model)
+    dataset = dataset_from_spec(spec["dataset"]).materialize()
+    kernel = kernel_for(model)
+    if kernel is not None:
+        return evaluate_kernel_svm(
+            kernel, dataset, n_splits=FOLDS, seed=0,
+            checkpoint_dir=checkpoint_dir,
+        )
+    return evaluate_neural_model(
+        model_factory_for(model, 2), dataset, n_splits=FOLDS, seed=0,
+        name=model, checkpoint_dir=checkpoint_dir,
+    )
+
+
+def _assert_bitwise(result, reference):
+    assert result.fold_accuracies == reference.fold_accuracies
+    assert result.best_epoch == reference.best_epoch
+    for key, value in reference.extra.items():
+        if key == "fold_seconds":
+            continue
+        assert result.extra[key] == value, key
+
+
+@pytest.mark.parametrize("model", ["gk-svm", "sp-svm", "wl-svm"])
+@pytest.mark.parametrize("num_workers", [2, 4])
+def test_kernel_cv_bitwise_parity(spawn_worker, tmp_path, model, num_workers):
+    serial = _serial(model, checkpoint_dir=tmp_path / "serial")
+    handles = [spawn_worker(i, num_workers) for i in range(num_workers)]
+    with DistCoordinator([h.address for h in handles]) as coordinator:
+        report = coordinator.run(_spec(model), checkpoint_dir=tmp_path / "dist")
+    _assert_bitwise(report.result, serial)
+    assert report.completed_remote == FOLDS
+    assert not report.degraded_folds
+    # Journal contents equal the serial journal's, fold for fold.
+    dist_journal = journal_contents(tmp_path / "dist")
+    serial_journal = journal_contents(tmp_path / "serial")
+    assert sorted(dist_journal) == list(range(FOLDS))
+    assert dist_journal == serial_journal
+    # Same run key: serial and dist journals live under the same name.
+    assert {p.parent.name for p in (tmp_path / "dist").rglob("folds.jsonl")} == {
+        p.parent.name for p in (tmp_path / "serial").rglob("folds.jsonl")
+    }
+
+
+def test_neural_cv_bitwise_parity(spawn_worker, tmp_path):
+    serial = _serial("deepmap-wl", checkpoint_dir=tmp_path / "serial")
+    handles = [spawn_worker(i, 2) for i in range(2)]
+    with DistCoordinator([h.address for h in handles]) as coordinator:
+        report = coordinator.run(
+            _spec("deepmap-wl"), checkpoint_dir=tmp_path / "dist"
+        )
+    _assert_bitwise(report.result, serial)
+    assert journal_contents(tmp_path / "dist") == journal_contents(
+        tmp_path / "serial"
+    )
+
+
+@pytest.mark.parametrize("model", ["wl-svm", "gk-svm", "sp-svm"])
+def test_kill_fault_mid_fold_reassigns_and_stays_bitwise(
+    spawn_worker, tmp_path, model
+):
+    """One worker is killed mid-fold; parity and the journal survive."""
+    serial = _serial(model)
+    fault_env = {
+        # The doomed worker dies on whichever fold it is dispatched
+        # first — scheduling is load-driven, so arm every fold.
+        "REPRO_FAULTS": ",".join(f"kill@fold:{f}" for f in range(FOLDS)),
+        "REPRO_FAULTS_STATE": str(tmp_path / "faults-state"),
+    }
+    doomed = spawn_worker(0, 2, env=fault_env)
+    survivor = spawn_worker(1, 2)
+    ckpt = tmp_path / "ckpt"
+    with DistCoordinator(
+        [doomed.address, survivor.address], heartbeat_interval_s=0.3
+    ) as coordinator:
+        report = coordinator.run(_spec(model), checkpoint_dir=ckpt)
+    _assert_bitwise(report.result, serial)
+    assert report.worker_deaths == 1
+    assert report.reassignments >= 1
+    assert doomed.wait() == KILL_EXIT_CODE  # died by the fault, not cleanup
+    assert sorted(journal_contents(ckpt)) == list(range(FOLDS))
+
+    # Rerun resumes from the journal: zero folds recomputed, zero
+    # dispatched, same bitwise answer.
+    fresh = spawn_worker(0, 2)
+    before = journal_contents(ckpt)
+    with DistCoordinator([fresh.address]) as coordinator:
+        rerun = coordinator.run(_spec(model), checkpoint_dir=ckpt)
+    assert rerun.dispatched == 0
+    assert rerun.completed_from_journal == FOLDS
+    _assert_bitwise(rerun.result, serial)
+    assert journal_contents(ckpt) == before  # nothing was re-journaled
+
+
+def test_crash_between_folds_resumes_only_missing(spawn_worker, tmp_path):
+    """Kill after fold 0 completes: the rerun recomputes only folds 1, 2."""
+    serial = _serial("wl-svm")
+    ckpt = tmp_path / "ckpt"
+
+    # Phase 1: a single worker armed to die on its second fold.
+    fault_env = {
+        "REPRO_FAULTS": "kill@fold:1,kill@fold:2",
+        "REPRO_FAULTS_STATE": str(tmp_path / "faults-state"),
+    }
+    doomed = spawn_worker(0, 1, env=fault_env)
+    with DistCoordinator(
+        [doomed.address], heartbeat_interval_s=0.3, max_fold_retries=0
+    ) as coordinator:
+        partial = coordinator.run(_spec("wl-svm"), checkpoint_dir=ckpt)
+    # The run still finishes (degraded folds run serially in the
+    # coordinator) and the journal holds all folds...
+    _assert_bitwise(partial.result, serial)
+    assert doomed.wait() == KILL_EXIT_CODE
+    journaled = journal_contents(ckpt)
+    assert sorted(journaled) == list(range(FOLDS))
+    # ...including the fold the worker completed *before* dying.
+    remote_folds = [f for fs in partial.folds_by_worker.values() for f in fs]
+    assert remote_folds  # at least one fold finished remotely pre-crash
+    for fold in remote_folds:
+        assert journaled[fold] == strip_timing(
+            {"accuracy": serial.fold_accuracies[fold],
+             "selected_c": serial.extra["selected_c"][fold],
+             "seconds": 0.0}
+        )
+
+
+def test_cli_dist_run_end_to_end(spawn_worker, tmp_path):
+    """`repro dist run` against `repro dist worker` processes."""
+    import os
+    import subprocess
+    import sys
+
+    from tests.dist.conftest import SRC_DIR
+
+    handles = [spawn_worker(i, 2) for i in range(2)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "dist", "run",
+            "--dataset", "PTC_MR", "--model", "wl-svm",
+            "--scale", str(SCALE), "--folds", str(FOLDS), "--seed", "0",
+            "--workers", ",".join(f"{h.host}:{h.port}" for h in handles),
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--shutdown-workers",
+        ],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert out.returncode == 0, out.stdout + out.stderr
+    serial = _serial("wl-svm")
+    assert f"accuracy: {serial.formatted()}" in out.stdout
+    assert "folds remote" in out.stdout
+    for handle in handles:
+        assert handle.wait() == 0  # --shutdown-workers stopped them cleanly

@@ -1,0 +1,66 @@
+"""The dist op protocol and the canonical model/dataset registries."""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.dist import protocol
+
+pytestmark = pytest.mark.dist
+
+
+def test_registry_covers_every_cli_model_choice():
+    from repro.cli import MODEL_CHOICES
+
+    for model in MODEL_CHOICES:
+        kernel = protocol.kernel_for(model)
+        factory = protocol.model_factory_for(model, epochs=1)
+        # Every CLI choice is exactly one of kernel or neural.
+        assert (kernel is None) != (factory is None), model
+    assert set(protocol.KERNEL_MODELS) | set(protocol.NEURAL_MODELS) == set(
+        MODEL_CHOICES
+    )
+
+
+def test_kernel_registry_is_deterministic():
+    a = protocol.kernel_for("wl-svm")
+    b = protocol.kernel_for("wl-svm")
+    assert type(a) is type(b)
+    assert a.name == b.name
+    assert protocol.kernel_for("deepmap-wl") is None
+    assert protocol.kernel_for("nonsense") is None
+
+
+def test_model_factory_builds_fresh_models():
+    factory = protocol.model_factory_for("deepmap-wl", epochs=2)
+    m1, m2 = factory(0), factory(0)
+    assert m1 is not m2
+    assert protocol.model_factory_for("nonsense", epochs=2) is None
+
+
+def test_dataset_from_spec_reconstructs_identically():
+    spec = {"name": "PTC_MR", "scale": 0.05, "seed": 0}
+    a = protocol.dataset_from_spec(spec).materialize()
+    b = protocol.dataset_from_spec(spec).materialize()
+    assert len(a) == len(b)
+    np.testing.assert_array_equal(a.y, b.y)
+    for ga, gb in zip(a.graphs, b.graphs):
+        assert ga == gb  # Graph equality: vertices, edges, labels
+
+
+def test_send_recv_message_roundtrip():
+    a, b = socket.socketpair()
+    try:
+        protocol.send_message(
+            a, {"op": protocol.OP_RUN_FOLD, "fold": 2}, {"idx": np.arange(5)}
+        )
+        header, arrays = protocol.recv_message(b)
+        assert header == {"op": protocol.OP_RUN_FOLD, "fold": 2}
+        np.testing.assert_array_equal(arrays["idx"], np.arange(5))
+        a.close()
+        assert protocol.recv_message(b) is None
+    finally:
+        b.close()

@@ -1,0 +1,105 @@
+"""Shard partitioning and the sharded gram assembly's bitwise parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import FeatureMapCache
+from repro.datasets import make_dataset
+from repro.dist.store import shard_graphs, sharded_gram, warm_shard_counts
+from repro.kernels import (
+    GraphletKernel,
+    ShortestPathKernel,
+    WeisfeilerLehmanKernel,
+)
+from repro.stream import partition_bounds
+
+pytestmark = pytest.mark.dist
+
+
+KERNELS = [
+    pytest.param(lambda: WeisfeilerLehmanKernel(3), id="wl"),
+    pytest.param(lambda: ShortestPathKernel(), id="sp"),
+    pytest.param(lambda: GraphletKernel(k=4, samples=10, seed=0), id="gk"),
+]
+
+
+def _stream(scale: float = 0.05):
+    return make_dataset("PTC_MR", scale=scale, seed=0, stream=True)
+
+
+# ----------------------------------------------------------------------
+# partition_bounds
+# ----------------------------------------------------------------------
+
+def test_partition_bounds_cover_exactly_once():
+    for n in (0, 1, 7, 24, 100):
+        for parts in (1, 2, 3, 4, 7):
+            spans = [partition_bounds(n, parts, i) for i in range(parts)]
+            # Contiguous, ordered, disjoint, covering [0, n).
+            assert spans[0][0] == 0
+            assert spans[-1][1] == n
+            for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+                assert a1 == b0
+                assert a0 <= a1 and b0 <= b1
+
+
+def test_partition_bounds_balance():
+    for parts in (2, 3, 4):
+        sizes = [b - a for a, b in (partition_bounds(10, parts, i) for i in range(parts))]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_partition_bounds_rejects_bad_indices():
+    with pytest.raises(IndexError):
+        partition_bounds(10, 2, 2)
+    with pytest.raises(IndexError):
+        partition_bounds(10, 2, -1)
+    with pytest.raises(ValueError):
+        partition_bounds(10, 0, 0)
+
+
+def test_shard_graphs_concatenate_to_the_full_dataset():
+    stream = _stream()
+    full = stream.materialize().graphs
+    for parts in (1, 2, 3):
+        pieces = [shard_graphs(stream, i, parts) for i in range(parts)]
+        flat = [g for piece in pieces for g in piece]
+        assert len(flat) == len(full)
+        assert all(a == b for a, b in zip(flat, full))
+
+
+# ----------------------------------------------------------------------
+# sharded gram parity
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("make_kernel", KERNELS)
+@pytest.mark.parametrize("num_shards", [1, 2, 3])
+def test_sharded_gram_is_bitwise_equal(make_kernel, num_shards):
+    stream = _stream()
+    reference = make_kernel().gram(stream.materialize().graphs)
+    sharded = sharded_gram(
+        make_kernel(), stream, num_shards, FeatureMapCache()
+    )
+    assert sharded.dtype == reference.dtype
+    assert np.array_equal(sharded, reference)  # bitwise, not allclose
+
+
+def test_sharded_gram_reads_warmed_counts_from_cache():
+    stream = _stream()
+    kernel = WeisfeilerLehmanKernel(3)
+    cache = FeatureMapCache()
+    total = sum(
+        warm_shard_counts(kernel.extractor, stream, i, 2, cache)
+        for i in range(2)
+    )
+    assert total == len(stream)
+    stores_after_warm = cache.stats.stores
+    hits_before = cache.stats.hits
+    sharded = sharded_gram(kernel, stream, 2, cache)
+    # The gram assembly found every shard's counts already cached.
+    assert cache.stats.hits > hits_before
+    assert cache.stats.stores == stores_after_warm
+    reference = kernel.gram(stream.materialize().graphs)
+    assert np.array_equal(sharded, reference)
