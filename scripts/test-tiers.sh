@@ -7,10 +7,19 @@
 #   ./scripts/test-tiers.sh faults  the crash-recovery fault matrix only
 #                                   (tests/resilience, slow cases included)
 #   ./scripts/test-tiers.sh serve   the inference-serving tier: tests/serve
-#                                   plus an end-to-end CLI smoke test that
-#                                   boots `repro serve` on an ephemeral
-#                                   port, does one predict round-trip, and
-#                                   checks clean SIGINT shutdown
+#                                   (incl. the differential codec/backend
+#                                   harness, binary-codec fuzz, pool fault
+#                                   injection, autoscaler, canary/shadow
+#                                   routing) plus an end-to-end CLI smoke
+#                                   test that boots `repro serve` on an
+#                                   ephemeral port, does one predict
+#                                   round-trip, and checks clean SIGINT
+#                                   shutdown, then a smoke-mode run of
+#                                   the serve bench so the pool-scaling /
+#                                   codec stages can't rot; full-scale
+#                                   numbers + the regression gate on
+#                                   BENCH_serve.json are a separate
+#                                   manual step (see docs/SERVING.md)
 #   ./scripts/test-tiers.sh obs     the observability tier: tests/obs
 #                                   (tracing, SLOs, resources, metrics,
 #                                   events) plus a smoke-mode run of the
@@ -82,6 +91,7 @@ case "$tier" in
     serve)
         python -m pytest tests/serve/ "$@"
         python scripts/serve_smoke.py
+        REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_serve_latency.py "$@"
         ;;
     obs)
         python -m pytest tests/obs/ "$@"

@@ -75,12 +75,31 @@ inference serving:
                                    with 429 + Retry-After instead of queueing
                                    unboundedly; GET /metrics exposes queue
                                    depth, batch-size histograms + shed counts
+  repro serve --model model.pkl --backend pool --workers 4
+                                   run fused batches on a process pool with
+                                   shared-memory tensor handoff; crashed
+                                   workers respawn (bounded), then degrade to
+                                   in-thread execution (/healthz: degraded)
+  repro serve --model model.pkl --backend pool --workers auto
+                                   autoscale workers between 1 and
+                                   min(4, cpu count) from the queue-depth and
+                                   p95-latency gauges (hysteresis + cooldown)
+  repro serve --model v1.pkl --model v2.pkl --canary default@1:10
+                                   load two versions; route 10% of traffic
+                                   (by deterministic trace-id hash) to v1
+  repro serve --model v1.pkl --model v2.pkl --shadow default@1
+                                   shadow-evaluate v1 on every live batch;
+                                   agreement is counted (serve_shadow_*),
+                                   the shadow answer is never returned
   repro loadtest http://127.0.0.1:8080 \\
               --mode closed --concurrency 8 --duration 5
                                    closed- or open-loop (--mode open --rps R)
                                    load generator; prints p50/p95/p99 latency,
                                    throughput, the mean fused batch size, and
                                    the admission-queue high-water mark
+  repro loadtest URL --codec binary
+                                   drive the binary CSR wire codec
+                                   (application/x-repro-graph) instead of JSON
 
 streaming / out-of-core training:
   repro train --stream             train a single deepmap-* model out of core:
@@ -129,7 +148,7 @@ distributed cross-validation:
                                    bitwise-equal to repro train
   repro dist run --checkpoint-dir DIR
                                    journal finished folds (exactly-once via
-                                   O_EXCL fold claims); a rerun after any
+                                   atomic fold claims); a rerun after any
                                    crash recomputes zero completed folds,
                                    and the same journal resumes a serial
                                    repro train run and vice versa
@@ -283,13 +302,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--model",
         required=True,
+        action="append",
         metavar="PATH",
-        help="model file written by repro.core.persistence.save_model",
+        help="model file written by repro.core.persistence.save_model; "
+        "repeat to load successive versions of the slot (v1, v2, ...) "
+        "for --canary / --shadow routing",
     )
     serve.add_argument(
         "--name",
         default="default",
         help="registry slot name for the model (default: default)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("thread", "pool"),
+        default="thread",
+        help="inference backend: in-process threads or a process pool "
+        "with shared-memory tensor handoff (default: thread)",
+    )
+    serve.add_argument(
+        "--workers",
+        default="1",
+        metavar="N|auto",
+        help="batcher drainers (and pool workers with --backend pool); "
+        "'auto' autoscales between 1 and min(4, cpu count) from "
+        "queue-depth/p95 gauges (default: 1)",
+    )
+    serve.add_argument(
+        "--canary",
+        default=None,
+        metavar="NAME@VERSION:PCT",
+        help="route PCT%% of NAME's traffic to VERSION "
+        "(e.g. default@1:10); the split is a deterministic trace-id hash",
+    )
+    serve.add_argument(
+        "--shadow",
+        default=None,
+        metavar="NAME@VERSION",
+        help="shadow-evaluate VERSION on every NAME batch; results are "
+        "compared and counted (serve_shadow_* metrics), never returned",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -386,6 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--endpoint",
         choices=("predict", "predict_proba"),
         default="predict_proba",
+    )
+    loadtest.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default="json",
+        help="wire codec for requests/responses (binary = "
+        "application/x-repro-graph CSR tensors; same numbers, fewer bytes)",
     )
     loadtest.add_argument(
         "--dataset",
@@ -795,8 +853,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # owning an in-memory-only context.
         obs.reset()
         obs.enable(jsonl_path=args.log_json)
+    import os
+
+    from repro.serve.registry import parse_canary_spec
+
     registry = ModelRegistry(warm=not args.no_warm)
-    entry = registry.load(args.model, name=args.name)
+    for path in args.model:  # repeated --model = successive versions
+        entry = registry.load(path, name=args.name)
+    if args.canary is not None:
+        name, version, pct = parse_canary_spec(args.canary)
+        registry.set_canary(name, version, pct)
+    if args.shadow is not None:
+        try:
+            shadow_name, shadow_version_s = args.shadow.rsplit("@", 1)
+            shadow_version = int(shadow_version_s)
+        except ValueError:
+            print(f"bad --shadow spec {args.shadow!r}; expected name@version")
+            return 2
+        registry.set_shadow(shadow_name, shadow_version)
+    if args.workers == "auto":
+        autoscale = True
+        workers = 1
+        autoscale_max = max(1, min(4, os.cpu_count() or 1))
+    else:
+        autoscale = False
+        try:
+            workers = int(args.workers)
+        except ValueError:
+            print(f"--workers must be an integer or 'auto', got {args.workers!r}")
+            return 2
+        autoscale_max = max(workers, 1)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -808,16 +894,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_error_rate_target=args.slo_error_rate,
         slo_window_s=args.slo_window_s,
         resource_interval_s=args.resource_interval_s,
+        backend=args.backend,
+        pool_workers=workers,
+        batcher_workers=workers,
+        autoscale=autoscale,
+        autoscale_max=autoscale_max,
     )
     server = ReproServer(registry, config)
     server.start()
     # The exact "listening on" line is the startup contract scripts
     # (e.g. the serve smoke tier) parse to learn the ephemeral port.
+    workers_desc = "auto" if autoscale else str(workers)
     print(
         f"listening on {server.url}  "
         f"(model {entry.name} v{entry.version}: {entry.model.extractor.name}, "
         f"max_batch={config.max_batch}, max_wait_ms={config.max_wait_ms:g}, "
-        f"max_queue={config.max_queue})",
+        f"max_queue={config.max_queue}, backend={config.backend}, "
+        f"workers={workers_desc})",
         flush=True,
     )
     try:
@@ -859,6 +952,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         rps=args.rps,
         timeout_ms=args.timeout_ms,
+        codec=args.codec,
     )
     print(result.summary())
     if args.json is not None:

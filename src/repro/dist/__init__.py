@@ -12,7 +12,7 @@ worker *processes* that talk a checksummed socket protocol
   serial execution when the fleet is gone — mirroring
   :mod:`repro.parallel`'s crash semantics;
 * the :mod:`repro.resilience` journal is the commit log: folds complete
-  exactly once (O_EXCL claims), and a rerun after a crash recomputes
+  exactly once (atomic link-published claims), and a rerun after a crash recomputes
   zero finished folds.
 
 Everything is loopback-testable on one machine, but the protocol is

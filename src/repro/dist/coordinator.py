@@ -27,7 +27,7 @@ Scheduling and failure semantics mirror :mod:`repro.parallel`:
 Exactly-once completion rides on :mod:`repro.resilience.journal`: with a
 ``checkpoint_dir``, finished folds are journaled the moment their
 result arrives (crash-safe commit log; a rerun recomputes zero finished
-folds), and each fold is *claimed* (O_EXCL + heartbeat lease,
+folds), and each fold is *claimed* (atomic link-published claim + heartbeat lease,
 :class:`~repro.resilience.journal.FoldClaims`) before dispatch, so two
 coordinators sharing a checkpoint directory can never double-run one.
 """

@@ -94,6 +94,112 @@ class Graph:
             arr.flags.writeable = False
         self._hash: int | None = None
 
+    @classmethod
+    def _from_csr(
+        cls,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: np.ndarray | None = None,
+    ) -> "Graph":
+        """Build a graph directly from canonical CSR arrays.
+
+        Trusted-but-verified fast path for wire decoders: the arrays are
+        checked *vectorized* — no per-edge Python loop — to be exactly
+        the canonical CSR ``__init__`` would derive (monotone 0-based
+        offsets, per-row strictly increasing neighbors, no self-loops,
+        symmetric adjacency), then adopted as-is.  Anything else raises
+        ``ValueError``.  The arrays are copied, so callers may hand in
+        views over transient buffers (e.g. shared memory).
+
+        The result is indistinguishable from ``Graph(n, edges, labels)``:
+        same array contents, dtypes, equality, and hash.
+        """
+        n = int(num_vertices)
+        if n < 0:
+            raise ValueError(f"num_vertices must be >= 0, got {n}")
+        indptr = np.array(indptr, dtype=np.int64, copy=True)
+        indices = np.array(indices, dtype=np.int64, copy=True)
+        if (
+            indptr.shape != (n + 1,)
+            or (indptr.size and indptr[0] != 0)
+            or np.any(np.diff(indptr) < 0)
+            or int(indptr[-1] if indptr.size else 0) != indices.size
+        ):
+            raise ValueError("indptr is not a monotone 0-based offset array")
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= n:
+                raise ValueError(f"neighbor id out of range for n={n}")
+            degrees = np.diff(indptr)
+            src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+            if np.any(src == indices):
+                raise ValueError("adjacency is not canonical CSR (self-loop)")
+            # Strictly increasing within each row <=> sorted, duplicate-free.
+            step = np.diff(indices)
+            same_row = np.ones(indices.size - 1, dtype=bool)
+            starts = indptr[1:-1]
+            starts = starts[(starts > 0) & (starts < indices.size)]
+            same_row[starts - 1] = False
+            if np.any(step[same_row] <= 0):
+                raise ValueError(
+                    "adjacency is not canonical CSR (rows not sorted unique)"
+                )
+            # Symmetry: the directed pair set must be closed under swap.
+            lo = src < indices
+            forward = src[lo] * n + indices[lo]
+            backward = indices[~lo] * n + src[~lo]
+            if forward.size != backward.size or not np.array_equal(
+                forward, np.sort(backward)
+            ):
+                raise ValueError("adjacency is not canonical CSR (asymmetric)")
+            # Rows are sorted by (src, dst), so `forward` is already the
+            # lexicographically sorted u < v edge list.
+            edges = np.column_stack([src[lo], indices[lo]])
+        else:
+            edges = np.empty((0, 2), dtype=np.int64)
+
+        if labels is None:
+            labels_arr = np.zeros(n, dtype=np.int64)
+        else:
+            labels_arr = np.array(labels, dtype=np.int64, copy=True)
+            if labels_arr.shape != (n,):
+                raise ValueError(
+                    f"labels must have length {n}, got {labels_arr.shape}"
+                )
+            if labels_arr.size and labels_arr.min() < 0:
+                raise ValueError("labels must be non-negative integers")
+
+        return cls._adopt(n, indptr, indices, labels_arr, edges)
+
+    @classmethod
+    def _adopt(
+        cls,
+        n: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: np.ndarray,
+        edges: np.ndarray,
+    ) -> "Graph":
+        """Adopt pre-verified canonical arrays without validation.
+
+        Internal escape hatch for callers that have already proven —
+        vectorized, possibly across a whole batch at once — that the
+        arrays are exactly what ``__init__`` would derive (see
+        ``_from_csr`` and the serve codec's batch decoder).  The arrays
+        are adopted as-is and frozen, NOT copied: the caller must hand
+        over ownership.
+        """
+        graph = cls.__new__(cls)
+        graph.n = n
+        graph._indptr = indptr
+        graph._indices = indices
+        graph._labels = labels
+        graph._edges = edges
+        for arr in (indptr, indices, labels, edges):
+            arr.flags.writeable = False
+        graph._hash = None
+        return graph
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

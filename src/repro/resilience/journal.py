@@ -23,10 +23,11 @@ bitwise-identical to uninterrupted runs.
 
 **Claims** (:class:`FoldClaims`) extend the journal for *concurrent*
 writers: the journal records what finished, claims arbitrate who may
-run a fold in the first place.  A claim is an ``O_CREAT|O_EXCL`` file —
-the filesystem's own mutual exclusion, safe across unrelated processes
-and (on a shared filesystem) across hosts — holding the owner id, pid,
-and a heartbeat timestamp the owner refreshes while it works.  A claim
+run a fold in the first place.  A claim is a file published with an
+atomic ``os.link`` — the filesystem's own mutual exclusion, safe across
+unrelated processes and (on a shared filesystem) across hosts — holding
+the owner id, pid, and a heartbeat timestamp the owner refreshes while
+it works.  A claim
 whose heartbeat has gone stale (owner died mid-fold) is *stolen* by
 renaming it aside: ``os.rename`` succeeds for exactly one stealer, so
 even the takeover is single-winner.  The dist coordinator claims a fold
@@ -110,11 +111,12 @@ class FoldJournal:
 
 
 class FoldClaims:
-    """Exclusive, heartbeat-leased fold ownership via O_EXCL claim files.
+    """Exclusive, heartbeat-leased fold ownership via linked claim files.
 
-    One file per fold under ``directory``; creation with
-    ``O_CREAT | O_EXCL`` is the atomic acquire (exactly one process can
-    win it, whatever host or process tree it belongs to).  The file body
+    One file per fold under ``directory``; the fully-written body is
+    published under the claim name with ``os.link`` — the atomic acquire
+    (exactly one process can create the name, whatever host or process
+    tree it belongs to, and the name never exists half-written).  The file body
     is JSON — ``{"owner", "pid", "ts"}`` — and the owner rewrites it
     (tmp + ``os.replace``, atomic for readers) as its heartbeat.  When a
     contender finds an existing claim whose ``ts`` is older than
@@ -147,24 +149,38 @@ class FoldClaims:
 
     # -- acquire ---------------------------------------------------------
     def claim(self, fold: int) -> bool:
-        """Try to acquire ``fold``; True iff this owner now holds it."""
+        """Try to acquire ``fold``; True iff this owner now holds it.
+
+        The body is written (and fsynced) to a hidden temp file first and
+        the claim name is published with an atomic :func:`os.link`.  The
+        name therefore never exists with a partial body — a contender that
+        loses the race can't misread a mid-write claim as torn/stale and
+        steal it back, which would mint two winners.
+        """
         path = self._path(fold)
         self.directory.mkdir(parents=True, exist_ok=True)
-        while True:
-            try:
-                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-            except FileExistsError:
-                if not self._try_steal(fold):
-                    obs.counter("fold_claims_contended_total").inc()
-                    return False
-                continue  # stale claim evicted: retry the O_EXCL acquire
+        fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=".claim-")
+        try:
             try:
                 os.write(fd, self._body())
                 os.fsync(fd)
             finally:
                 os.close(fd)
-            obs.counter("fold_claims_acquired_total").inc()
-            return True
+            while True:
+                try:
+                    os.link(tmp, path)  # atomic: exactly one link wins
+                except FileExistsError:
+                    if not self._try_steal(fold):
+                        obs.counter("fold_claims_contended_total").inc()
+                        return False
+                    continue  # stale claim evicted: retry the acquire
+                obs.counter("fold_claims_acquired_total").inc()
+                return True
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     def _try_steal(self, fold: int) -> bool:
         """Evict a stale claim; True iff the caller should retry claiming.

@@ -16,7 +16,12 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.obs.reqtrace import TRACE_HEADER
-from repro.serve.codec import graph_to_json
+from repro.serve.codec import (
+    BINARY_CONTENT_TYPE,
+    decode_predict_response,
+    encode_predict_request,
+    graph_to_json,
+)
 
 __all__ = ["ServeClient", "ServeClientError"]
 
@@ -38,15 +43,23 @@ class ServeClient:
     (``client.trace(client.last_trace_id)`` or ``repro ops trace``).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self, base_url: str, timeout: float = 30.0, codec: str = "json"
+    ) -> None:
         parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if parts.scheme not in ("", "http"):
             raise ValueError(f"only http:// URLs are supported, got {base_url!r}")
         if parts.hostname is None:
             raise ValueError(f"no host in URL {base_url!r}")
+        if codec not in ("json", "binary"):
+            raise ValueError(f"codec must be 'json' or 'binary', got {codec!r}")
         self.host = parts.hostname
         self.port = parts.port or 80
         self.timeout = timeout
+        #: Wire codec for predict traffic: ``"json"`` (default) or
+        #: ``"binary"`` (CSR tensors via ``application/x-repro-graph``;
+        #: bitwise the same numbers, a fraction of the bytes).
+        self.codec = codec
         self._conn: http.client.HTTPConnection | None = None
         #: Trace id echoed by the most recent response (None before any).
         self.last_trace_id: str | None = None
@@ -70,10 +83,14 @@ class ServeClient:
         self,
         method: str,
         path: str,
-        payload: dict | None = None,
+        payload: dict | bytes | None = None,
         trace_id: str | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """One round-trip; returns ``(status, headers, body)`` uninterpreted.
+
+        A ``dict`` payload goes out as JSON; ``bytes`` are sent verbatim
+        as a pre-encoded binary frame (and the binary codec is offered
+        for the response via ``Accept``).
 
         ``trace_id`` is sent as the ``X-Repro-Trace-Id`` header (the
         server adopts valid ids instead of minting its own); the id
@@ -82,8 +99,16 @@ class ServeClient:
         Retries exactly once on a dead keep-alive connection (the server
         restarting or idling out the socket); a second failure raises.
         """
-        body = None if payload is None else json.dumps(payload).encode()
-        headers = {} if body is None else {"Content-Type": "application/json"}
+        if isinstance(payload, (bytes, bytearray)):
+            # Pre-encoded binary frame: send and accept the binary codec.
+            body: bytes | None = bytes(payload)
+            headers = {
+                "Content-Type": BINARY_CONTENT_TYPE,
+                "Accept": BINARY_CONTENT_TYPE,
+            }
+        else:
+            body = None if payload is None else json.dumps(payload).encode()
+            headers = {} if body is None else {"Content-Type": "application/json"}
         if trace_id is not None:
             headers[TRACE_HEADER] = trace_id
         for attempt in (0, 1):
@@ -140,6 +165,39 @@ class ServeClient:
             payload["timeout_ms"] = timeout_ms
         return payload
 
+    def _predict_body(
+        self,
+        path: str,
+        graphs: list[Graph],
+        model: str | None,
+        timeout_ms: float | None,
+        trace_id: str | None,
+    ) -> dict:
+        """One predict round-trip through the configured codec."""
+        if self.codec == "binary":
+            frame = encode_predict_request(
+                graphs, model=model, timeout_ms=timeout_ms
+            )
+            status, headers, data = self.request(
+                "POST", path, frame, trace_id=trace_id
+            )
+            if status != 200:
+                # Errors come back as JSON regardless of the codec.
+                try:
+                    parsed = json.loads(data) if data else {}
+                except json.JSONDecodeError:
+                    parsed = {"error": data.decode(errors="replace")}
+                retry_after = headers.get("retry-after")
+                raise ServeClientError(
+                    status,
+                    parsed.get("error", "request failed"),
+                    retry_after=float(retry_after) if retry_after else None,
+                )
+            return decode_predict_response(data)
+        return self._json_request(
+            "POST", path, self._payload(graphs, model, timeout_ms), trace_id=trace_id
+        )
+
     def predict(
         self,
         graphs: list[Graph],
@@ -148,11 +206,8 @@ class ServeClient:
         trace_id: str | None = None,
     ) -> np.ndarray:
         """Predicted class labels (``(n,)`` int array)."""
-        body = self._json_request(
-            "POST",
-            "/v1/predict",
-            self._payload(graphs, model, timeout_ms),
-            trace_id=trace_id,
+        body = self._predict_body(
+            "/v1/predict", graphs, model, timeout_ms, trace_id
         )
         return np.asarray(body["labels"], dtype=np.int64)
 
@@ -165,15 +220,12 @@ class ServeClient:
     ) -> np.ndarray:
         """Class-probability matrix (``(n, c)`` float array).
 
-        JSON floats round-trip exactly (shortest-repr encoding), so the
-        returned matrix is bitwise-identical to the server-side numpy
-        result.
+        Both codecs return the server's numbers bitwise: JSON floats
+        round-trip exactly (shortest-repr encoding) and the binary codec
+        carries the float64 tensor itself.
         """
-        body = self._json_request(
-            "POST",
-            "/v1/predict_proba",
-            self._payload(graphs, model, timeout_ms),
-            trace_id=trace_id,
+        body = self._predict_body(
+            "/v1/predict_proba", graphs, model, timeout_ms, trace_id
         )
         return np.asarray(body["proba"], dtype=np.float64)
 

@@ -61,13 +61,21 @@ from repro.obs.reqtrace import (
 from repro.obs.resources import ResourceSampler, sample_resources
 from repro.obs.slo import SloConfig, SloMonitor
 from repro.serve.batcher import (
+    Autoscaler,
     BatcherStopped,
     DeadlineExceeded,
     MicroBatcher,
     RequestShed,
     register_serve_metrics,
 )
-from repro.serve.codec import CodecError, parse_predict_request
+from repro.serve.codec import (
+    BINARY_CONTENT_TYPE,
+    CodecError,
+    encode_predict_response,
+    parse_predict_request,
+    parse_predict_request_binary,
+)
+from repro.serve.pool import InferencePool, PoolError, register_pool_metrics
 from repro.serve.registry import ModelRegistry
 
 __all__ = ["ServeConfig", "ReproServer"]
@@ -97,6 +105,22 @@ class ServeConfig:
     # -- telemetry ------------------------------------------------------
     resource_interval_s: float = 5.0  # <= 0 disables the sampler thread
     trace_capacity: int = 512
+    # -- inference backend (see repro.serve.pool) -----------------------
+    backend: str = "thread"  # "thread" (in-process) | "pool" (processes)
+    pool_workers: int = 1
+    pool_max_respawns: int = 3
+    batcher_workers: int = 1
+    # -- autoscaling (see repro.serve.batcher.Autoscaler) ---------------
+    autoscale: bool = False
+    autoscale_min: int = 1
+    autoscale_max: int = 4
+    autoscale_interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("thread", "pool"):
+            raise ValueError(
+                f"backend must be 'thread' or 'pool', got {self.backend!r}"
+            )
 
 
 class ReproServer:
@@ -109,6 +133,9 @@ class ReproServer:
         self._serve_thread: threading.Thread | None = None
         self._batchers: dict[str, MicroBatcher] = {}
         self._batcher_lock = threading.Lock()
+        self._autoscalers: dict[str, Autoscaler] = {}
+        self._pool: InferencePool | None = None
+        self._pool_lock = threading.Lock()
         self._started_at = 0.0
         self._owns_obs = False
         self.slo = SloMonitor(
@@ -139,14 +166,35 @@ class ReproServer:
         # Expose the full serving surface from the first /metrics scrape,
         # even before any request creates a batcher.
         register_serve_metrics()
+        register_pool_metrics()
         obs.histogram("serve_request_seconds", REQUEST_SECONDS_BUCKETS)
         obs.counter("serve_internal_errors_total")
+        obs.counter("serve_canary_requests_total")
+        obs.counter("serve_shadow_batches_total")
+        obs.counter("serve_shadow_agree_total")
+        obs.counter("serve_shadow_mismatch_total")
+        obs.counter("serve_shadow_errors_total")
         registry = obs.get_metrics()
         registry.describe(
             "serve_request_seconds", "End-to-end HTTP predict latency."
         )
         registry.describe(
             "serve_internal_errors_total", "Requests answered with HTTP 500."
+        )
+        registry.describe(
+            "serve_canary_requests_total", "Requests routed to a canary version."
+        )
+        registry.describe(
+            "serve_shadow_batches_total", "Batches shadow-evaluated against a pinned version."
+        )
+        registry.describe(
+            "serve_shadow_agree_total", "Shadowed graphs whose predicted label matched the live answer."
+        )
+        registry.describe(
+            "serve_shadow_mismatch_total", "Shadowed graphs whose predicted label diverged from the live answer."
+        )
+        registry.describe(
+            "serve_shadow_errors_total", "Shadow forward passes that raised (compared as errors, never returned)."
         )
         self._sampler.start()
         handler = _make_handler(self)
@@ -175,8 +223,15 @@ class ReproServer:
             self._serve_thread = None
         with self._batcher_lock:
             batchers, self._batchers = dict(self._batchers), {}
+            scalers, self._autoscalers = dict(self._autoscalers), {}
+        for scaler in scalers.values():
+            scaler.stop()
         for batcher in batchers.values():
             batcher.stop()
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.stop()
         if self._owns_obs:
             obs.disable()
             self._owns_obs = False
@@ -206,23 +261,110 @@ class ReproServer:
     # ------------------------------------------------------------------
     # Batching
     # ------------------------------------------------------------------
-    def batcher_for(self, name: str) -> MicroBatcher:
-        """Get or lazily create the batcher serving model ``name``."""
+    def batcher_for(self, name: str, version: int | None = None) -> MicroBatcher:
+        """Get or lazily create the batcher serving model ``name``.
+
+        A pinned ``version`` gets its own channel batcher (keyed
+        ``name@v<version>``) so canary traffic fuses separately from
+        stable traffic — one batch is always answered by one version.
+        """
+        key = name if version is None else f"{name}@v{version}"
         with self._batcher_lock:
-            batcher = self._batchers.get(name)
+            batcher = self._batchers.get(key)
             if batcher is None:
                 cfg = self.config
                 batcher = MicroBatcher(
-                    self._make_infer(name),
+                    self._make_infer(name, version),
                     max_batch=cfg.max_batch,
                     max_wait_ms=cfg.max_wait_ms,
                     max_queue=cfg.max_queue,
+                    workers=cfg.batcher_workers,
                 ).start()
-                self._batchers[name] = batcher
+                self._batchers[key] = batcher
+                if cfg.autoscale:
+                    self._autoscalers[key] = Autoscaler(
+                        min_workers=cfg.autoscale_min,
+                        max_workers=cfg.autoscale_max,
+                        depth_fn=batcher.depth,
+                        workers_fn=lambda b=batcher: b.workers,
+                        scale_fn=lambda n, b=batcher: self._apply_scale(b, n),
+                        p95_fn=lambda: obs.gauge("slo_latency_p95_ms").value,
+                        up_queue_depth=max(2, cfg.max_queue // 4),
+                    ).start(cfg.autoscale_interval_s)
             return batcher
 
-    def _make_infer(self, name: str):
-        """Fused forward over the *current* version of model ``name``.
+    def _apply_scale(self, batcher: MicroBatcher, workers: int) -> None:
+        """One autoscaler step: drainers first, pool workers in lockstep.
+
+        With the pool backend, drainer threads only pipeline handoffs —
+        the forward passes run in pool processes — so the pool must grow
+        with the batcher for added drainers to buy real parallelism.
+        """
+        batcher.resize(workers)
+        with self._pool_lock:
+            pool = self._pool
+        if pool is not None:
+            pool.resize(workers)
+
+    def _pool_for(self, entry) -> InferencePool | None:
+        """The shared process pool, created on first use (pool backend)."""
+        if self.config.backend != "pool":
+            return None
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = InferencePool(
+                    entry.path,
+                    workers=self.config.pool_workers,
+                    max_respawns=self.config.pool_max_respawns,
+                ).start()
+            return self._pool
+
+    def _forward(self, entry, graphs) -> np.ndarray:
+        """One fused forward pass on the configured backend.
+
+        Pool jobs carry the entry's artifact path, so hot-swaps reach
+        pool workers at the same batch boundary as in-thread callers.
+        A degraded (or mid-degrading) pool falls back to the in-thread
+        model — bitwise the same answer, reduced parallelism.
+        """
+        pool = self._pool_for(entry)
+        if pool is not None:
+            try:
+                return pool.submit(
+                    graphs, op="predict_proba", model_path=entry.path
+                )
+            except PoolError:
+                obs.counter("serve_pool_fallback_jobs_total").inc()
+        return entry.model.predict_proba(graphs)
+
+    def _maybe_shadow(self, name: str, entry, graphs, proba) -> None:
+        """Shadow-evaluate the batch; compare and count, never return.
+
+        Comparison is on predicted labels (argmax through each entry's
+        own class vector) — the question shadow answers is "would the
+        candidate have answered differently?", not whether probabilities
+        drifted in the 12th decimal.
+        """
+        try:
+            shadow = self.registry.shadow(name)
+        except KeyError:
+            return
+        if shadow is None or shadow.version == entry.version:
+            return
+        obs.counter("serve_shadow_batches_total").inc()
+        try:
+            shadow_proba = shadow.model.predict_proba(graphs)
+        except Exception:  # noqa: BLE001 - shadow must never break serving
+            obs.counter("serve_shadow_errors_total").inc()
+            return
+        live = np.asarray(entry.classes)[np.argmax(proba, axis=1)]
+        cand = np.asarray(shadow.classes)[np.argmax(shadow_proba, axis=1)]
+        agree = int(np.sum(live == cand))
+        obs.counter("serve_shadow_agree_total").inc(agree)
+        obs.counter("serve_shadow_mismatch_total").inc(len(live) - agree)
+
+    def _make_infer(self, name: str, version: int | None = None):
+        """Fused forward over model ``name`` (latest, or pinned version).
 
         The entry is resolved per batch, so a hot-swap takes effect at
         the next batch boundary and every request in one batch is
@@ -230,8 +372,10 @@ class ReproServer:
         """
 
         def infer(graphs):
-            entry = self.registry.get(name)
-            proba = entry.model.predict_proba(graphs)
+            entry = self.registry.get(name, version)
+            proba = self._forward(entry, graphs)
+            if version is None:  # shadow mirrors stable traffic only
+                self._maybe_shadow(name, entry, graphs, proba)
             extra = {
                 "model": entry.name,
                 "version": entry.version,
@@ -255,11 +399,28 @@ class ReproServer:
         return {"serve_queue_depth": sum(self.queue_depths().values())}
 
     def healthz(self) -> dict:
+        with self._pool_lock:
+            pool = self._pool
+        status = self.slo.status()
+        if pool is not None and pool.degraded:
+            # A degraded pool still answers (in-thread fallback) but has
+            # lost its parallelism — surface it exactly like an SLO burn.
+            status = "degraded"
+        with self._batcher_lock:
+            batchers = {
+                key: {"depth": b.depth(), "workers": b.workers}
+                for key, b in sorted(self._batchers.items())
+            }
         return {
-            "status": self.slo.status(),
+            "status": status,
             "uptime_s": round(time.time() - self._started_at, 3),
             "models": self.registry.describe(),
             "queues": self.queue_depths(),
+            "batchers": batchers,
+            "backend": {
+                "kind": self.config.backend,
+                "pool": None if pool is None else pool.describe(),
+            },
             "slo": self.slo.snapshot(),
             "resources": sample_resources(),
             "config": asdict(self.config),
@@ -428,14 +589,28 @@ def _make_handler(server: "ReproServer") -> type[BaseHTTPRequestHandler]:
                     )
             return status
 
+        def _content_type(self) -> str:
+            return (
+                (self.headers.get("Content-Type") or "")
+                .split(";")[0]
+                .strip()
+                .lower()
+            )
+
+        def _wants_binary(self) -> bool:
+            accept = (self.headers.get("Accept") or "").lower()
+            return BINARY_CONTENT_TYPE in accept
+
         def _predict_inner(
             self, want_proba: bool, trace_id: str, req_span, timing: dict
         ) -> int:
             try:
                 length = int(self.headers.get("Content-Length", 0))
-                graphs, model, timeout_s = parse_predict_request(
-                    self.rfile.read(length)
-                )
+                raw = self.rfile.read(length)
+                if self._content_type() == BINARY_CONTENT_TYPE:
+                    graphs, model, timeout_s = parse_predict_request_binary(raw)
+                else:
+                    graphs, model, timeout_s = parse_predict_request(raw)
             except CodecError as exc:
                 return self._send_json(400, {"error": str(exc)}, trace_id=trace_id)
             name = model or "default"
@@ -444,12 +619,18 @@ def _make_handler(server: "ReproServer") -> type[BaseHTTPRequestHandler]:
             if timeout_s is None:
                 timeout_s = self.app.config.request_timeout_s
             try:
-                self.app.registry.get(name)
+                entry, channel = self.app.registry.route(name, trace_id)
             except KeyError as exc:
                 return self._send_json(
                     404, {"error": str(exc.args[0])}, trace_id=trace_id
                 )
-            batcher = self.app.batcher_for(name)
+            canaried = self.app.registry.canary(name) is not None
+            if channel == "canary":
+                obs.counter("serve_canary_requests_total").inc()
+                req_span.set_attr("channel", "canary")
+                batcher = self.app.batcher_for(name, version=entry.version)
+            else:
+                batcher = self.app.batcher_for(name)
             try:
                 proba, extra, stamps = batcher.submit_traced(
                     graphs, timeout_s=timeout_s, trace_id=trace_id
@@ -468,6 +649,10 @@ def _make_handler(server: "ReproServer") -> type[BaseHTTPRequestHandler]:
                 return self._send_json(503, {"error": str(exc)}, trace_id=trace_id)
             req_span.set_attr("batch_id", stamps.get("batch_id"))
             body = {"model": extra["model"], "version": extra["version"]}
+            if canaried:
+                # Only present while a canary split is configured, so
+                # steady-state responses don't grow a vestigial field.
+                body["channel"] = channel
             if want_proba:
                 body["classes"] = extra["classes"]
                 body["proba"] = proba.tolist()
@@ -475,9 +660,32 @@ def _make_handler(server: "ReproServer") -> type[BaseHTTPRequestHandler]:
                 classes = np.asarray(extra["classes"])
                 body["labels"] = classes[np.argmax(proba, axis=1)].tolist()
             timing["serialize_started_at"] = time.monotonic()
+            if self._wants_binary():
+                return self._send_binary(200, body, trace_id=trace_id)
             return self._send_json(200, body, trace_id=trace_id)
 
         # -- plumbing ---------------------------------------------------
+        def _send_binary(
+            self, status: int, payload: dict, trace_id: str | None = None
+        ) -> int:
+            """Answer in the binary codec (client sent ``Accept: x-repro-graph``).
+
+            Carries byte-for-byte the same tensors and metadata as the
+            JSON path; errors still go out as JSON so a failing request
+            is always inspectable with nothing but a text console.
+            """
+            if trace_id is not None and "trace_id" not in payload:
+                payload = {**payload, "trace_id": trace_id}
+            body = encode_predict_response(payload)
+            self.send_response(status)
+            self.send_header("Content-Type", BINARY_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            if trace_id is not None:
+                self.send_header(TRACE_HEADER, trace_id)
+            self.end_headers()
+            self.wfile.write(body)
+            return status
+
         def _send_json(
             self,
             status: int,

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.serve.client import ServeClient
+from repro.serve.codec import encode_predict_request
 
 __all__ = ["LoadResult", "parse_promtext", "parse_promtext_samples", "run_load"]
 
@@ -254,10 +255,13 @@ def run_load(
     rps: float | None = None,
     timeout_ms: float | None = None,
     model: str | None = None,
+    codec: str = "json",
 ) -> LoadResult:
     """Drive ``url`` with single-graph requests drawn round-robin from ``graphs``.
 
     ``mode="open"`` requires ``rps``; ``mode="closed"`` ignores it.
+    ``codec="binary"`` sends/accepts ``application/x-repro-graph``
+    frames instead of JSON — same responses, fewer bytes per request.
     Returns a :class:`LoadResult`; raises only on setup errors (a dead
     server mid-run is tallied as transport errors, not raised).
     """
@@ -271,6 +275,8 @@ def run_load(
         raise ValueError("open-loop mode needs rps > 0")
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if codec not in ("json", "binary"):
+        raise ValueError(f"codec must be 'json' or 'binary', got {codec!r}")
 
     path = f"/v1/{endpoint}"
     before = _metrics_snapshot(url)
@@ -288,7 +294,12 @@ def run_load(
 
     def one_request(client: ServeClient, index: int, tally: _Stats) -> None:
         graph = graphs[index % len(graphs)]
-        payload = ServeClient._payload([graph], model, timeout_ms)
+        if codec == "binary":
+            payload: dict | bytes = encode_predict_request(
+                [graph], model=model, timeout_ms=timeout_ms
+            )
+        else:
+            payload = ServeClient._payload([graph], model, timeout_ms)
         t0 = time.perf_counter()
         try:
             status, _, _ = client.request("POST", path, payload)
@@ -297,7 +308,7 @@ def run_load(
         tally.record(status, time.perf_counter() - t0)
 
     def closed_worker(worker: int) -> None:
-        client = ServeClient(url)
+        client = ServeClient(url, codec=codec)
         tally = stats[worker]
         k = 0
         try:
@@ -308,7 +319,7 @@ def run_load(
             client.close()
 
     def open_worker(worker: int) -> None:
-        client = ServeClient(url)
+        client = ServeClient(url, codec=codec)
         tally = stats[worker]
         assert rps is not None
         try:

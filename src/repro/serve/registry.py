@@ -15,10 +15,21 @@ the replacement completely outside the registry lock, then publishes it
 with a single pointer update — in-flight batches keep the entry they
 already resolved and every later request sees the new version; there is
 no window where the name resolves to nothing.
+
+*Canary routing* (:meth:`ModelRegistry.set_canary`) sends a configured
+percentage of a slot's traffic to a pinned version instead of the
+latest.  The split is a **deterministic hash of the trace id** — the
+same request id always lands on the same channel, so a client retry or
+a replayed trace never flip-flops between versions, and tests can pick
+trace ids that provably land on either side.  *Shadow routing*
+(:meth:`ModelRegistry.set_shadow`) names a version whose predictions
+are computed for every batch and *compared* against the live answer —
+counted, never returned (see ``serve_shadow_*`` counters).
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -29,7 +40,58 @@ from repro.core.model import DeepMapClassifier
 from repro.core.persistence import load_model
 from repro.graph.builders import cycle_graph
 
-__all__ = ["ModelEntry", "ModelRegistry"]
+__all__ = [
+    "CanaryRoute",
+    "ModelEntry",
+    "ModelRegistry",
+    "canary_fraction",
+    "parse_canary_spec",
+]
+
+
+def parse_canary_spec(spec: str) -> tuple[str, int, float]:
+    """Parse ``name@version:pct`` (e.g. ``default@2:10``).
+
+    Returns ``(name, version, pct)``; ``pct`` is a float in (0, 100].
+    """
+    try:
+        name_version, pct_s = spec.rsplit(":", 1)
+        name, version_s = name_version.rsplit("@", 1)
+        version = int(version_s)
+        pct = float(pct_s)
+    except ValueError:
+        raise ValueError(
+            f"bad canary spec {spec!r}; expected name@version:pct"
+        ) from None
+    if not name:
+        raise ValueError(f"bad canary spec {spec!r}: empty model name")
+    if not 0.0 < pct <= 100.0:
+        raise ValueError(f"canary pct must be in (0, 100], got {pct}")
+    return name, version, pct
+
+
+def canary_fraction(name: str, trace_id: str) -> float:
+    """Deterministic [0, 100) bucket for one (slot, trace id) pair.
+
+    BLAKE2b keyed on both so two slots canarying at the same pct do not
+    pick the *same* requests (uncorrelated splits), yet a given request
+    id always resolves to the same channel for a given slot.
+    """
+    digest = hashlib.blake2b(
+        f"{name}\x00{trace_id}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % 100_000 / 1000.0
+
+
+@dataclass(frozen=True)
+class CanaryRoute:
+    """An active canary split on one slot."""
+
+    version: int
+    pct: float
+
+    def describe(self) -> dict:
+        return {"version": self.version, "pct": self.pct}
 
 
 @dataclass(frozen=True)
@@ -66,6 +128,8 @@ class ModelRegistry:
         self._lock = threading.Lock()
         self._slots: dict[str, dict[int, ModelEntry]] = {}
         self._latest: dict[str, int] = {}
+        self._canaries: dict[str, CanaryRoute] = {}
+        self._shadows: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def load(
@@ -149,11 +213,73 @@ class ModelRegistry:
         with self._lock:
             return sorted(self._latest)
 
+    # ------------------------------------------------------------------
+    # Canary / shadow routing
+    # ------------------------------------------------------------------
+    def set_canary(self, name: str, version: int, pct: float) -> CanaryRoute:
+        """Route ``pct``% of slot ``name`` to ``version`` (must exist)."""
+        if not 0.0 < pct <= 100.0:
+            raise ValueError(f"canary pct must be in (0, 100], got {pct}")
+        self.get(name, version)  # KeyError if the target does not exist
+        route = CanaryRoute(version=version, pct=float(pct))
+        with self._lock:
+            self._canaries[name] = route
+        obs.event("canary_set", model=name, version=version, pct=pct)
+        return route
+
+    def clear_canary(self, name: str) -> None:
+        with self._lock:
+            self._canaries.pop(name, None)
+
+    def canary(self, name: str) -> CanaryRoute | None:
+        with self._lock:
+            return self._canaries.get(name)
+
+    def set_shadow(self, name: str, version: int) -> None:
+        """Shadow every batch of slot ``name`` against ``version``."""
+        self.get(name, version)  # KeyError if the target does not exist
+        with self._lock:
+            self._shadows[name] = version
+        obs.event("shadow_set", model=name, version=version)
+
+    def clear_shadow(self, name: str) -> None:
+        with self._lock:
+            self._shadows.pop(name, None)
+
+    def shadow(self, name: str) -> ModelEntry | None:
+        """The entry shadow-evaluated alongside slot ``name``, if any."""
+        with self._lock:
+            version = self._shadows.get(name)
+        return None if version is None else self.get(name, version)
+
+    def route(self, name: str, trace_id: str) -> tuple[ModelEntry, str]:
+        """Resolve ``name`` for one request: ``(entry, channel)``.
+
+        ``channel`` is ``"canary"`` when the trace id's deterministic
+        bucket falls inside the configured split, else ``"stable"``.
+        """
+        with self._lock:
+            canary = self._canaries.get(name)
+        if canary is not None and canary_fraction(name, trace_id) < canary.pct:
+            return self.get(name, canary.version), "canary"
+        return self.get(name), "stable"
+
     def describe(self) -> list[dict]:
         """Latest entry per name, JSON-safe (``GET /healthz`` payload)."""
         with self._lock:
             latest = [self._slots[name][self._latest[name]] for name in sorted(self._latest)]
-        return [entry.describe() for entry in latest]
+            canaries = dict(self._canaries)
+            shadows = dict(self._shadows)
+        out = []
+        for entry in latest:
+            info = entry.describe()
+            route = canaries.get(entry.name)
+            if route is not None:
+                info["canary"] = route.describe()
+            if entry.name in shadows:
+                info["shadow"] = {"version": shadows[entry.name]}
+            out.append(info)
+        return out
 
     def __len__(self) -> int:
         with self._lock:

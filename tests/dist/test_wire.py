@@ -65,6 +65,27 @@ def test_unseal_enforces_size_cap():
         unseal(blob, max_bytes=10)
 
 
+def test_shared_damage_corpus_never_unseals_silently():
+    """The corpus shared with the serve codec (tests/wire_fuzz.py).
+
+    Torn and garbage frames must raise; a single bit flip must either
+    raise or — if it lands somewhere value-preserving — unseal to the
+    original payload.  Silent payload corruption is never acceptable.
+    """
+    from tests.wire_fuzz import bitflipped_frames, garbage_frames, torn_frames
+
+    payload = b"some payload bytes under a shared-corpus fuzz"
+    blob = seal(payload)
+    for damaged in (*torn_frames(blob), *garbage_frames(blob)):
+        with pytest.raises(WireError):
+            unseal(damaged)
+    for damaged in bitflipped_frames(blob):
+        try:
+            assert unseal(damaged) == payload
+        except WireError:
+            pass
+
+
 def test_blake2b_hexdigest_is_chunking_invariant():
     whole = blake2b_hexdigest([b"abcdef"])
     chunked = blake2b_hexdigest([b"ab", b"cd", b"ef"])

@@ -1,9 +1,10 @@
-"""Fold claims: O_EXCL mutual exclusion, heartbeats, stale-claim stealing.
+"""Fold claims: atomic mutual exclusion, heartbeats, stale-claim stealing.
 
 The exactly-once prerequisite for distributed CV: two concurrent
 coordinators (or a coordinator and a straggler) must never both run the
 same fold.  The race tests use real separate processes synchronized on a
-barrier, so the O_EXCL acquire is exercised under genuine concurrency.
+barrier, so the atomic link-publish acquire is exercised under genuine
+concurrency.
 """
 
 from __future__ import annotations

@@ -297,3 +297,174 @@ class TestBitwiseInvariance:
         np.testing.assert_array_equal(fused, serial)
         # The whole point: concurrency became fusion, not serial passes.
         assert max(infer_sizes) > 1
+
+
+class TestDrainOnStop:
+    """Shutdown must drain: every admitted request gets exactly one
+    terminal response, and unexpired requests get their *real* answer.
+
+    Regression for the original single-worker batcher, whose ``stop``
+    answered everything still queued with :class:`BatcherStopped` even
+    when the requests' deadlines had not expired.
+    """
+
+    def test_unexpired_requests_are_answered_not_dropped(self, metrics):
+        infer = BlockingInfer()
+        batcher = MicroBatcher(infer, max_batch=1, max_wait_ms=0).start()
+        outcomes: list[tuple[int, str]] = []
+        lock = threading.Lock()
+
+        def req(i):
+            try:
+                result, _ = batcher.submit([float(i)])
+                with lock:
+                    outcomes.append((i, f"ok:{result[0, 0]:g}"))
+            except Exception as exc:  # noqa: BLE001
+                with lock:
+                    outcomes.append((i, type(exc).__name__))
+
+        threads = [threading.Thread(target=req, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        assert infer.entered.wait(timeout=5.0)
+        deadline = time.monotonic() + 5.0
+        while batcher.depth() < 7 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        stopper = threading.Thread(target=lambda: batcher.stop(timeout=10.0))
+        stopper.start()
+        infer.release.set()
+        stopper.join(timeout=15.0)
+        for t in threads:
+            t.join(timeout=5.0)
+        # Exactly one terminal response per admitted request...
+        assert sorted(i for i, _ in outcomes) == list(range(8))
+        # ...and every one of them is the real answer (echo of its input).
+        assert {o for i, o in outcomes} == {f"ok:{i}" for i in range(8)}
+        # No request ran twice: 8 single-graph batches total.
+        assert sum(infer.batch_sizes) == 8
+
+    def test_expired_requests_get_deadline_not_a_drop(self, metrics):
+        infer = BlockingInfer()
+        batcher = MicroBatcher(infer, max_batch=1, max_wait_ms=0).start()
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def req(timeout_s):
+            try:
+                batcher.submit([1.0], timeout_s=timeout_s)
+                with lock:
+                    outcomes.append("ok")
+            except Exception as exc:  # noqa: BLE001
+                with lock:
+                    outcomes.append(type(exc).__name__)
+
+        blocker = threading.Thread(target=req, args=(None,))
+        blocker.start()
+        assert infer.entered.wait(timeout=5.0)
+        # One queued request whose deadline will expire mid-drain, one
+        # without a deadline.
+        expired = threading.Thread(target=req, args=(0.01,))
+        fresh = threading.Thread(target=req, args=(None,))
+        expired.start()
+        fresh.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.depth() < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        time.sleep(0.05)  # let the 10ms deadline lapse while queued
+        stopper = threading.Thread(target=lambda: batcher.stop(timeout=10.0))
+        stopper.start()
+        infer.release.set()
+        stopper.join(timeout=15.0)
+        for t in (blocker, expired, fresh):
+            t.join(timeout=5.0)
+        assert sorted(outcomes) == ["DeadlineExceeded", "ok", "ok"]
+
+    def test_drain_timeout_still_terminal_for_everyone(self, metrics):
+        """If the drain cannot finish, leftovers get BatcherStopped —
+        terminal either way, never silence."""
+        infer = BlockingInfer()
+        batcher = MicroBatcher(infer, max_batch=1, max_wait_ms=0).start()
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def req():
+            try:
+                batcher.submit([1.0])
+                with lock:
+                    outcomes.append("ok")
+            except Exception as exc:  # noqa: BLE001
+                with lock:
+                    outcomes.append(type(exc).__name__)
+
+        threads = [threading.Thread(target=req) for _ in range(3)]
+        for t in threads:
+            t.start()
+        assert infer.entered.wait(timeout=5.0)
+        deadline = time.monotonic() + 5.0
+        while batcher.depth() < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        batcher.stop(timeout=0.05)  # drain cannot complete: infer parked
+        infer.release.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert len(outcomes) == 3
+        assert outcomes.count("BatcherStopped") == 2  # the queued two
+        assert outcomes.count("ok") == 1  # the one already mid-infer
+
+
+class TestMultiWorker:
+    def test_workers_run_batches_concurrently(self, metrics):
+        """Two drainers: two blocking batches can be in flight at once."""
+        entered = threading.Semaphore(0)
+        release = threading.Event()
+
+        def infer(items):
+            entered.release()
+            assert release.wait(timeout=10.0)
+            return np.asarray(items, dtype=float).reshape(-1, 1), {}
+
+        batcher = MicroBatcher(
+            infer, max_batch=1, max_wait_ms=0, workers=2
+        ).start()
+        assert batcher.workers == 2
+        threads = [
+            threading.Thread(target=lambda: batcher.submit([1.0]))
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        assert entered.acquire(timeout=5.0)
+        assert entered.acquire(timeout=5.0), "second worker never picked up"
+        release.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        batcher.stop()
+
+    def test_resize_grows_and_shrinks(self, metrics):
+        batcher = MicroBatcher(RecordingInfer(), workers=1).start()
+        try:
+            batcher.resize(3)
+            assert batcher.workers == 3
+            batcher.resize(1)
+            deadline = time.monotonic() + 5.0
+            while batcher.workers > 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert batcher.workers == 1
+            # Still serves correctly after shrinking.
+            result, _ = batcher.submit([7.0])
+            assert result[0, 0] == 7.0
+        finally:
+            batcher.stop()
+
+    def test_multi_worker_results_route_to_the_right_caller(self, metrics):
+        batcher = MicroBatcher(
+            RecordingInfer(), max_batch=4, max_wait_ms=1.0, workers=4
+        ).start()
+        try:
+            payloads = [[float(i)] for i in range(32)]
+            results, errors = submit_concurrently(batcher, payloads)
+            assert errors == [None] * 32
+            for i, (result, _) in enumerate(results):
+                assert result[0, 0] == float(i), "cross-wired response"
+        finally:
+            batcher.stop()

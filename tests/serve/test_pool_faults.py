@@ -1,0 +1,173 @@
+"""Pool-worker fault injection: bounded respawn, then graceful degradation.
+
+Workers are killed (``os._exit``) or blown up (``InjectedFault``) via the
+``REPRO_FAULTS`` DSL at the ``pool_worker`` injection point, which
+matches on job ids.  The invariants under attack:
+
+* a death mid-job is retried on a fresh worker — the caller still gets
+  the bitwise-correct answer and never sees the crash;
+* each death burns one respawn from a bounded budget; exhausting it
+  flips the pool to *degraded* — no more processes are spawned, every
+  subsequent batch runs in-thread (fallback), and ``/healthz`` reports
+  ``degraded``;
+* degradation is a soft failure: responses stay correct throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import faults
+from repro.serve import ModelRegistry, ReproServer, ServeConfig
+from repro.serve.client import ServeClient
+from repro.serve.pool import FAULT_POINT, InferencePool, PoolError
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _kill_jobs(indices, tmp_path, mode="kill"):
+    spec = ",".join(f"{mode}@{FAULT_POINT}:{i}" for i in indices)
+    faults.install(spec, state_dir=tmp_path)
+
+
+class TestRespawn:
+    def test_kill_respawns_and_answers_correctly(
+        self, serve_model, model_path, train_data, tmp_path
+    ):
+        graphs, _ = train_data
+        expected = serve_model.predict_proba(graphs)
+        _kill_jobs([0], tmp_path)
+        pool = InferencePool(model_path, workers=2).start()
+        try:
+            out = pool.submit(graphs, op="predict_proba")
+            assert np.array_equal(out, expected)
+            assert pool.respawns == 1
+            assert not pool.degraded
+            # Subsequent jobs run clean on the respawned worker.
+            assert np.array_equal(
+                pool.submit(graphs[:3], op="predict_proba"), expected[:3]
+            )
+            assert pool.respawns == 1
+        finally:
+            pool.stop()
+
+    def test_injected_raise_also_burns_a_respawn(
+        self, serve_model, model_path, train_data, tmp_path
+    ):
+        """InjectedFault is a BaseException: it must escape the worker's
+        per-job error handling and kill the process, not turn into an
+        ``ok: false`` reply."""
+        graphs, _ = train_data
+        _kill_jobs([0], tmp_path, mode="raise")
+        pool = InferencePool(model_path, workers=1).start()
+        try:
+            out = pool.submit(graphs[:2], op="predict_proba")
+            assert np.array_equal(out, serve_model.predict_proba(graphs[:2]))
+            assert pool.respawns == 1
+        finally:
+            pool.stop()
+
+
+class TestDegradation:
+    def test_budget_exhaustion_degrades_to_fallback(
+        self, serve_model, model_path, train_data, tmp_path
+    ):
+        graphs, _ = train_data
+        expected = serve_model.predict_proba(graphs)
+        _kill_jobs(range(8), tmp_path)  # kill every early job
+        pool = InferencePool(
+            model_path,
+            workers=1,
+            max_respawns=2,
+            fallback=lambda g, op: serve_model.predict_proba(g),
+        ).start()
+        try:
+            out = pool.submit(graphs, op="predict_proba")
+            assert np.array_equal(out, expected)
+            assert pool.degraded
+            assert pool.respawns == 2
+            # Degraded pool keeps answering through the fallback.
+            assert np.array_equal(
+                pool.submit(graphs[:4], op="predict_proba"), expected[:4]
+            )
+        finally:
+            pool.stop()
+
+    def test_degraded_without_fallback_raises_pool_error(
+        self, model_path, train_data, tmp_path
+    ):
+        graphs, _ = train_data
+        _kill_jobs(range(8), tmp_path)
+        pool = InferencePool(model_path, workers=1, max_respawns=1).start()
+        try:
+            with pytest.raises(PoolError, match="degraded"):
+                pool.submit(graphs[:2])
+            assert pool.degraded
+        finally:
+            pool.stop()
+
+
+class TestServerDegradation:
+    def test_healthz_reports_degraded_and_serving_continues(
+        self, serve_model, model_path, train_data, tmp_path
+    ):
+        """End to end: pool workers keep dying -> server degrades to
+        in-thread execution, stays correct, and /healthz says so."""
+        graphs, _ = train_data
+        expected = serve_model.predict_proba(graphs)
+        _kill_jobs(range(10), tmp_path)
+        registry = ModelRegistry()
+        registry.load(model_path)
+        server = ReproServer(
+            registry,
+            ServeConfig(
+                port=0,
+                max_batch=16,
+                max_wait_ms=1.0,
+                backend="pool",
+                pool_workers=1,
+                pool_max_respawns=2,
+            ),
+        ).start()
+        client = ServeClient(server.url)
+        try:
+            out = client.predict_proba(graphs)
+            assert np.array_equal(out, expected), "degraded answer diverged"
+            health = client.healthz()
+            assert health["status"] == "degraded"
+            assert health["backend"]["pool"]["degraded"] is True
+            # Still serving, still bitwise-correct, after degradation.
+            assert np.array_equal(client.predict_proba(graphs[:5]), expected[:5])
+        finally:
+            client.close()
+            server.stop()
+
+    def test_single_kill_stays_healthy(
+        self, serve_model, model_path, train_data, tmp_path
+    ):
+        graphs, _ = train_data
+        _kill_jobs([0], tmp_path)
+        registry = ModelRegistry()
+        registry.load(model_path)
+        server = ReproServer(
+            registry,
+            ServeConfig(
+                port=0, max_batch=16, max_wait_ms=1.0,
+                backend="pool", pool_workers=2,
+            ),
+        ).start()
+        client = ServeClient(server.url)
+        try:
+            out = client.predict_proba(graphs)
+            assert np.array_equal(out, serve_model.predict_proba(graphs))
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["backend"]["pool"]["respawns"] == 1
+            assert health["backend"]["pool"]["degraded"] is False
+        finally:
+            client.close()
+            server.stop()

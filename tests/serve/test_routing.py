@@ -1,0 +1,197 @@
+"""Canary and shadow routing: deterministic splits, channel isolation,
+and compare-but-never-return shadow semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.serve import ModelRegistry, ReproServer, ServeConfig
+from repro.serve.client import ServeClient
+from repro.serve.registry import canary_fraction, parse_canary_spec
+
+
+class TestParseCanarySpec:
+    def test_parses_name_version_pct(self):
+        assert parse_canary_spec("default@2:10") == ("default", 2, 10.0)
+        assert parse_canary_spec("my-model@13:0.5") == ("my-model", 13, 0.5)
+
+    def test_name_may_contain_at_and_colon_free_tail(self):
+        assert parse_canary_spec("a@b@3:25") == ("a@b", 3, 25.0)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "default", "default@1", "default@x:10", "@1:10",
+                "default@1:0", "default@1:101", "default@1:-5"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_canary_spec(bad)
+
+
+class TestCanaryFraction:
+    def test_deterministic(self):
+        assert canary_fraction("m", "abc") == canary_fraction("m", "abc")
+
+    def test_slots_get_uncorrelated_splits(self):
+        assert canary_fraction("a", "trace-1") != canary_fraction("b", "trace-1")
+
+    def test_roughly_uniform(self):
+        fracs = [canary_fraction("m", f"{i:032x}") for i in range(2000)]
+        share = sum(1 for f in fracs if f < 10.0) / len(fracs)
+        assert 0.06 < share < 0.14  # 10% +- sampling noise
+
+
+class TestRegistryRouting:
+    def test_set_canary_requires_existing_version(self, model_path):
+        registry = ModelRegistry()
+        registry.load(model_path)
+        with pytest.raises(KeyError):
+            registry.set_canary("default", 99, 10.0)
+        with pytest.raises(KeyError):
+            registry.set_shadow("default", 99)
+
+    def test_route_splits_deterministically(self, model_path):
+        registry = ModelRegistry()
+        registry.load(model_path)  # v1
+        registry.load(model_path)  # v2 (latest)
+        registry.set_canary("default", 1, 30.0)
+        channels = {}
+        for i in range(50):
+            trace = f"{i:032x}"
+            entry, channel = registry.route("default", trace)
+            channels[trace] = channel
+            if channel == "canary":
+                assert entry.version == 1
+            else:
+                assert entry.version == 2
+        assert set(channels.values()) == {"stable", "canary"}
+        # Re-routing the same trace ids lands on the same channels.
+        for trace, channel in channels.items():
+            assert registry.route("default", trace)[1] == channel
+
+    def test_clear_canary_restores_stable_only(self, model_path):
+        registry = ModelRegistry()
+        registry.load(model_path)
+        registry.load(model_path)
+        registry.set_canary("default", 1, 99.0)
+        registry.clear_canary("default")
+        for i in range(20):
+            _, channel = registry.route("default", f"{i:032x}")
+            assert channel == "stable"
+
+    def test_describe_shows_routes(self, model_path):
+        registry = ModelRegistry()
+        registry.load(model_path)
+        registry.load(model_path)
+        registry.set_canary("default", 1, 10.0)
+        registry.set_shadow("default", 1)
+        (info,) = registry.describe()
+        assert info["canary"] == {"version": 1, "pct": 10.0}
+        assert info["shadow"] == {"version": 1}
+        registry.clear_canary("default")
+        registry.clear_shadow("default")
+        (info,) = registry.describe()
+        assert "canary" not in info and "shadow" not in info
+
+
+@pytest.fixture()
+def two_version_server(model_path):
+    registry = ModelRegistry()
+    registry.load(model_path)  # v1
+    registry.load(model_path)  # v2
+    server = ReproServer(
+        registry, ServeConfig(port=0, max_batch=16, max_wait_ms=1.0)
+    ).start()
+    yield server, registry
+    server.stop()
+
+
+class TestServerCanary:
+    def test_canary_traffic_split_and_response_channel(
+        self, two_version_server, train_data
+    ):
+        server, registry = two_version_server
+        registry.set_canary("default", 1, 50.0)
+        graphs, _ = train_data
+        client = ServeClient(server.url)
+        seen = {"stable": 0, "canary": 0}
+        try:
+            for i in range(24):
+                trace = f"{i:032x}"
+                status, _, body = client.request(
+                    "POST",
+                    "/v1/predict_proba",
+                    {"graphs": [_graph_json(graphs[i % len(graphs)])]},
+                    trace_id=trace,
+                )
+                assert status == 200
+                import json
+
+                parsed = json.loads(body)
+                channel = parsed["channel"]
+                seen[channel] += 1
+                expected_version = 1 if channel == "canary" else 2
+                assert parsed["version"] == expected_version
+        finally:
+            registry.clear_canary("default")
+            client.close()
+        assert seen["stable"] > 0 and seen["canary"] > 0
+
+    def test_canary_and_stable_answers_both_bitwise_correct(
+        self, two_version_server, train_data, serve_model
+    ):
+        """Both versions are the same artifact here, so every channel
+        must return the same bitwise result as the in-memory model."""
+        server, registry = two_version_server
+        registry.set_canary("default", 1, 50.0)
+        graphs, _ = train_data
+        expected = serve_model.predict_proba(graphs[:3])
+        client = ServeClient(server.url)
+        try:
+            for i in range(10):
+                out = client.predict_proba(graphs[:3], trace_id=f"{i:032x}")
+                assert np.array_equal(out, expected)
+        finally:
+            registry.clear_canary("default")
+            client.close()
+
+
+class TestServerShadow:
+    def test_shadow_counted_never_returned(self, two_version_server, train_data):
+        server, registry = two_version_server
+        registry.set_shadow("default", 1)
+        graphs, _ = train_data
+        client = ServeClient(server.url)
+        try:
+            before = obs.counter("serve_shadow_batches_total").value
+            agree_before = obs.counter("serve_shadow_agree_total").value
+            out = client.predict_proba(graphs[:4])
+            assert out.shape[0] == 4  # the live answer, nothing extra
+            assert obs.counter("serve_shadow_batches_total").value > before
+            # Identical artifacts agree on every graph.
+            agreed = obs.counter("serve_shadow_agree_total").value - agree_before
+            assert agreed == 4
+            assert obs.counter("serve_shadow_mismatch_total").value == 0
+        finally:
+            registry.clear_shadow("default")
+            client.close()
+
+    def test_self_shadow_is_skipped(self, two_version_server, train_data):
+        """Shadowing the live version itself is a no-op, not a double run."""
+        server, registry = two_version_server
+        registry.set_shadow("default", 2)  # same as latest
+        graphs, _ = train_data
+        client = ServeClient(server.url)
+        try:
+            before = obs.counter("serve_shadow_batches_total").value
+            client.predict_proba(graphs[:2])
+            assert obs.counter("serve_shadow_batches_total").value == before
+        finally:
+            registry.clear_shadow("default")
+            client.close()
+
+
+def _graph_json(graph):
+    from repro.serve.codec import graph_to_json
+
+    return graph_to_json(graph)

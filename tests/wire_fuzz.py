@@ -1,0 +1,43 @@
+"""Shared frame-damage generators for wire-format fuzzing.
+
+Every consumer of `repro.utils.wire` frames — the dist protocol
+(tests/dist/test_wire.py) and the serving binary codec
+(tests/serve/test_codec_binary.py) — must survive the same corpus of
+torn, bit-flipped, and garbage frames.  Keeping the generators here
+means a new damage pattern added for one consumer automatically fuzzes
+the others.
+"""
+
+from collections.abc import Iterator
+
+import numpy as np
+
+
+def torn_frames(blob: bytes) -> Iterator[bytes]:
+    """Truncations of a sealed frame: empty, mid-prelude, mid-payload."""
+    for cut in sorted({0, 1, 4, 8, len(blob) // 2, len(blob) - 3, len(blob) - 1}):
+        if 0 <= cut < len(blob):
+            yield blob[:cut]
+
+
+def bitflipped_frames(blob: bytes, *, flips: int = 32, seed: int = 7) -> Iterator[bytes]:
+    """Single-bit flips at deterministic pseudo-random positions.
+
+    A flip may land somewhere value-preserving (e.g. an unchecked flag
+    bit), so consumers should assert *decode cleanly or raise their
+    documented error* — anything else (a crash deeper in the stack) is
+    the bug this corpus hunts.
+    """
+    rng = np.random.default_rng(seed)
+    for _ in range(flips):
+        pos = int(rng.integers(0, len(blob)))
+        damaged = bytearray(blob)
+        damaged[pos] ^= 1 << int(rng.integers(0, 8))
+        yield bytes(damaged)
+
+
+def garbage_frames(blob: bytes) -> Iterator[bytes]:
+    """Inputs that are not frames at all (plus a magic-smashed one)."""
+    yield from (b"", b"garbage", b"\x00" * 64, b"{}", blob[::-1])
+    if len(blob) > 4:
+        yield b"XXXX" + blob[4:]
